@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the figure-regeneration experiments themselves,
+//! at a reduced trace length so `cargo bench` finishes quickly. One target
+//! per figure family; the full-scale tables are produced by the binaries in
+//! `src/bin/` (see DESIGN.md for the index).
+
+use allarm_core::{
+    compare_benchmark, multiprocess_sweep, pf_size_sweep, ExperimentConfig, FIG3H_COVERAGES,
+    FIG4_COVERAGES,
+};
+use allarm_workloads::Benchmark;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A trimmed-down experiment: the full Table I machine but short traces, so
+/// one baseline+ALLARM pair runs in tens of milliseconds.
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::paper().with_accesses_per_thread(4_000)
+}
+
+fn bench_fig2_and_fig3_single_benchmark(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig3_comparison");
+    for bench in [Benchmark::OceanContiguous, Benchmark::Blackscholes, Benchmark::Dedup] {
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(compare_benchmark(bench, &cfg).speedup()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3h_sweep(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig3h_pf_sweep/barnes", |b| {
+        b.iter(|| black_box(pf_size_sweep(Benchmark::Barnes, &cfg, &FIG3H_COVERAGES).len()))
+    });
+}
+
+fn bench_fig4_multiprocess(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig4_multiprocess/ocean-cont", |b| {
+        b.iter(|| {
+            black_box(multiprocess_sweep(Benchmark::OceanContiguous, &cfg, &FIG4_COVERAGES).len())
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_and_fig3_single_benchmark, bench_fig3h_sweep, bench_fig4_multiprocess
+);
+criterion_main!(figures);

@@ -1,0 +1,54 @@
+//! Shared helpers for the figure-regeneration binaries and criterion
+//! benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the ALLARM
+//! paper (see DESIGN.md for the index). They share the experiment scale
+//! handling and the per-benchmark comparison loop defined here.
+
+#![warn(missing_docs)]
+
+use allarm_core::{compare_benchmark, Comparison, ExperimentConfig};
+use allarm_workloads::Benchmark;
+
+/// Reads the experiment scale from the `ALLARM_ACCESSES` environment
+/// variable (main-phase accesses per thread), falling back to the paper
+/// configuration's default. Set a smaller value for quick smoke runs:
+///
+/// ```text
+/// ALLARM_ACCESSES=20000 cargo run --release -p allarm-bench --bin fig3a_speedup
+/// ```
+pub fn figure_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper();
+    if let Ok(value) = std::env::var("ALLARM_ACCESSES") {
+        if let Ok(accesses) = value.parse::<usize>() {
+            cfg = cfg.with_accesses_per_thread(accesses);
+        }
+    }
+    cfg
+}
+
+/// Runs the baseline-vs-ALLARM comparison for every benchmark of the
+/// multi-threaded evaluation (the runs behind Fig. 2 and Fig. 3a–3g),
+/// printing a progress line per benchmark to stderr.
+pub fn all_comparisons(cfg: &ExperimentConfig) -> Vec<(Benchmark, Comparison)> {
+    Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            eprintln!("[allarm-bench] running {bench} (baseline + allarm)...");
+            (bench, compare_benchmark(bench, cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_config_defaults_to_paper_scale() {
+        // The env var is not set under `cargo test`, so the default applies.
+        let cfg = figure_config();
+        assert_eq!(cfg.threads, 16);
+        assert!(cfg.accesses_per_thread >= 1_000);
+    }
+}

@@ -1,0 +1,384 @@
+//! A generic set-associative array of cache lines.
+
+use crate::replacement::ReplacementPolicy;
+use crate::state::CoherenceState;
+use crate::stats::CacheStats;
+use allarm_types::addr::LineAddr;
+use allarm_types::config::CacheConfig;
+
+/// A line pushed out of the array to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line's address.
+    pub addr: LineAddr,
+    /// Its coherence state at the time of eviction.
+    pub state: CoherenceState,
+}
+
+impl EvictedLine {
+    /// True if the victim held dirty data that must be written back.
+    pub fn needs_writeback(&self) -> bool {
+        self.state.is_dirty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    addr: LineAddr,
+    state: CoherenceState,
+    last_touch: u64,
+    inserted: u64,
+}
+
+/// A set-associative array of cache lines with MOESI state per line.
+///
+/// This structure is used both for the data caches (`L1D`, `L2`) and, in
+/// `allarm-coherence`, as the tag array backing the probe filter.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_cache::{SetAssocCache, CoherenceState};
+/// use allarm_types::{config::CacheConfig, addr::LineAddr};
+///
+/// let mut cache = SetAssocCache::new(&CacheConfig::new(4096, 2, 1));
+/// let line = LineAddr::new(7);
+/// assert_eq!(cache.lookup(line), None);
+/// cache.insert(line, CoherenceState::Exclusive);
+/// assert_eq!(cache.lookup(line), Some(CoherenceState::Exclusive));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    policy: ReplacementPolicy,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with the geometry of `config` and LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets or zero ways.
+    pub fn new(config: &CacheConfig) -> Self {
+        Self::with_policy(config, ReplacementPolicy::Lru)
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets or zero ways.
+    pub fn with_policy(config: &CacheConfig, policy: ReplacementPolicy) -> Self {
+        let num_sets = config.num_sets() as usize;
+        let ways = config.ways as usize;
+        assert!(num_sets > 0, "cache must have at least one set");
+        assert!(ways > 0, "cache must have at least one way");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            policy,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache from an explicit (sets, ways) geometry; used by the
+    /// probe filter whose "line size" is a directory entry, not 64 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn from_geometry(num_sets: usize, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(num_sets > 0, "cache must have at least one set");
+        assert!(ways > 0, "cache must have at least one way");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            policy,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `line`, updating recency and hit/miss statistics.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<CoherenceState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.addr == line) {
+            way.last_touch = tick;
+            self.stats.hits.incr();
+            Some(way.state)
+        } else {
+            self.stats.misses.incr();
+            None
+        }
+    }
+
+    /// Checks whether `line` is present without updating recency or
+    /// statistics (a directory probe).
+    pub fn probe(&self, line: LineAddr) -> Option<CoherenceState> {
+        let set = self.set_index(line);
+        self.sets[set].iter().find(|w| w.addr == line).map(|w| w.state)
+    }
+
+    /// Inserts `line` in `state`, evicting a victim if the set is full.
+    ///
+    /// Returns the victim, if any. Inserting a line that is already present
+    /// just updates its state and recency and returns `None`.
+    pub fn insert(&mut self, line: LineAddr, state: CoherenceState) -> Option<EvictedLine> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(line);
+        let ways = self.ways;
+        let policy = self.policy;
+
+        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.addr == line) {
+            way.state = state;
+            way.last_touch = tick;
+            return None;
+        }
+
+        let mut victim = None;
+        if self.sets[set_idx].len() >= ways {
+            let (touches, inserts): (Vec<u64>, Vec<u64>) = self.sets[set_idx]
+                .iter()
+                .map(|w| (w.last_touch, w.inserted))
+                .unzip();
+            let victim_way = policy.pick_victim(&touches, &inserts, tick);
+            let evicted = self.sets[set_idx].swap_remove(victim_way);
+            self.stats.evictions.incr();
+            if evicted.state.is_dirty() {
+                self.stats.writebacks.incr();
+            }
+            victim = Some(EvictedLine {
+                addr: evicted.addr,
+                state: evicted.state,
+            });
+        }
+        self.sets[set_idx].push(Way {
+            addr: line,
+            state,
+            last_touch: tick,
+            inserted: tick,
+        });
+        victim
+    }
+
+    /// Removes `line` (a directory-initiated invalidation), returning its
+    /// state if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<CoherenceState> {
+        let set = self.set_index(line);
+        if let Some(pos) = self.sets[set].iter().position(|w| w.addr == line) {
+            let way = self.sets[set].swap_remove(pos);
+            self.stats.invalidations.incr();
+            if way.state.is_dirty() {
+                self.stats.writebacks.incr();
+            }
+            Some(way.state)
+        } else {
+            None
+        }
+    }
+
+    /// Changes the state of a resident line. Returns false if the line is
+    /// not present.
+    pub fn set_state(&mut self, line: LineAddr, state: CoherenceState) -> bool {
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.addr == line) {
+            way.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `line` without counting it as an invalidation (used when a
+    /// line migrates between levels of the same core's hierarchy).
+    pub fn remove_silently(&mut self, line: LineAddr) -> Option<CoherenceState> {
+        let set = self.set_index(line);
+        if let Some(pos) = self.sets[set].iter().position(|w| w.addr == line) {
+            let way = self.sets[set].swap_remove(pos);
+            Some(way.state)
+        } else {
+            None
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of resident lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Iterates over all resident lines and their states.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, CoherenceState)> + '_ {
+        self.sets.iter().flat_map(|s| s.iter().map(|w| (w.addr, w.state)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways = 4 lines.
+        SetAssocCache::from_geometry(2, 2, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut c = tiny();
+        let line = LineAddr::new(4);
+        assert_eq!(c.lookup(line), None);
+        assert!(c.insert(line, CoherenceState::Shared).is_none());
+        assert_eq!(c.lookup(line), Some(CoherenceState::Shared));
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn full_set_evicts_lru_victim() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even addresses, 2 sets).
+        c.insert(LineAddr::new(0), CoherenceState::Exclusive);
+        c.insert(LineAddr::new(2), CoherenceState::Exclusive);
+        // Touch line 0 so line 2 becomes LRU.
+        c.lookup(LineAddr::new(0));
+        let victim = c.insert(LineAddr::new(4), CoherenceState::Exclusive).unwrap();
+        assert_eq!(victim.addr, LineAddr::new(2));
+        assert_eq!(c.stats().evictions.get(), 1);
+        assert!(c.probe(LineAddr::new(0)).is_some());
+        assert!(c.probe(LineAddr::new(2)).is_none());
+    }
+
+    #[test]
+    fn dirty_victim_counts_writeback() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Modified);
+        c.insert(LineAddr::new(2), CoherenceState::Shared);
+        let victim = c.insert(LineAddr::new(4), CoherenceState::Shared).unwrap();
+        assert_eq!(victim.addr, LineAddr::new(0));
+        assert!(victim.needs_writeback());
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn reinserting_resident_line_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Shared);
+        let victim = c.insert(LineAddr::new(0), CoherenceState::Modified);
+        assert!(victim.is_none());
+        assert_eq!(c.probe(LineAddr::new(0)), Some(CoherenceState::Modified));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_recency() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Shared);
+        let hits_before = c.stats().hits.get();
+        let misses_before = c.stats().misses.get();
+        assert!(c.probe(LineAddr::new(0)).is_some());
+        assert!(c.probe(LineAddr::new(6)).is_none());
+        assert_eq!(c.stats().hits.get(), hits_before);
+        assert_eq!(c.stats().misses.get(), misses_before);
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Modified);
+        assert_eq!(c.invalidate(LineAddr::new(0)), Some(CoherenceState::Modified));
+        assert_eq!(c.invalidate(LineAddr::new(0)), None);
+        assert_eq!(c.stats().invalidations.get(), 1);
+        assert_eq!(c.stats().writebacks.get(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_silently_does_not_count_invalidation() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Exclusive);
+        assert_eq!(c.remove_silently(LineAddr::new(0)), Some(CoherenceState::Exclusive));
+        assert_eq!(c.stats().invalidations.get(), 0);
+        assert_eq!(c.remove_silently(LineAddr::new(0)), None);
+    }
+
+    #[test]
+    fn set_state_changes_resident_lines_only() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Exclusive);
+        assert!(c.set_state(LineAddr::new(0), CoherenceState::Owned));
+        assert_eq!(c.probe(LineAddr::new(0)), Some(CoherenceState::Owned));
+        assert!(!c.set_state(LineAddr::new(2), CoherenceState::Shared));
+    }
+
+    #[test]
+    fn capacity_and_geometry() {
+        let c = tiny();
+        assert_eq!(c.capacity(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.num_sets(), 2);
+        let from_cfg = SetAssocCache::new(&CacheConfig::new(4096, 4, 1));
+        assert_eq!(from_cfg.capacity(), 64);
+        assert_eq!(from_cfg.num_sets(), 16);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = tiny();
+        for i in 0..100u64 {
+            c.insert(LineAddr::new(i), CoherenceState::Shared);
+        }
+        assert!(c.len() <= c.capacity());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn iter_visits_all_resident_lines() {
+        let mut c = tiny();
+        c.insert(LineAddr::new(0), CoherenceState::Shared);
+        c.insert(LineAddr::new(1), CoherenceState::Modified);
+        let mut lines: Vec<u64> = c.iter().map(|(addr, _)| addr.raw()).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = SetAssocCache::from_geometry(4, 0, ReplacementPolicy::Lru);
+    }
+}

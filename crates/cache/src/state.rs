@@ -1,0 +1,123 @@
+//! MOESI coherence states for cached lines.
+
+use std::fmt;
+
+/// The MOESI state of a cache line in a private cache.
+///
+/// The Hammer protocol used by the paper is a broadcast MOESI protocol; the
+/// directory (probe filter) tracks whether a line is cached at all, while the
+/// caches themselves carry the MOESI state. The simulator uses the same
+/// split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceState {
+    /// The line is the only cached copy and is dirty with respect to DRAM.
+    Modified,
+    /// The line is dirty and this cache is responsible for supplying it, but
+    /// other shared copies may exist.
+    Owned,
+    /// The line is the only cached copy and is clean.
+    Exclusive,
+    /// A clean, potentially replicated copy.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+impl CoherenceState {
+    /// True if this state holds data that differs from DRAM and must be
+    /// written back (or supplied to a requester) on eviction/invalidation.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, CoherenceState::Modified | CoherenceState::Owned)
+    }
+
+    /// True if the holder may silently satisfy a store without asking the
+    /// directory for write permission.
+    pub fn can_write(self) -> bool {
+        matches!(self, CoherenceState::Modified | CoherenceState::Exclusive)
+    }
+
+    /// True if a read hit can be satisfied locally.
+    pub fn can_read(self) -> bool {
+        !matches!(self, CoherenceState::Invalid)
+    }
+
+    /// The state the holder transitions to when another core performs a read
+    /// (GetS) of the line: dirty copies become Owned, clean copies become
+    /// Shared, and an invalid line stays invalid.
+    pub fn after_remote_read(self) -> CoherenceState {
+        match self {
+            CoherenceState::Modified | CoherenceState::Owned => CoherenceState::Owned,
+            CoherenceState::Exclusive | CoherenceState::Shared => CoherenceState::Shared,
+            CoherenceState::Invalid => CoherenceState::Invalid,
+        }
+    }
+
+    /// One-letter MOESI abbreviation.
+    pub fn letter(self) -> char {
+        match self {
+            CoherenceState::Modified => 'M',
+            CoherenceState::Owned => 'O',
+            CoherenceState::Exclusive => 'E',
+            CoherenceState::Shared => 'S',
+            CoherenceState::Invalid => 'I',
+        }
+    }
+}
+
+impl fmt::Display for CoherenceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_states() {
+        assert!(CoherenceState::Modified.is_dirty());
+        assert!(CoherenceState::Owned.is_dirty());
+        assert!(!CoherenceState::Exclusive.is_dirty());
+        assert!(!CoherenceState::Shared.is_dirty());
+        assert!(!CoherenceState::Invalid.is_dirty());
+    }
+
+    #[test]
+    fn write_permission() {
+        assert!(CoherenceState::Modified.can_write());
+        assert!(CoherenceState::Exclusive.can_write());
+        assert!(!CoherenceState::Owned.can_write());
+        assert!(!CoherenceState::Shared.can_write());
+        assert!(!CoherenceState::Invalid.can_write());
+    }
+
+    #[test]
+    fn read_permission() {
+        assert!(CoherenceState::Shared.can_read());
+        assert!(!CoherenceState::Invalid.can_read());
+    }
+
+    #[test]
+    fn remote_read_transitions() {
+        assert_eq!(CoherenceState::Modified.after_remote_read(), CoherenceState::Owned);
+        assert_eq!(CoherenceState::Owned.after_remote_read(), CoherenceState::Owned);
+        assert_eq!(CoherenceState::Exclusive.after_remote_read(), CoherenceState::Shared);
+        assert_eq!(CoherenceState::Shared.after_remote_read(), CoherenceState::Shared);
+        assert_eq!(CoherenceState::Invalid.after_remote_read(), CoherenceState::Invalid);
+    }
+
+    #[test]
+    fn display_letters() {
+        let all = [
+            CoherenceState::Modified,
+            CoherenceState::Owned,
+            CoherenceState::Exclusive,
+            CoherenceState::Shared,
+            CoherenceState::Invalid,
+        ];
+        let letters: String = all.iter().map(|s| s.letter()).collect();
+        assert_eq!(letters, "MOESI");
+        assert_eq!(CoherenceState::Shared.to_string(), "S");
+    }
+}

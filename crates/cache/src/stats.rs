@@ -1,0 +1,80 @@
+//! Per-cache access counters.
+
+use allarm_types::stats::{ratio, Counter};
+
+/// Hit/miss/eviction counters for a single cache (or cache level).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: Counter,
+    /// Lookups that did not find the line.
+    pub misses: Counter,
+    /// Lines evicted to make room for a fill.
+    pub evictions: Counter,
+    /// Lines removed by an external invalidation (directory-initiated).
+    pub invalidations: Counter,
+    /// Dirty lines written back to the next level / memory.
+    pub writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.hits.get(), self.accesses())
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.misses.get(), self.accesses())
+    }
+
+    /// Accumulates another set of counters into this one (used to aggregate
+    /// per-core statistics into machine-wide totals).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_and_nonempty() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        s.hits.add(3);
+        s.misses.add(1);
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = CacheStats::default();
+        a.hits.add(1);
+        a.evictions.add(2);
+        let mut b = CacheStats::default();
+        b.hits.add(10);
+        b.misses.add(5);
+        b.invalidations.add(7);
+        b.writebacks.add(3);
+        a.merge(&b);
+        assert_eq!(a.hits.get(), 11);
+        assert_eq!(a.misses.get(), 5);
+        assert_eq!(a.evictions.get(), 2);
+        assert_eq!(a.invalidations.get(), 7);
+        assert_eq!(a.writebacks.get(), 3);
+    }
+}

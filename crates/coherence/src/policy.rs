@@ -1,0 +1,101 @@
+//! Probe-filter allocation policies: the baseline and ALLARM.
+
+use allarm_types::ids::NodeId;
+use std::fmt;
+
+/// Decides whether a request that *misses* in the probe filter allocates a
+/// new directory entry.
+///
+/// This single decision is the paper's contribution. The baseline sparse
+/// directory allocates an entry for every miss, so thread-private data —
+/// which under first-touch NUMA allocation is homed on the requester's own
+/// node — occupies directory capacity and, when evicted, triggers
+/// back-invalidations. ALLARM (ALLocAte on Remote Miss) skips allocation
+/// when the requester is in the directory's own affinity domain, on the
+/// (statistical, not correctness-critical) assumption that such requests are
+/// to private data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocationPolicy {
+    /// Allocate a probe-filter entry on every miss (conventional sparse
+    /// directory; the paper's baseline).
+    #[default]
+    Baseline,
+    /// Allocate only when the requester is in a *different* affinity domain
+    /// from the directory (the paper's proposal).
+    Allarm,
+}
+
+impl AllocationPolicy {
+    /// Should a probe-filter entry be allocated for a miss from
+    /// `requester_node` at the directory homed on `home`?
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use allarm_coherence::AllocationPolicy;
+    /// use allarm_types::ids::NodeId;
+    ///
+    /// let home = NodeId::new(0);
+    /// assert!(AllocationPolicy::Baseline.should_allocate(home, home));
+    /// assert!(!AllocationPolicy::Allarm.should_allocate(home, home));
+    /// assert!(AllocationPolicy::Allarm.should_allocate(NodeId::new(9), home));
+    /// ```
+    pub fn should_allocate(self, requester_node: NodeId, home: NodeId) -> bool {
+        match self {
+            AllocationPolicy::Baseline => true,
+            AllocationPolicy::Allarm => requester_node != home,
+        }
+    }
+
+    /// True if this is the ALLARM policy (used by reports).
+    pub fn is_allarm(self) -> bool {
+        matches!(self, AllocationPolicy::Allarm)
+    }
+
+    /// Short name used in reports and figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationPolicy::Baseline => "baseline",
+            AllocationPolicy::Allarm => "allarm",
+        }
+    }
+
+    /// Both policies, in the order the figures present them.
+    pub const ALL: [AllocationPolicy; 2] = [AllocationPolicy::Baseline, AllocationPolicy::Allarm];
+}
+
+impl fmt::Display for AllocationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_always_allocates() {
+        let home = NodeId::new(3);
+        assert!(AllocationPolicy::Baseline.should_allocate(home, home));
+        assert!(AllocationPolicy::Baseline.should_allocate(NodeId::new(7), home));
+    }
+
+    #[test]
+    fn allarm_allocates_only_on_remote_miss() {
+        let home = NodeId::new(3);
+        assert!(!AllocationPolicy::Allarm.should_allocate(home, home));
+        assert!(AllocationPolicy::Allarm.should_allocate(NodeId::new(0), home));
+        assert!(AllocationPolicy::Allarm.should_allocate(NodeId::new(15), home));
+    }
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(AllocationPolicy::Baseline.name(), "baseline");
+        assert_eq!(AllocationPolicy::Allarm.to_string(), "allarm");
+        assert!(AllocationPolicy::Allarm.is_allarm());
+        assert!(!AllocationPolicy::Baseline.is_allarm());
+        assert_eq!(AllocationPolicy::default(), AllocationPolicy::Baseline);
+        assert_eq!(AllocationPolicy::ALL.len(), 2);
+    }
+}

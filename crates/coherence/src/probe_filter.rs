@@ -1,0 +1,459 @@
+//! The sparse directory ("probe filter") array.
+//!
+//! Each node's memory controller owns a probe filter: a set-associative
+//! array of directory entries, sized to cover a multiple of one core's cache
+//! capacity (2x the L2 in the paper, matching deployed AMD Hammer systems).
+//! An entry records the owner of a line and the set of cores that may hold a
+//! copy. When a set is full, allocating a new entry evicts a victim, and the
+//! eviction must back-invalidate the line from every cache that may hold it
+//! — the expensive side effect ALLARM avoids for thread-local data.
+
+use crate::sharers::SharerSet;
+use allarm_types::addr::LineAddr;
+use allarm_types::config::{PfReplacement, ProbeFilterConfig};
+use allarm_types::ids::CoreId;
+use allarm_types::stats::Counter;
+
+/// One directory entry: the tracked line, its owner, and its sharers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfEntry {
+    /// The tracked cache line.
+    pub line: LineAddr,
+    /// The core considered the owner (the last writer or first requester);
+    /// probes for dirty data go here first.
+    pub owner: CoreId,
+    /// Cores that may hold a copy (always includes the owner).
+    pub sharers: SharerSet,
+}
+
+impl PfEntry {
+    /// Creates an entry owned (and solely shared) by `owner`.
+    pub fn new(line: LineAddr, owner: CoreId) -> Self {
+        PfEntry {
+            line,
+            owner,
+            sharers: SharerSet::only(owner),
+        }
+    }
+}
+
+/// A victim entry displaced by an allocation.
+///
+/// The directory controller must back-invalidate `line` from every core in
+/// `sharers` (or broadcast, under Hammer-style tracking) before the entry
+/// can be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfEviction {
+    /// The evicted entry.
+    pub entry: PfEntry,
+}
+
+/// Probe-filter activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfStats {
+    /// Lookups that found an entry.
+    pub hits: Counter,
+    /// Lookups that found no entry.
+    pub misses: Counter,
+    /// Entries allocated.
+    pub allocations: Counter,
+    /// Entries displaced by an allocation (the paper's headline metric).
+    pub evictions: Counter,
+    /// Entries removed because the last cached copy was evicted from the
+    /// owning cache (eviction notifications / writebacks).
+    pub deallocations: Counter,
+    /// Entry reads+writes, the activity count for the dynamic-energy model.
+    pub array_accesses: Counter,
+}
+
+impl PfStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Current hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        allarm_types::stats::ratio(self.hits.get(), self.lookups())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: PfEntry,
+    last_touch: u64,
+    valid: bool,
+}
+
+/// A set-associative sparse directory.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_coherence::ProbeFilter;
+/// use allarm_types::{config::ProbeFilterConfig, ids::CoreId, addr::LineAddr};
+///
+/// let mut pf = ProbeFilter::new(&ProbeFilterConfig::new(4096, 4));
+/// let line = LineAddr::new(42);
+/// assert!(pf.lookup(line).is_none());
+/// let eviction = pf.allocate(line, CoreId::new(1));
+/// assert!(eviction.is_none());
+/// assert_eq!(pf.lookup(line).unwrap().owner, CoreId::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbeFilter {
+    sets: Vec<Vec<Slot>>,
+    ways: usize,
+    replacement: PfReplacement,
+    tick: u64,
+    stats: PfStats,
+}
+
+impl ProbeFilter {
+    /// Creates a probe filter with the geometry of `config` and LRU
+    /// replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets or ways.
+    pub fn new(config: &ProbeFilterConfig) -> Self {
+        let num_sets = config.num_sets() as usize;
+        let ways = config.ways as usize;
+        assert!(num_sets > 0, "probe filter must have at least one set");
+        assert!(ways > 0, "probe filter must have at least one way");
+        ProbeFilter {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            replacement: config.replacement,
+            tick: 0,
+            stats: PfStats::default(),
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up the entry for `line`, updating recency and hit/miss counts.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<PfEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.stats.array_accesses.incr();
+        let set = self.set_index(line);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+            slot.last_touch = tick;
+            self.stats.hits.incr();
+            Some(slot.entry)
+        } else {
+            self.stats.misses.incr();
+            None
+        }
+    }
+
+    /// Checks for an entry without touching recency or statistics.
+    pub fn peek(&self, line: LineAddr) -> Option<PfEntry> {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .find(|s| s.valid && s.entry.line == line)
+            .map(|s| s.entry)
+    }
+
+    /// Allocates an entry for `line` owned by `owner`, evicting the LRU
+    /// entry of a full set.
+    ///
+    /// Returns the eviction the directory controller must process, if any.
+    /// Allocating a line that already has an entry refreshes that entry
+    /// instead (owner unchanged, requester added as a sharer by the caller).
+    pub fn allocate(&mut self, line: LineAddr, owner: CoreId) -> Option<PfEviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.stats.array_accesses.incr();
+        let set_idx = self.set_index(line);
+        let ways = self.ways;
+
+        if let Some(slot) = self.sets[set_idx]
+            .iter_mut()
+            .find(|s| s.valid && s.entry.line == line)
+        {
+            slot.last_touch = tick;
+            return None;
+        }
+
+        self.stats.allocations.incr();
+        let new_slot = Slot {
+            entry: PfEntry::new(line, owner),
+            last_touch: tick,
+            valid: true,
+        };
+
+        // Reuse an invalid slot if the set has one.
+        if let Some(slot) = self.sets[set_idx].iter_mut().find(|s| !s.valid) {
+            *slot = new_slot;
+            return None;
+        }
+        if self.sets[set_idx].len() < ways {
+            self.sets[set_idx].push(new_slot);
+            return None;
+        }
+
+        // Set full: evict a victim. The eviction costs an extra array read
+        // (victim read-out) plus the write of the replacement, which the
+        // energy model charges via `array_accesses`.
+        self.stats.array_accesses.incr();
+        let victim_idx = match self.replacement {
+            PfReplacement::Lru => self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, s)| (s.last_touch, *i))
+                .map(|(i, _)| i)
+                .expect("set is non-empty"),
+            PfReplacement::Random => {
+                // SplitMix64 hash of the allocation tick: deterministic
+                // across runs but uncorrelated with the access pattern.
+                let mut z = tick.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % self.sets[set_idx].len() as u64) as usize
+            }
+        };
+        let victim = self.sets[set_idx][victim_idx].entry;
+        self.sets[set_idx][victim_idx] = new_slot;
+        self.stats.evictions.incr();
+        Some(PfEviction { entry: victim })
+    }
+
+    /// Adds `core` to the sharer set of an existing entry; returns false if
+    /// no entry exists.
+    pub fn add_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        let set = self.set_index(line);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+            slot.entry.sharers.insert(core);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces the owner (and optionally collapses the sharer set to just
+    /// the new owner, as happens after a GetX).
+    pub fn set_owner(&mut self, line: LineAddr, owner: CoreId, exclusive: bool) -> bool {
+        let set = self.set_index(line);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+            slot.entry.owner = owner;
+            if exclusive {
+                slot.entry.sharers = SharerSet::only(owner);
+            } else {
+                slot.entry.sharers.insert(owner);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `core` from the sharer set of `line`'s entry; if the sharer
+    /// set becomes empty the entry is deallocated. Returns true if an entry
+    /// was deallocated.
+    ///
+    /// This implements the baseline's eviction-notification optimisation:
+    /// when a cache tells the directory it dropped its copy, the directory
+    /// can free the entry once no copies remain.
+    pub fn remove_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        let set = self.set_index(line);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+            slot.entry.sharers.remove(core);
+            self.stats.array_accesses.incr();
+            if slot.entry.sharers.is_empty() {
+                slot.valid = false;
+                self.stats.deallocations.incr();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Explicitly removes the entry for `line`, if present.
+    pub fn deallocate(&mut self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+            slot.valid = false;
+            self.stats.deallocations.incr();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid entries currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flat_map(|s| s.iter()).filter(|s| s.valid).count()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Activity statistics.
+    pub fn stats(&self) -> &PfStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProbeFilter {
+        // 2 sets x 2 ways, LRU so victim choices are easy to reason about.
+        let mut cfg = ProbeFilterConfig::new(4 * 64, 2);
+        cfg.replacement = allarm_types::config::PfReplacement::Lru;
+        ProbeFilter::new(&cfg)
+    }
+
+    /// A tiny filter with the default (pseudo-random) replacement.
+    fn tiny_random() -> ProbeFilter {
+        ProbeFilter::new(&ProbeFilterConfig::new(4 * 64, 2))
+    }
+
+    #[test]
+    fn allocate_then_lookup() {
+        let mut pf = tiny();
+        let line = LineAddr::new(3);
+        assert!(pf.lookup(line).is_none());
+        assert!(pf.allocate(line, CoreId::new(2)).is_none());
+        let entry = pf.lookup(line).unwrap();
+        assert_eq!(entry.owner, CoreId::new(2));
+        assert!(entry.sharers.contains(CoreId::new(2)));
+        assert_eq!(pf.stats().hits.get(), 1);
+        assert_eq!(pf.stats().misses.get(), 1);
+        assert_eq!(pf.stats().allocations.get(), 1);
+    }
+
+    #[test]
+    fn full_set_evicts_lru() {
+        let mut pf = tiny();
+        // Lines 0, 2, 4 map to set 0.
+        pf.allocate(LineAddr::new(0), CoreId::new(0));
+        pf.allocate(LineAddr::new(2), CoreId::new(0));
+        // Touch line 0 so line 2 is LRU.
+        pf.lookup(LineAddr::new(0));
+        let evicted = pf.allocate(LineAddr::new(4), CoreId::new(1)).unwrap();
+        assert_eq!(evicted.entry.line, LineAddr::new(2));
+        assert_eq!(pf.stats().evictions.get(), 1);
+        assert!(pf.peek(LineAddr::new(0)).is_some());
+        assert!(pf.peek(LineAddr::new(2)).is_none());
+    }
+
+    #[test]
+    fn reallocating_existing_line_does_not_evict() {
+        let mut pf = tiny();
+        pf.allocate(LineAddr::new(0), CoreId::new(0));
+        pf.allocate(LineAddr::new(2), CoreId::new(0));
+        assert!(pf.allocate(LineAddr::new(0), CoreId::new(5)).is_none());
+        // Owner is unchanged by a refresh.
+        assert_eq!(pf.peek(LineAddr::new(0)).unwrap().owner, CoreId::new(0));
+        assert_eq!(pf.stats().allocations.get(), 2);
+        assert_eq!(pf.stats().evictions.get(), 0);
+    }
+
+    #[test]
+    fn sharer_management() {
+        let mut pf = tiny();
+        let line = LineAddr::new(1);
+        pf.allocate(line, CoreId::new(0));
+        assert!(pf.add_sharer(line, CoreId::new(3)));
+        let entry = pf.peek(line).unwrap();
+        assert_eq!(entry.sharers.count(), 2);
+        // GetX by core 3: owner changes and sharers collapse.
+        assert!(pf.set_owner(line, CoreId::new(3), true));
+        let entry = pf.peek(line).unwrap();
+        assert_eq!(entry.owner, CoreId::new(3));
+        assert_eq!(entry.sharers.count(), 1);
+        assert!(!pf.add_sharer(LineAddr::new(999), CoreId::new(0)));
+        assert!(!pf.set_owner(LineAddr::new(999), CoreId::new(0), true));
+    }
+
+    #[test]
+    fn remove_sharer_deallocates_when_last_copy_gone() {
+        let mut pf = tiny();
+        let line = LineAddr::new(1);
+        pf.allocate(line, CoreId::new(0));
+        pf.add_sharer(line, CoreId::new(1));
+        assert!(!pf.remove_sharer(line, CoreId::new(0)));
+        assert!(pf.peek(line).is_some());
+        assert!(pf.remove_sharer(line, CoreId::new(1)));
+        assert!(pf.peek(line).is_none());
+        assert_eq!(pf.stats().deallocations.get(), 1);
+        assert_eq!(pf.occupancy(), 0);
+    }
+
+    #[test]
+    fn deallocated_slot_is_reused_without_eviction() {
+        let mut pf = tiny();
+        pf.allocate(LineAddr::new(0), CoreId::new(0));
+        pf.allocate(LineAddr::new(2), CoreId::new(0));
+        assert!(pf.deallocate(LineAddr::new(0)));
+        // Set 0 now has a free slot: allocating line 4 must not evict.
+        assert!(pf.allocate(LineAddr::new(4), CoreId::new(1)).is_none());
+        assert_eq!(pf.stats().evictions.get(), 0);
+        assert!(!pf.deallocate(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn occupancy_and_capacity() {
+        let mut pf = tiny();
+        assert_eq!(pf.capacity(), 4);
+        assert_eq!(pf.occupancy(), 0);
+        pf.allocate(LineAddr::new(0), CoreId::new(0));
+        pf.allocate(LineAddr::new(1), CoreId::new(0));
+        assert_eq!(pf.occupancy(), 2);
+        // Over-filling never exceeds capacity.
+        for i in 0..32u64 {
+            pf.allocate(LineAddr::new(i), CoreId::new(0));
+        }
+        assert_eq!(pf.occupancy(), 4);
+    }
+
+    #[test]
+    fn geometry_from_table1_config() {
+        let pf = ProbeFilter::new(&ProbeFilterConfig::new(512 * 1024, 8));
+        assert_eq!(pf.capacity(), 8192);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut pf = tiny();
+        pf.allocate(LineAddr::new(0), CoreId::new(0));
+        pf.lookup(LineAddr::new(0));
+        pf.lookup(LineAddr::new(1));
+        assert_eq!(pf.stats().lookups(), 2);
+        assert!((pf.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_and_evicts_some_resident_entry() {
+        let mut a = tiny_random();
+        let mut b = tiny_random();
+        for pf in [&mut a, &mut b] {
+            pf.allocate(LineAddr::new(0), CoreId::new(0));
+            pf.allocate(LineAddr::new(2), CoreId::new(0));
+        }
+        let va = a.allocate(LineAddr::new(4), CoreId::new(1)).unwrap();
+        let vb = b.allocate(LineAddr::new(4), CoreId::new(1)).unwrap();
+        assert_eq!(va, vb, "same history must evict the same victim");
+        assert!(va.entry.line == LineAddr::new(0) || va.entry.line == LineAddr::new(2));
+        assert!(a.peek(LineAddr::new(4)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_affect_stats() {
+        let mut pf = tiny();
+        pf.allocate(LineAddr::new(0), CoreId::new(0));
+        let before = *pf.stats();
+        pf.peek(LineAddr::new(0));
+        pf.peek(LineAddr::new(5));
+        assert_eq!(*pf.stats(), before);
+    }
+}

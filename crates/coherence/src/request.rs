@@ -1,0 +1,127 @@
+//! Coherence requests arriving at a home directory.
+
+use allarm_types::addr::LineAddr;
+use allarm_types::ids::{CoreId, NodeId};
+use std::fmt;
+
+/// The kind of coherence transaction a core issues when its private
+/// hierarchy cannot satisfy an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Read miss: fetch a readable copy (GetS).
+    GetS,
+    /// Write miss: fetch an exclusive, writable copy (GetX / read-for-
+    /// ownership).
+    GetX,
+    /// Write hit on a read-only copy: request ownership without data.
+    Upgrade,
+}
+
+impl RequestKind {
+    /// True if the transaction grants write permission.
+    pub fn is_write(self) -> bool {
+        matches!(self, RequestKind::GetX | RequestKind::Upgrade)
+    }
+
+    /// True if the requester needs the line's data delivered (an upgrade
+    /// already has the data).
+    pub fn needs_data(self) -> bool {
+        !matches!(self, RequestKind::Upgrade)
+    }
+
+    /// Short protocol mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::GetS => "GetS",
+            RequestKind::GetX => "GetX",
+            RequestKind::Upgrade => "Upg",
+        }
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A request delivered to the home directory of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceRequest {
+    /// The physical cache line being requested.
+    pub line: LineAddr,
+    /// The transaction kind.
+    pub kind: RequestKind,
+    /// The core issuing the request.
+    pub requester: CoreId,
+    /// The node the requesting core belongs to (its affinity domain).
+    pub requester_node: NodeId,
+}
+
+impl CoherenceRequest {
+    /// Creates a request.
+    pub fn new(line: LineAddr, kind: RequestKind, requester: CoreId, requester_node: NodeId) -> Self {
+        CoherenceRequest {
+            line,
+            kind,
+            requester,
+            requester_node,
+        }
+    }
+
+    /// True if the requester lives in the directory's own affinity domain.
+    pub fn is_local_to(&self, home: NodeId) -> bool {
+        self.requester_node == home
+    }
+}
+
+impl fmt::Display for CoherenceRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} from {} ({})",
+            self.kind, self.line, self.requester, self.requester_node
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_data_flags() {
+        assert!(!RequestKind::GetS.is_write());
+        assert!(RequestKind::GetX.is_write());
+        assert!(RequestKind::Upgrade.is_write());
+        assert!(RequestKind::GetS.needs_data());
+        assert!(RequestKind::GetX.needs_data());
+        assert!(!RequestKind::Upgrade.needs_data());
+    }
+
+    #[test]
+    fn locality_check() {
+        let req = CoherenceRequest::new(
+            LineAddr::new(10),
+            RequestKind::GetS,
+            CoreId::new(3),
+            NodeId::new(3),
+        );
+        assert!(req.is_local_to(NodeId::new(3)));
+        assert!(!req.is_local_to(NodeId::new(4)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let req = CoherenceRequest::new(
+            LineAddr::new(0xff),
+            RequestKind::GetX,
+            CoreId::new(1),
+            NodeId::new(1),
+        );
+        let text = req.to_string();
+        assert!(text.contains("GetX"));
+        assert!(text.contains("core1"));
+        assert_eq!(RequestKind::Upgrade.to_string(), "Upg");
+    }
+}

@@ -1,0 +1,182 @@
+//! Compact sharer sets for directory entries.
+
+use allarm_types::ids::CoreId;
+use std::fmt;
+
+/// A set of cores that may hold a copy of a line, stored as a 64-bit mask.
+///
+/// Sixty-four cores is ample for the paper's 16-core machine and for the
+/// scaled configurations the benchmarks sweep.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_coherence::SharerSet;
+/// use allarm_types::ids::CoreId;
+///
+/// let mut sharers = SharerSet::empty();
+/// sharers.insert(CoreId::new(3));
+/// sharers.insert(CoreId::new(7));
+/// assert_eq!(sharers.count(), 2);
+/// assert!(sharers.contains(CoreId::new(3)));
+/// sharers.remove(CoreId::new(3));
+/// assert_eq!(sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(7)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// Maximum number of cores representable.
+    pub const MAX_CORES: usize = 64;
+
+    /// The empty set.
+    pub const fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// A set containing a single core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is 64 or larger.
+    pub fn only(core: CoreId) -> Self {
+        let mut s = SharerSet::empty();
+        s.insert(core);
+        s
+    }
+
+    /// Adds a core to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is 64 or larger.
+    pub fn insert(&mut self, core: CoreId) {
+        assert!(
+            core.index() < Self::MAX_CORES,
+            "core index {} exceeds SharerSet capacity",
+            core.index()
+        );
+        self.0 |= 1 << core.index();
+    }
+
+    /// Removes a core from the set (no-op if absent).
+    pub fn remove(&mut self, core: CoreId) {
+        if core.index() < Self::MAX_CORES {
+            self.0 &= !(1 << core.index());
+        }
+    }
+
+    /// True if the core is in the set.
+    pub fn contains(&self, core: CoreId) -> bool {
+        core.index() < Self::MAX_CORES && (self.0 >> core.index()) & 1 == 1
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the cores in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        let bits = self.0;
+        (0..Self::MAX_CORES as u16).filter_map(move |i| {
+            if (bits >> i) & 1 == 1 {
+                Some(CoreId::new(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The raw bit mask.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for core in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", core.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<CoreId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut set = SharerSet::empty();
+        for core in iter {
+            set.insert(core);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId::new(0));
+        s.insert(CoreId::new(15));
+        assert!(s.contains(CoreId::new(0)));
+        assert!(s.contains(CoreId::new(15)));
+        assert!(!s.contains(CoreId::new(7)));
+        assert_eq!(s.count(), 2);
+        s.remove(CoreId::new(0));
+        assert!(!s.contains(CoreId::new(0)));
+        assert_eq!(s.count(), 1);
+        // Removing an absent core is a no-op.
+        s.remove(CoreId::new(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn only_creates_singleton() {
+        let s = SharerSet::only(CoreId::new(9));
+        assert_eq!(s.count(), 1);
+        assert!(s.contains(CoreId::new(9)));
+    }
+
+    #[test]
+    fn iter_ascending_order() {
+        let s: SharerSet = [CoreId::new(5), CoreId::new(1), CoreId::new(63)].into_iter().collect();
+        let cores: Vec<u16> = s.iter().map(|c| c.raw()).collect();
+        assert_eq!(cores, vec![1, 5, 63]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SharerSet capacity")]
+    fn oversized_core_panics() {
+        let mut s = SharerSet::empty();
+        s.insert(CoreId::new(64));
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s: SharerSet = [CoreId::new(2), CoreId::new(4)].into_iter().collect();
+        assert_eq!(s.to_string(), "{2,4}");
+        assert_eq!(SharerSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let s = SharerSet::only(CoreId::new(3));
+        assert_eq!(s.bits(), 0b1000);
+    }
+}

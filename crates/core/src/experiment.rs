@@ -1,0 +1,247 @@
+//! Experiment drivers: the runs behind every figure of the evaluation.
+
+use crate::metrics::{Comparison, SimReport};
+use crate::simulator::Simulator;
+use allarm_coherence::AllocationPolicy;
+use allarm_types::config::MachineConfig;
+use allarm_types::ids::CoreId;
+use allarm_workloads::{multiprocess_workload, Benchmark, TraceGenerator, Workload};
+
+/// Everything that defines an experiment apart from the benchmark itself:
+/// the machine, the number of threads, the trace length and the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// The simulated machine (Table I by default).
+    pub machine: MachineConfig,
+    /// Number of worker threads (16 in the paper's multi-threaded runs).
+    pub threads: usize,
+    /// Main-phase memory references per thread.
+    pub accesses_per_thread: usize,
+    /// Seed for workload generation.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The configuration used to regenerate the paper's figures: the Table I
+    /// machine with 16 threads. The trace length is chosen so each run
+    /// completes in seconds while giving every directory thousands of
+    /// requests (the per-benchmark ratios are stable well below this
+    /// length).
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            machine: MachineConfig::date2014(),
+            threads: 16,
+            accesses_per_thread: 250_000,
+            seed: 2014,
+        }
+    }
+
+    /// A scaled-down configuration for unit and integration tests: the 16
+    /// core machine but with short traces.
+    pub fn quick_test() -> Self {
+        ExperimentConfig {
+            machine: MachineConfig::date2014(),
+            threads: 16,
+            accesses_per_thread: 3_000,
+            seed: 2014,
+        }
+    }
+
+    /// Returns a copy with a different probe-filter coverage (per node).
+    pub fn with_pf_coverage(mut self, coverage_bytes: u64) -> Self {
+        self.machine = self.machine.with_probe_filter_coverage(coverage_bytes);
+        self
+    }
+
+    /// Returns a copy with a different trace length.
+    pub fn with_accesses_per_thread(mut self, accesses: usize) -> Self {
+        self.accesses_per_thread = accesses;
+        self
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper()
+    }
+}
+
+/// One point of a probe-filter-size sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Probe-filter coverage per node, in bytes.
+    pub pf_coverage_bytes: u64,
+    /// The baseline run at this size.
+    pub baseline: SimReport,
+    /// The ALLARM run at this size.
+    pub allarm: SimReport,
+}
+
+/// Runs an arbitrary workload under one policy.
+pub fn run_workload(
+    workload: &Workload,
+    policy: AllocationPolicy,
+    machine: MachineConfig,
+) -> SimReport {
+    Simulator::new(machine, policy).run(workload)
+}
+
+/// Runs a named benchmark under one policy with the given experiment
+/// configuration.
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    policy: AllocationPolicy,
+    cfg: &ExperimentConfig,
+) -> SimReport {
+    let workload =
+        TraceGenerator::new(cfg.threads, cfg.accesses_per_thread, cfg.seed).generate(benchmark);
+    run_workload(&workload, policy, cfg.machine)
+}
+
+/// Runs a benchmark under both policies on the same workload and machine
+/// (the comparison behind Fig. 3a–3g).
+pub fn compare_benchmark(benchmark: Benchmark, cfg: &ExperimentConfig) -> Comparison {
+    let workload =
+        TraceGenerator::new(cfg.threads, cfg.accesses_per_thread, cfg.seed).generate(benchmark);
+    let baseline = run_workload(&workload, AllocationPolicy::Baseline, cfg.machine);
+    let allarm = run_workload(&workload, AllocationPolicy::Allarm, cfg.machine);
+    Comparison::new(baseline, allarm)
+}
+
+/// Sweeps the probe-filter coverage for a multi-threaded benchmark (Fig. 3h).
+///
+/// Returns one [`SweepPoint`] per entry of `coverages_bytes`, in order.
+pub fn pf_size_sweep(
+    benchmark: Benchmark,
+    cfg: &ExperimentConfig,
+    coverages_bytes: &[u64],
+) -> Vec<SweepPoint> {
+    let workload =
+        TraceGenerator::new(cfg.threads, cfg.accesses_per_thread, cfg.seed).generate(benchmark);
+    coverages_bytes
+        .iter()
+        .map(|&coverage| {
+            let machine = cfg.machine.with_probe_filter_coverage(coverage);
+            SweepPoint {
+                pf_coverage_bytes: coverage,
+                baseline: run_workload(&workload, AllocationPolicy::Baseline, machine),
+                allarm: run_workload(&workload, AllocationPolicy::Allarm, machine),
+            }
+        })
+        .collect()
+}
+
+/// The cores the two processes of the multi-process experiment are pinned
+/// to: opposite quadrants of the 4x4 mesh.
+pub fn multiprocess_cores(machine: &MachineConfig) -> [CoreId; 2] {
+    [CoreId::new(0), CoreId::new((machine.num_cores / 2) as u16)]
+}
+
+/// Sweeps the probe-filter coverage for the two-process, single-threaded
+/// setup of Section III-B (Fig. 4).
+pub fn multiprocess_sweep(
+    benchmark: Benchmark,
+    cfg: &ExperimentConfig,
+    coverages_bytes: &[u64],
+) -> Vec<SweepPoint> {
+    let cores = multiprocess_cores(&cfg.machine);
+    let workload =
+        multiprocess_workload(benchmark, cfg.accesses_per_thread, cfg.seed, &cores);
+    coverages_bytes
+        .iter()
+        .map(|&coverage| {
+            let machine = cfg.machine.with_probe_filter_coverage(coverage);
+            SweepPoint {
+                pf_coverage_bytes: coverage,
+                baseline: run_workload(&workload, AllocationPolicy::Baseline, machine),
+                allarm: run_workload(&workload, AllocationPolicy::Allarm, machine),
+            }
+        })
+        .collect()
+}
+
+/// The probe-filter coverages of Fig. 3h (512 kB, 256 kB, 128 kB).
+pub const FIG3H_COVERAGES: [u64; 3] = [512 * 1024, 256 * 1024, 128 * 1024];
+
+/// The probe-filter coverages of Fig. 4 (512 kB down to 32 kB).
+pub const FIG4_COVERAGES: [u64; 5] = [
+    512 * 1024,
+    256 * 1024,
+    128 * 1024,
+    64 * 1024,
+    32 * 1024,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            machine: MachineConfig::date2014(),
+            threads: 16,
+            accesses_per_thread: 800,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_benchmark_produces_labelled_report() {
+        let report = run_benchmark(Benchmark::Barnes, AllocationPolicy::Allarm, &tiny_cfg());
+        assert_eq!(report.workload, "barnes");
+        assert_eq!(report.policy, "allarm");
+        assert_eq!(report.pf_coverage_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn compare_benchmark_pairs_the_policies() {
+        let cmp = compare_benchmark(Benchmark::Cholesky, &tiny_cfg());
+        assert_eq!(cmp.baseline.policy, "baseline");
+        assert_eq!(cmp.allarm.policy, "allarm");
+        assert_eq!(cmp.baseline.total_accesses, cmp.allarm.total_accesses);
+    }
+
+    #[test]
+    fn pf_sweep_covers_requested_sizes_in_order() {
+        let sizes = [256 * 1024, 128 * 1024];
+        let points = pf_size_sweep(Benchmark::Barnes, &tiny_cfg(), &sizes);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].pf_coverage_bytes, 256 * 1024);
+        assert_eq!(points[1].pf_coverage_bytes, 128 * 1024);
+        assert_eq!(points[0].baseline.pf_coverage_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn multiprocess_sweep_uses_two_processes() {
+        let points = multiprocess_sweep(Benchmark::Barnes, &tiny_cfg(), &[64 * 1024]);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].baseline.workload.ends_with("-2p"));
+        // Two single-threaded processes issue all requests; with first-touch
+        // placement nearly all of them are local.
+        assert!(points[0].baseline.local_fraction() > 0.9);
+    }
+
+    #[test]
+    fn multiprocess_cores_are_distinct_nodes() {
+        let cores = multiprocess_cores(&MachineConfig::date2014());
+        assert_ne!(cores[0], cores[1]);
+        assert_eq!(cores[1], CoreId::new(8));
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = ExperimentConfig::quick_test()
+            .with_pf_coverage(128 * 1024)
+            .with_accesses_per_thread(100);
+        assert_eq!(cfg.machine.probe_filter.coverage_bytes, 128 * 1024);
+        assert_eq!(cfg.accesses_per_thread, 100);
+        assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper());
+    }
+
+    #[test]
+    fn figure_coverage_constants_match_the_paper() {
+        assert_eq!(FIG3H_COVERAGES, [524288, 262144, 131072]);
+        assert_eq!(FIG4_COVERAGES.len(), 5);
+        assert_eq!(FIG4_COVERAGES[4], 32 * 1024);
+    }
+}

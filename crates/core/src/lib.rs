@@ -1,0 +1,54 @@
+//! Full-system NUMA coherence simulator and experiment runner for the
+//! ALLARM (DATE 2014) reproduction.
+//!
+//! This crate assembles the substrates — NUMA memory ([`allarm_mem`]),
+//! private cache hierarchies ([`allarm_cache`]), the mesh network
+//! ([`allarm_noc`]), the sparse-directory controllers with the baseline and
+//! ALLARM allocation policies ([`allarm_coherence`]) and the energy model
+//! ([`allarm_energy`]) — into a trace-driven simulator of the sixteen-node
+//! machine of Table I, and provides the experiment drivers that regenerate
+//! every figure of the paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use allarm_core::{ExperimentConfig, compare_benchmark};
+//! use allarm_workloads::Benchmark;
+//!
+//! // A scaled-down experiment that runs in well under a second.
+//! let cfg = ExperimentConfig::quick_test();
+//! let comparison = compare_benchmark(Benchmark::OceanContiguous, &cfg);
+//! // ALLARM never increases the number of probe-filter evictions.
+//! assert!(comparison.normalized_evictions() <= 1.0);
+//! ```
+//!
+//! The three layers of the public API, from lowest to highest:
+//!
+//! * [`Simulator`] — run one workload on one machine configuration with one
+//!   allocation policy and get a [`SimReport`] of every metric;
+//! * [`compare_benchmark`] / [`run_benchmark`] — run a named benchmark under
+//!   both policies and get a [`Comparison`];
+//! * [`pf_size_sweep`] / [`multiprocess_sweep`] — the probe-filter capacity
+//!   sweeps behind Fig. 3h and Fig. 4.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod simulator;
+pub mod system;
+
+pub use experiment::{
+    compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, run_workload,
+    ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES,
+};
+pub use metrics::{Comparison, SimReport};
+pub use simulator::Simulator;
+
+// Re-export the vocabulary types callers need to drive the API without
+// importing every substrate crate.
+pub use allarm_coherence::AllocationPolicy;
+pub use allarm_types::config::MachineConfig;
+pub use allarm_workloads::{Benchmark, Workload};

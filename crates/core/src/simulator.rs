@@ -1,0 +1,368 @@
+//! The trace-driven, cycle-approximate multicore simulator.
+
+use crate::metrics::SimReport;
+use crate::system::Machine;
+use allarm_cache::{AccessOutcome, CoherenceNeed};
+use allarm_coherence::{
+    AllocationPolicy, CoherenceRequest, DirectoryController, DirectoryStats, PfStats, RequestKind,
+};
+use allarm_energy::EnergyModel;
+use allarm_engine::CoreScheduler;
+use allarm_mem::{NumaAllocator, NumaPolicy};
+use allarm_types::config::MachineConfig;
+use allarm_types::ids::NodeId;
+use allarm_types::Nanos;
+use allarm_workloads::Workload;
+
+/// Time a directory controller is occupied by one coherence transaction
+/// (tag pipeline, protocol state machine and response scheduling), excluding
+/// the per-message work of probe-filter eviction processing which is charged
+/// separately.
+const DIRECTORY_SERVICE_TIME: Nanos = Nanos(12);
+
+/// A configured simulator, ready to replay one workload.
+///
+/// The simulation model: each thread's trace is replayed on its core; the
+/// scheduler always advances the core whose local clock is furthest behind,
+/// which approximates the interleaving of the real parallel execution. Every
+/// reference walks the private hierarchy; misses become coherence requests
+/// to the home directory of the line (determined by first-touch NUMA
+/// placement), which executes the full baseline or ALLARM protocol flow
+/// against the other cores' caches, the mesh and DRAM. The simulated
+/// execution time is the largest per-core accumulated latency.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_core::{Simulator, AllocationPolicy, MachineConfig};
+/// use allarm_workloads::{Benchmark, TraceGenerator};
+///
+/// let machine = MachineConfig::small_test();
+/// let workload = TraceGenerator::new(4, 500, 1).generate(Benchmark::Barnes);
+/// let report = Simulator::new(machine, AllocationPolicy::Allarm)
+///     .run(&workload);
+/// assert_eq!(report.total_accesses as usize, workload.total_accesses());
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: MachineConfig,
+    policy: AllocationPolicy,
+    numa_policy: NumaPolicy,
+    energy_model: EnergyModel,
+}
+
+impl Simulator {
+    /// Creates a simulator for `config` using `policy` at every directory.
+    pub fn new(config: MachineConfig, policy: AllocationPolicy) -> Self {
+        Simulator {
+            config,
+            policy,
+            numa_policy: NumaPolicy::FirstTouch,
+            energy_model: EnergyModel::mcpat_32nm(),
+        }
+    }
+
+    /// Overrides the NUMA page-placement policy (default: first-touch).
+    pub fn with_numa_policy(mut self, numa_policy: NumaPolicy) -> Self {
+        self.numa_policy = numa_policy;
+        self
+    }
+
+    /// Overrides the per-event energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// The machine configuration this simulator was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The allocation policy in force at every directory.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Replays `workload` and returns the full metric report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload needs more cores than the machine has, or if
+    /// the machine configuration is invalid.
+    pub fn run(&self, workload: &Workload) -> SimReport {
+        assert!(
+            workload.cores_required() <= self.config.num_cores as usize,
+            "workload needs {} cores but the machine has {}",
+            workload.cores_required(),
+            self.config.num_cores
+        );
+
+        let mut machine = Machine::new(&self.config);
+        let mut directories: Vec<DirectoryController> = (0..self.config.num_nodes() as u16)
+            .map(|n| DirectoryController::new(NodeId::new(n), &self.config.probe_filter, self.policy))
+            .collect();
+        let mut allocator = NumaAllocator::new(
+            self.config.num_nodes() as usize,
+            self.config.dram,
+            self.numa_policy,
+        );
+
+        let mut scheduler = CoreScheduler::new(workload.threads.len());
+        let mut cursors = vec![0usize; workload.threads.len()];
+        let mut total_accesses = 0u64;
+
+        // Directory-controller occupancy: each controller is a serial
+        // resource, so a request arriving while the controller is still
+        // working on earlier transactions (including the back-invalidation
+        // work caused by probe-filter evictions) queues behind them. This is
+        // where the baseline's extra directory activity turns into extra
+        // latency beyond the individual misses themselves.
+        let mut dir_busy_until = vec![Nanos::ZERO; self.config.num_nodes() as usize];
+
+        while let Some(slot) = scheduler.next_actor() {
+            let trace = &workload.threads[slot];
+            let Some(access) = trace.accesses.get(cursors[slot]) else {
+                scheduler.finish(slot);
+                continue;
+            };
+            cursors[slot] += 1;
+            total_accesses += 1;
+
+            let core = trace.core;
+            let node = machine.node_of(core);
+
+            // Virtual-to-physical translation; the first touch homes the
+            // page on this core's node (or spills if that node is full).
+            let frame = allocator.translate(access.vaddr, node);
+            let line = frame.line(access.vaddr);
+            let home = frame.home;
+
+            // Walk the private hierarchy.
+            let need = machine.caches(core).coherence_need(line, access.write);
+            let outcome = machine.caches_mut(core).access(line, access.write);
+            let mut latency = machine.l1_latency();
+            if outcome != AccessOutcome::L1Hit {
+                latency += machine.l2_latency();
+            }
+
+            if let Some(need) = need {
+                let kind = match need {
+                    CoherenceNeed::ReadMiss => RequestKind::GetS,
+                    CoherenceNeed::WriteMiss => RequestKind::GetX,
+                    CoherenceNeed::Upgrade => RequestKind::Upgrade,
+                };
+                let request = CoherenceRequest::new(line, kind, core, node);
+                let evictions_before =
+                    directories[home.index()].stats().pf_evictions.get();
+                let messages_before =
+                    directories[home.index()].stats().eviction_messages.get();
+                let response = directories[home.index()].handle_request(request, &mut machine);
+
+                // Queue behind whatever the home controller is still doing,
+                // then occupy it for this transaction's service time. The
+                // back-invalidation work of a probe-filter eviction keeps the
+                // controller busy for every message it has to send and
+                // collect, which is how eviction pressure degrades every
+                // later request to the same directory.
+                let arrival = scheduler.time_of(slot) + latency;
+                let queue_delay = dir_busy_until[home.index()].saturating_sub(arrival);
+                let eviction_work = Nanos::new(
+                    4 * (directories[home.index()].stats().eviction_messages.get()
+                        - messages_before),
+                ) + Nanos::new(
+                    8 * (directories[home.index()].stats().pf_evictions.get()
+                        - evictions_before),
+                );
+                let service = DIRECTORY_SERVICE_TIME + eviction_work;
+                dir_busy_until[home.index()] = arrival + queue_delay + service;
+
+                latency += queue_delay + response.latency;
+
+                if kind.needs_data() {
+                    machine.caches_mut(core).fill(line, response.fill_state);
+                } else {
+                    machine.caches_mut(core).grant_write(line);
+                }
+
+                // Lines displaced entirely out of this core's hierarchy:
+                // dirty (exclusively-owned) victims are written back, which
+                // also notifies the home directory and frees its entry — the
+                // baseline's eviction-notification optimisation. Clean
+                // victims are dropped silently, as in the deployed Hammer
+                // protocol, so their directory entries go stale until the
+                // probe filter's own replacement recycles them. That stale
+                // occupancy is precisely the pressure ALLARM removes for
+                // thread-local data.
+                for victim in machine.caches_mut(core).take_capacity_victims() {
+                    if victim.state.is_dirty() {
+                        let victim_home = allocator.home_of_line(victim.addr);
+                        directories[victim_home.index()].note_cache_eviction(
+                            victim.addr,
+                            core,
+                            true,
+                            &mut machine,
+                        );
+                    }
+                }
+            }
+
+            scheduler.advance(slot, latency);
+        }
+
+        self.build_report(workload, &machine, &directories, scheduler, total_accesses)
+    }
+
+    fn build_report(
+        &self,
+        workload: &Workload,
+        machine: &Machine,
+        directories: &[DirectoryController],
+        scheduler: CoreScheduler,
+        total_accesses: u64,
+    ) -> SimReport {
+        let mut dir_stats = DirectoryStats::default();
+        let mut pf_stats = PfStats::default();
+        for dir in directories {
+            dir_stats.merge(dir.stats());
+            let pf = dir.probe_filter().stats();
+            pf_stats.hits += pf.hits;
+            pf_stats.misses += pf.misses;
+            pf_stats.allocations += pf.allocations;
+            pf_stats.evictions += pf.evictions;
+            pf_stats.deallocations += pf.deallocations;
+            pf_stats.array_accesses += pf.array_accesses;
+        }
+
+        let mut l1_hits = 0u64;
+        let mut l2_hits = 0u64;
+        let mut l2_misses = 0u64;
+        for core in 0..machine.num_cores() {
+            let caches = machine.caches(allarm_types::ids::CoreId::new(core as u16));
+            l1_hits += caches.l1_stats().hits.get();
+            l2_hits += caches.l2_stats().hits.get();
+            l2_misses += caches.l2_stats().misses.get();
+        }
+
+        let noc = machine.network().stats();
+        let energy = self.energy_model.dynamic_energy(noc, &pf_stats);
+
+        SimReport {
+            workload: workload.name.clone(),
+            policy: self.policy.name().to_string(),
+            pf_coverage_bytes: self.config.probe_filter.coverage_bytes,
+            runtime: if scheduler.makespan() == Nanos::ZERO {
+                Nanos::new(1)
+            } else {
+                scheduler.makespan()
+            },
+            total_accesses,
+            l1_hits,
+            l2_hits,
+            l2_misses,
+            directory_requests: dir_stats.requests.get(),
+            local_requests: dir_stats.requests_local.get(),
+            remote_requests: dir_stats.requests_remote.get(),
+            pf_allocations: pf_stats.allocations.get(),
+            pf_evictions: pf_stats.evictions.get(),
+            eviction_messages: dir_stats.eviction_messages.get(),
+            eviction_invalidations: dir_stats.eviction_invalidations.get(),
+            allarm_allocation_skips: dir_stats.allarm_allocation_skips.get(),
+            noc_bytes: noc.total_bytes(),
+            noc_messages: noc.total_messages(),
+            dram_reads: machine.dram().total_reads(),
+            dram_writes: machine.dram().total_writes(),
+            local_probes: dir_stats.local_probes.get(),
+            local_probe_hits: dir_stats.local_probe_hits.get(),
+            local_probes_hidden: dir_stats.local_probes_hidden.get(),
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allarm_workloads::{Benchmark, TraceGenerator};
+
+    fn small_workload() -> Workload {
+        TraceGenerator::new(4, 1_500, 7).generate(Benchmark::Barnes)
+    }
+
+    #[test]
+    fn replays_every_access() {
+        let workload = small_workload();
+        let report = Simulator::new(MachineConfig::small_test(), AllocationPolicy::Baseline)
+            .run(&workload);
+        assert_eq!(report.total_accesses as usize, workload.total_accesses());
+        assert_eq!(
+            report.l1_hits + report.l2_hits + report.l2_misses,
+            report.total_accesses
+        );
+        assert!(report.runtime > Nanos::ZERO);
+    }
+
+    #[test]
+    fn directory_requests_equal_misses_plus_upgrades() {
+        let workload = small_workload();
+        let report = Simulator::new(MachineConfig::small_test(), AllocationPolicy::Baseline)
+            .run(&workload);
+        assert!(report.directory_requests >= report.l2_misses);
+        assert_eq!(
+            report.directory_requests,
+            report.local_requests + report.remote_requests
+        );
+    }
+
+    #[test]
+    fn allarm_skips_allocations_and_reduces_evictions() {
+        let workload = small_workload();
+        let machine = MachineConfig::small_test();
+        let baseline = Simulator::new(machine, AllocationPolicy::Baseline).run(&workload);
+        let allarm = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
+        assert_eq!(baseline.allarm_allocation_skips, 0);
+        assert!(allarm.allarm_allocation_skips > 0);
+        assert!(allarm.pf_allocations < baseline.pf_allocations);
+        assert!(allarm.pf_evictions <= baseline.pf_evictions);
+        // Baseline never probes the local core; ALLARM does so on remote
+        // misses only.
+        assert_eq!(baseline.local_probes, 0);
+        assert!(allarm.local_probes > 0);
+        assert!(allarm.local_probes_hidden <= allarm.local_probes);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let workload = small_workload();
+        let machine = MachineConfig::small_test();
+        let a = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
+        let b = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn policy_and_config_accessors() {
+        let sim = Simulator::new(MachineConfig::small_test(), AllocationPolicy::Allarm);
+        assert_eq!(sim.policy(), AllocationPolicy::Allarm);
+        assert_eq!(sim.config().num_cores, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn oversized_workload_is_rejected() {
+        let workload = TraceGenerator::new(8, 10, 1).generate(Benchmark::Barnes);
+        Simulator::new(MachineConfig::small_test(), AllocationPolicy::Baseline).run(&workload);
+    }
+
+    #[test]
+    fn numa_policy_override_changes_homing() {
+        let workload = small_workload();
+        let machine = MachineConfig::small_test();
+        let first_touch = Simulator::new(machine, AllocationPolicy::Baseline).run(&workload);
+        let interleaved = Simulator::new(machine, AllocationPolicy::Baseline)
+            .with_numa_policy(NumaPolicy::Interleaved)
+            .run(&workload);
+        // Interleaving destroys locality: the local fraction drops.
+        assert!(interleaved.local_fraction() < first_touch.local_fraction());
+    }
+}

@@ -1,0 +1,192 @@
+//! The assembled machine: caches, network, DRAM and the address map.
+//!
+//! [`Machine`] owns every hardware component *except* the directory
+//! controllers, and implements [`SystemAccess`] so the controllers (held
+//! separately by the [`crate::Simulator`]) can probe caches, send messages
+//! and touch DRAM without borrow conflicts.
+
+use allarm_cache::{CoreCaches, ProbeOutcome};
+use allarm_coherence::SystemAccess;
+use allarm_mem::DramModel;
+use allarm_noc::{MessageClass, Network};
+use allarm_types::addr::LineAddr;
+use allarm_types::config::MachineConfig;
+use allarm_types::ids::{CoreId, NodeId};
+use allarm_types::Nanos;
+
+/// Every per-core and per-node hardware component other than the directory
+/// controllers.
+#[derive(Debug)]
+pub struct Machine {
+    caches: Vec<CoreCaches>,
+    network: Network,
+    dram: DramModel,
+    cache_latency: Nanos,
+    l2_latency: Nanos,
+}
+
+impl Machine {
+    /// Builds the machine described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation; validate explicitly
+    /// with [`MachineConfig::validate`] to get an error instead.
+    pub fn new(config: &MachineConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
+        Machine {
+            caches: (0..config.num_cores)
+                .map(|_| CoreCaches::new(&config.l1d, &config.l2))
+                .collect(),
+            network: Network::new(config.noc),
+            dram: DramModel::new(config.num_nodes() as usize, config.dram),
+            cache_latency: config.l1d.access_latency,
+            l2_latency: config.l2.access_latency,
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Immutable access to a core's private hierarchy.
+    pub fn caches(&self, core: CoreId) -> &CoreCaches {
+        &self.caches[core.index()]
+    }
+
+    /// Mutable access to a core's private hierarchy.
+    pub fn caches_mut(&mut self, core: CoreId) -> &mut CoreCaches {
+        &mut self.caches[core.index()]
+    }
+
+    /// The on-chip network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The DRAM model.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// L1 access latency.
+    pub fn l1_latency(&self) -> Nanos {
+        self.cache_latency
+    }
+
+    /// L2 access latency.
+    pub fn l2_latency(&self) -> Nanos {
+        self.l2_latency
+    }
+
+    /// The affinity domain of a core. With one core per node (the paper's
+    /// configuration) this is the identity mapping.
+    pub fn node_of(&self, core: CoreId) -> NodeId {
+        NodeId::new(core.raw())
+    }
+
+    /// The single local core of a node (the inverse of [`Machine::node_of`]).
+    pub fn core_of(&self, node: NodeId) -> CoreId {
+        CoreId::new(node.raw())
+    }
+}
+
+impl SystemAccess for Machine {
+    fn probe_cache(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        downgrade: bool,
+        invalidate: bool,
+    ) -> ProbeOutcome {
+        self.caches[core.index()].probe(line, downgrade, invalidate)
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, class: MessageClass) -> Nanos {
+        self.network.send(src, dst, class)
+    }
+
+    fn message_latency(&self, src: NodeId, dst: NodeId, class: MessageClass) -> Nanos {
+        self.network.latency(src, dst, class)
+    }
+
+    fn dram_read(&mut self, node: NodeId) -> Nanos {
+        self.dram.read(node)
+    }
+
+    fn dram_write(&mut self, node: NodeId) -> Nanos {
+        self.dram.write(node)
+    }
+
+    fn node_of_core(&self, core: CoreId) -> NodeId {
+        self.node_of(core)
+    }
+
+    fn local_core_of(&self, node: NodeId) -> CoreId {
+        self.core_of(node)
+    }
+
+    fn num_cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    fn cache_access_latency(&self) -> Nanos {
+        self.cache_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allarm_cache::CoherenceState;
+
+    #[test]
+    fn builds_the_table1_machine() {
+        let machine = Machine::new(&MachineConfig::date2014());
+        assert_eq!(machine.num_cores(), 16);
+        assert_eq!(machine.l1_latency(), Nanos::new(1));
+        assert_eq!(machine.network().topology().num_nodes(), 16);
+    }
+
+    #[test]
+    fn core_node_mapping_is_identity() {
+        let machine = Machine::new(&MachineConfig::small_test());
+        for i in 0..4u16 {
+            assert_eq!(machine.node_of(CoreId::new(i)), NodeId::new(i));
+            assert_eq!(machine.core_of(NodeId::new(i)), CoreId::new(i));
+            assert_eq!(machine.node_of_core(CoreId::new(i)), NodeId::new(i));
+            assert_eq!(machine.local_core_of(NodeId::new(i)), CoreId::new(i));
+        }
+    }
+
+    #[test]
+    fn system_access_reaches_caches_network_and_dram() {
+        let mut machine = Machine::new(&MachineConfig::small_test());
+        let line = LineAddr::new(99);
+        assert_eq!(machine.probe_cache(CoreId::new(1), line, false, false), ProbeOutcome::Miss);
+        machine.caches_mut(CoreId::new(1)).fill(line, CoherenceState::Shared);
+        assert!(matches!(
+            machine.probe_cache(CoreId::new(1), line, false, false),
+            ProbeOutcome::Hit { .. }
+        ));
+        let lat = machine.send(NodeId::new(0), NodeId::new(3), MessageClass::Request);
+        assert!(lat > Nanos::ZERO);
+        assert_eq!(machine.dram_read(NodeId::new(0)), Nanos::new(60));
+        assert_eq!(machine.dram_write(NodeId::new(2)), Nanos::new(60));
+        assert_eq!(machine.dram().total_accesses(), 2);
+        assert_eq!(machine.network().stats().total_messages(), 1);
+        assert_eq!(machine.cache_access_latency(), Nanos::new(1));
+        assert_eq!(SystemAccess::num_cores(&machine), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn invalid_configuration_panics() {
+        let mut cfg = MachineConfig::date2014();
+        cfg.num_cores = 3;
+        Machine::new(&cfg);
+    }
+}

@@ -1,0 +1,137 @@
+//! Probe-filter area model.
+//!
+//! The paper's area table (Section III-A5) reports the silicon area of probe
+//! filters from 512 kB down to 32 kB, estimated with McPAT:
+//!
+//! | PF configuration | 512 kB | 256 kB | 128 kB | 64 kB | 32 kB |
+//! |---|---|---|---|---|---|
+//! | Area (mm²) | 70.89 | 26.95 | 19.90 | 8.20 | 5.93 |
+//!
+//! This module reproduces that table exactly at the published points and
+//! interpolates log-linearly between them so sweeps at other capacities get
+//! sensible values.
+
+/// The published (capacity in bytes, area in mm²) points from the paper.
+pub const PAPER_AREA_POINTS: [(u64, f64); 5] = [
+    (32 * 1024, 5.93),
+    (64 * 1024, 8.20),
+    (128 * 1024, 19.90),
+    (256 * 1024, 26.95),
+    (512 * 1024, 70.89),
+];
+
+/// Estimated probe-filter area in mm² for a filter tracking
+/// `coverage_bytes` of cached data.
+///
+/// Published capacities return the paper's numbers exactly; other
+/// capacities are interpolated (or extrapolated) log-linearly in capacity.
+///
+/// # Panics
+///
+/// Panics if `coverage_bytes` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_energy::probe_filter_area_mm2;
+/// assert_eq!(probe_filter_area_mm2(512 * 1024), 70.89);
+/// assert_eq!(probe_filter_area_mm2(32 * 1024), 5.93);
+/// let mid = probe_filter_area_mm2(96 * 1024);
+/// assert!(mid > 8.20 && mid < 19.90);
+/// ```
+pub fn probe_filter_area_mm2(coverage_bytes: u64) -> f64 {
+    assert!(coverage_bytes > 0, "probe filter capacity must be non-zero");
+    let points = &PAPER_AREA_POINTS;
+
+    // Exact published point?
+    if let Some((_, area)) = points.iter().find(|(cap, _)| *cap == coverage_bytes) {
+        return *area;
+    }
+
+    let x = (coverage_bytes as f64).ln();
+    // Below the smallest or above the largest point: extrapolate from the
+    // nearest segment.
+    let segment = if coverage_bytes <= points[0].0 {
+        (points[0], points[1])
+    } else if coverage_bytes >= points[points.len() - 1].0 {
+        (points[points.len() - 2], points[points.len() - 1])
+    } else {
+        let upper = points
+            .iter()
+            .position(|(cap, _)| *cap > coverage_bytes)
+            .expect("capacity is within the table range");
+        (points[upper - 1], points[upper])
+    };
+    let ((c0, a0), (c1, a1)) = segment;
+    let x0 = (c0 as f64).ln();
+    let x1 = (c1 as f64).ln();
+    let t = (x - x0) / (x1 - x0);
+    a0 + t * (a1 - a0)
+}
+
+/// The area saved by shrinking the probe filter from `from_bytes` to
+/// `to_bytes` (positive when shrinking), in mm². This is the SRAM the paper
+/// notes can be returned to the last-level cache.
+pub fn area_saving_mm2(from_bytes: u64, to_bytes: u64) -> f64 {
+    probe_filter_area_mm2(from_bytes) - probe_filter_area_mm2(to_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_points_are_exact() {
+        for (cap, area) in PAPER_AREA_POINTS {
+            assert_eq!(probe_filter_area_mm2(cap), area);
+        }
+    }
+
+    #[test]
+    fn area_is_monotonic_in_capacity() {
+        let caps = [
+            16 * 1024,
+            32 * 1024,
+            48 * 1024,
+            64 * 1024,
+            96 * 1024,
+            128 * 1024,
+            192 * 1024,
+            256 * 1024,
+            384 * 1024,
+            512 * 1024,
+            1024 * 1024,
+        ];
+        let areas: Vec<f64> = caps.iter().map(|c| probe_filter_area_mm2(*c)).collect();
+        for pair in areas.windows(2) {
+            assert!(pair[1] > pair[0], "area must grow with capacity: {areas:?}");
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_between_neighbours() {
+        let mid = probe_filter_area_mm2(192 * 1024);
+        assert!(mid > 19.90 && mid < 26.95);
+    }
+
+    #[test]
+    fn extrapolation_beyond_table_is_finite_and_positive() {
+        let big = probe_filter_area_mm2(2 * 1024 * 1024);
+        assert!(big.is_finite() && big > 70.89);
+        let small = probe_filter_area_mm2(8 * 1024);
+        assert!(small.is_finite() && small > 0.0);
+    }
+
+    #[test]
+    fn savings_match_table_differences() {
+        let saving = area_saving_mm2(512 * 1024, 128 * 1024);
+        assert!((saving - (70.89 - 19.90)).abs() < 1e-9);
+        assert!(area_saving_mm2(128 * 1024, 512 * 1024) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        probe_filter_area_mm2(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic time-ordered event queue.
+
+use allarm_types::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulated time, carrying an arbitrary payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<T> {
+    /// Simulated time at which the event fires.
+    pub time: Nanos,
+    /// Monotonic sequence number assigned at insertion; used to break ties so
+    /// that equal-time events pop in insertion order.
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+/// Internal heap entry: a min-heap by (time, sequence) implemented on top of
+/// `BinaryHeap`'s max-heap by reversing the ordering.
+#[derive(Debug)]
+struct HeapEntry<T>(ScheduledEvent<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.sequence == other.0.sequence
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the entry with the smallest (time, sequence) is the
+        // "greatest" so that BinaryHeap::pop returns it first.
+        other
+            .0
+            .time
+            .cmp(&self.0.time)
+            .then_with(|| other.0.sequence.cmp(&self.0.sequence))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events with equal timestamps are returned in insertion order, which makes
+/// simulations that use the queue bit-for-bit reproducible across runs.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_engine::EventQueue;
+/// use allarm_types::Nanos;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Nanos::new(10), 'x');
+/// q.push(Nanos::new(10), 'y');
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop().map(|e| e.payload), Some('x'));
+/// assert_eq!(q.pop().map(|e| e.payload), Some('y'));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_sequence: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Schedules `payload` at simulated time `time`.
+    pub fn push(&mut self, time: Nanos, payload: T) {
+        let event = ScheduledEvent {
+            time,
+            sequence: self.next_sequence,
+            payload,
+        };
+        self.next_sequence += 1;
+        self.heap.push(HeapEntry(event));
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Ties are broken by insertion order.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop().map(|entry| entry.0)
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|entry| entry.0.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::new(30), 3);
+        q.push(Nanos::new(10), 1);
+        q.push(Nanos::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Nanos::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<i32> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn peek_time_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Nanos::new(42), "e");
+        assert_eq!(q.peek_time(), Some(Nanos::new(42)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::new(1), ());
+        q.push(Nanos::new(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_across_interleaved_ops() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::new(5), 'a');
+        let a = q.pop().unwrap();
+        q.push(Nanos::new(5), 'b');
+        let b = q.pop().unwrap();
+        assert!(b.sequence > a.sequence);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Multi-actor time scheduling.
+//!
+//! The trace-driven simulator advances one core at a time, always picking the
+//! core whose local clock is furthest behind (a conservative interleaving
+//! that approximates the parallel execution of the real machine). The
+//! [`CoreScheduler`] encapsulates that selection so the simulator's main loop
+//! stays simple, and also tracks the global "makespan" (the maximum local
+//! clock), which is the figure-of-merit the paper's speedup numbers use.
+
+use allarm_types::Nanos;
+
+/// Per-actor local clocks with "advance the laggard" selection.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_engine::CoreScheduler;
+/// use allarm_types::Nanos;
+///
+/// let mut sched = CoreScheduler::new(2);
+/// // Both cores start at time 0; core 0 wins ties.
+/// assert_eq!(sched.next_actor(), Some(0));
+/// sched.advance(0, Nanos::new(100));
+/// // Now core 1 is behind.
+/// assert_eq!(sched.next_actor(), Some(1));
+/// sched.finish(1);
+/// // Only core 0 remains runnable.
+/// assert_eq!(sched.next_actor(), Some(0));
+/// sched.finish(0);
+/// assert_eq!(sched.next_actor(), None);
+/// assert_eq!(sched.makespan(), Nanos::new(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreScheduler {
+    clocks: Vec<Nanos>,
+    finished: Vec<bool>,
+}
+
+impl CoreScheduler {
+    /// Creates a scheduler for `num_actors` actors, all starting at time zero.
+    pub fn new(num_actors: usize) -> Self {
+        CoreScheduler {
+            clocks: vec![Nanos::ZERO; num_actors],
+            finished: vec![false; num_actors],
+        }
+    }
+
+    /// Number of actors managed by the scheduler.
+    pub fn num_actors(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns the index of the unfinished actor with the smallest local
+    /// clock (ties broken by lowest index), or `None` if every actor has
+    /// finished.
+    pub fn next_actor(&self) -> Option<usize> {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.finished[*i])
+            .min_by_key(|(i, t)| (**t, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Advances actor `actor`'s local clock by `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is out of range.
+    pub fn advance(&mut self, actor: usize, delta: Nanos) {
+        self.clocks[actor] += delta;
+    }
+
+    /// Returns actor `actor`'s local clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is out of range.
+    pub fn time_of(&self, actor: usize) -> Nanos {
+        self.clocks[actor]
+    }
+
+    /// Marks actor `actor` as finished; it will no longer be returned by
+    /// [`CoreScheduler::next_actor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is out of range.
+    pub fn finish(&mut self, actor: usize) {
+        self.finished[actor] = true;
+    }
+
+    /// True if actor `actor` has been marked finished.
+    pub fn is_finished(&self, actor: usize) -> bool {
+        self.finished[actor]
+    }
+
+    /// True once every actor has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished.iter().all(|f| *f)
+    }
+
+    /// The largest local clock across all actors: the simulated wall-clock
+    /// time at which the last actor finished its work.
+    pub fn makespan(&self) -> Nanos {
+        self.clocks.iter().copied().max().unwrap_or(Nanos::ZERO)
+    }
+
+    /// Per-actor local clocks, indexed by actor.
+    pub fn clocks(&self) -> &[Nanos] {
+        &self.clocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_actor_picks_smallest_clock() {
+        let mut s = CoreScheduler::new(3);
+        s.advance(0, Nanos::new(50));
+        s.advance(1, Nanos::new(20));
+        s.advance(2, Nanos::new(90));
+        assert_eq!(s.next_actor(), Some(1));
+    }
+
+    #[test]
+    fn ties_break_toward_lowest_index() {
+        let s = CoreScheduler::new(4);
+        assert_eq!(s.next_actor(), Some(0));
+    }
+
+    #[test]
+    fn finished_actors_are_skipped() {
+        let mut s = CoreScheduler::new(2);
+        s.finish(0);
+        assert_eq!(s.next_actor(), Some(1));
+        assert!(!s.all_finished());
+        s.finish(1);
+        assert_eq!(s.next_actor(), None);
+        assert!(s.all_finished());
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let mut s = CoreScheduler::new(3);
+        s.advance(0, Nanos::new(10));
+        s.advance(1, Nanos::new(300));
+        s.advance(2, Nanos::new(200));
+        assert_eq!(s.makespan(), Nanos::new(300));
+    }
+
+    #[test]
+    fn empty_scheduler_behaves() {
+        let s = CoreScheduler::new(0);
+        assert_eq!(s.next_actor(), None);
+        assert!(s.all_finished());
+        assert_eq!(s.makespan(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut s = CoreScheduler::new(1);
+        s.advance(0, Nanos::new(5));
+        s.advance(0, Nanos::new(7));
+        assert_eq!(s.time_of(0), Nanos::new(12));
+        assert_eq!(s.clocks(), &[Nanos::new(12)]);
+    }
+
+    #[test]
+    fn is_finished_reports_state() {
+        let mut s = CoreScheduler::new(2);
+        assert!(!s.is_finished(1));
+        s.finish(1);
+        assert!(s.is_finished(1));
+        assert_eq!(s.num_actors(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-node DRAM timing and access accounting.
+
+use allarm_types::config::DramConfig;
+use allarm_types::ids::NodeId;
+use allarm_types::stats::Counter;
+use allarm_types::Nanos;
+
+/// Access counters for one node's DRAM slice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Number of line reads served by this node's DRAM.
+    pub reads: Counter,
+    /// Number of line writebacks absorbed by this node's DRAM.
+    pub writes: Counter,
+}
+
+impl DramStats {
+    /// Total number of DRAM accesses.
+    pub fn total(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+}
+
+/// Timing and accounting model for the per-node DRAM slices.
+///
+/// The model is deliberately simple — a fixed access latency per request, as
+/// in Table I — because the paper's mechanism depends only on DRAM being
+/// much slower than the on-die probe of the local cache (60 ns vs ~1 ns),
+/// not on detailed DRAM behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_mem::DramModel;
+/// use allarm_types::{config::DramConfig, ids::NodeId, Nanos};
+///
+/// let mut dram = DramModel::new(2, DramConfig::new(1 << 20, 60));
+/// assert_eq!(dram.read(NodeId::new(0)), Nanos::new(60));
+/// assert_eq!(dram.stats(NodeId::new(0)).reads.get(), 1);
+/// assert_eq!(dram.total_accesses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    config: DramConfig,
+    per_node: Vec<DramStats>,
+}
+
+impl DramModel {
+    /// Creates a DRAM model with one slice per node.
+    pub fn new(num_nodes: usize, config: DramConfig) -> Self {
+        DramModel {
+            config,
+            per_node: vec![DramStats::default(); num_nodes],
+        }
+    }
+
+    /// The configuration the model was built from.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Performs a line read at `node`'s DRAM, returning its latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn read(&mut self, node: NodeId) -> Nanos {
+        self.per_node[node.index()].reads.incr();
+        self.config.access_latency
+    }
+
+    /// Absorbs a line writeback at `node`'s DRAM, returning its latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn write(&mut self, node: NodeId) -> Nanos {
+        self.per_node[node.index()].writes.incr();
+        self.config.access_latency
+    }
+
+    /// The access latency charged per request.
+    pub fn access_latency(&self) -> Nanos {
+        self.config.access_latency
+    }
+
+    /// Per-node statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn stats(&self, node: NodeId) -> &DramStats {
+        &self.per_node[node.index()]
+    }
+
+    /// Sum of reads and writes across every node.
+    pub fn total_accesses(&self) -> u64 {
+        self.per_node.iter().map(|s| s.total()).sum()
+    }
+
+    /// Total number of reads across every node.
+    pub fn total_reads(&self) -> u64 {
+        self.per_node.iter().map(|s| s.reads.get()).sum()
+    }
+
+    /// Total number of writebacks across every node.
+    pub fn total_writes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.writes.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(4, DramConfig::new(1 << 20, 60))
+    }
+
+    #[test]
+    fn read_and_write_charge_configured_latency() {
+        let mut dram = model();
+        assert_eq!(dram.read(NodeId::new(1)), Nanos::new(60));
+        assert_eq!(dram.write(NodeId::new(1)), Nanos::new(60));
+        assert_eq!(dram.access_latency(), Nanos::new(60));
+    }
+
+    #[test]
+    fn stats_are_per_node() {
+        let mut dram = model();
+        dram.read(NodeId::new(0));
+        dram.read(NodeId::new(0));
+        dram.write(NodeId::new(3));
+        assert_eq!(dram.stats(NodeId::new(0)).reads.get(), 2);
+        assert_eq!(dram.stats(NodeId::new(0)).writes.get(), 0);
+        assert_eq!(dram.stats(NodeId::new(3)).writes.get(), 1);
+        assert_eq!(dram.stats(NodeId::new(1)).total(), 0);
+    }
+
+    #[test]
+    fn totals_aggregate_all_nodes() {
+        let mut dram = model();
+        dram.read(NodeId::new(0));
+        dram.read(NodeId::new(1));
+        dram.write(NodeId::new(2));
+        assert_eq!(dram.total_reads(), 2);
+        assert_eq!(dram.total_writes(), 1);
+        assert_eq!(dram.total_accesses(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let mut dram = model();
+        dram.read(NodeId::new(9));
+    }
+
+    #[test]
+    fn config_accessor_returns_configuration() {
+        let dram = model();
+        assert_eq!(dram.config().access_latency, Nanos::new(60));
+    }
+}

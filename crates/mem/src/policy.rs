@@ -1,0 +1,64 @@
+//! NUMA page-placement policies.
+
+use allarm_types::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Policy deciding which node a freshly-touched virtual page is homed on.
+///
+/// The paper's argument rests on the Linux default, [`NumaPolicy::FirstTouch`]:
+/// thread-local data is allocated on the toucher's node, so requests arriving
+/// at a directory from its local core are overwhelmingly to private data.
+/// The other policies exist for sensitivity experiments:
+///
+/// * [`NumaPolicy::NextTouch`] re-homes a page on its *second* toucher, the
+///   common fix for "initialised by thread 0, used by thread i" patterns the
+///   paper mentions in Section II.
+/// * [`NumaPolicy::Interleaved`] round-robins pages across nodes, destroying
+///   locality — a worst case for ALLARM.
+/// * [`NumaPolicy::Fixed`] homes every page on one node, modelling a
+///   badly-configured system where one memory controller serves everyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NumaPolicy {
+    /// Home a page on the node of the first core that touches it (Linux
+    /// default; the policy ALLARM is designed around).
+    #[default]
+    FirstTouch,
+    /// Home a page on the node of the *second* core that touches it; the
+    /// first touch (typically an initialising thread) only records a
+    /// provisional mapping.
+    NextTouch,
+    /// Round-robin pages across all nodes regardless of who touches them.
+    Interleaved,
+    /// Home every page on the given node.
+    Fixed(NodeId),
+}
+
+impl NumaPolicy {
+    /// Human-readable policy name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NumaPolicy::FirstTouch => "first-touch",
+            NumaPolicy::NextTouch => "next-touch",
+            NumaPolicy::Interleaved => "interleaved",
+            NumaPolicy::Fixed(_) => "fixed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_first_touch() {
+        assert_eq!(NumaPolicy::default(), NumaPolicy::FirstTouch);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(NumaPolicy::FirstTouch.name(), "first-touch");
+        assert_eq!(NumaPolicy::NextTouch.name(), "next-touch");
+        assert_eq!(NumaPolicy::Interleaved.name(), "interleaved");
+        assert_eq!(NumaPolicy::Fixed(NodeId::new(3)).name(), "fixed");
+    }
+}

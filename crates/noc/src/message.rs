@@ -1,0 +1,131 @@
+//! Coherence message classes carried by the on-chip network.
+
+use std::fmt;
+
+/// The class of a coherence message, which determines its size on the wire
+/// and lets the traffic statistics be broken down by purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageClass {
+    /// A request from a core to a home directory (GetS / GetX / upgrade).
+    Request,
+    /// A directory probe asking a cache for the state of a line (including
+    /// the extra ALLARM local-probe message type).
+    Probe,
+    /// A cache's response to a probe that carries no data (miss or clean).
+    ProbeAck,
+    /// A cache's response to a probe that carries the line (dirty data or a
+    /// cache-to-cache transfer).
+    ProbeData,
+    /// A directory-initiated invalidation (probe-filter eviction
+    /// back-invalidate, or an ownership invalidation on GetX).
+    Invalidate,
+    /// Acknowledgement of an invalidation.
+    InvalidateAck,
+    /// A data message from DRAM/directory to the requesting core.
+    Data,
+    /// A dirty-line writeback (cache eviction or flush) to the home memory
+    /// controller.
+    WriteBack,
+    /// Notification that a clean exclusively-owned block was dropped (the
+    /// baseline's eviction notification, Table I discussion in Section III).
+    EvictNotify,
+}
+
+impl MessageClass {
+    /// All message classes, in a stable order (useful for reports).
+    pub const ALL: [MessageClass; 9] = [
+        MessageClass::Request,
+        MessageClass::Probe,
+        MessageClass::ProbeAck,
+        MessageClass::ProbeData,
+        MessageClass::Invalidate,
+        MessageClass::InvalidateAck,
+        MessageClass::Data,
+        MessageClass::WriteBack,
+        MessageClass::EvictNotify,
+    ];
+
+    /// True if the message carries a full cache line and therefore uses the
+    /// data-message size (72 bytes in Table I); control messages use 8 bytes.
+    pub fn carries_data(self) -> bool {
+        matches!(
+            self,
+            MessageClass::Data | MessageClass::WriteBack | MessageClass::ProbeData
+        )
+    }
+
+    /// A stable index for array-backed per-class counters.
+    pub fn index(self) -> usize {
+        match self {
+            MessageClass::Request => 0,
+            MessageClass::Probe => 1,
+            MessageClass::ProbeAck => 2,
+            MessageClass::ProbeData => 3,
+            MessageClass::Invalidate => 4,
+            MessageClass::InvalidateAck => 5,
+            MessageClass::Data => 6,
+            MessageClass::WriteBack => 7,
+            MessageClass::EvictNotify => 8,
+        }
+    }
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageClass::Request => "request",
+            MessageClass::Probe => "probe",
+            MessageClass::ProbeAck => "probe-ack",
+            MessageClass::ProbeData => "probe-data",
+            MessageClass::Invalidate => "invalidate",
+            MessageClass::InvalidateAck => "invalidate-ack",
+            MessageClass::Data => "data",
+            MessageClass::WriteBack => "writeback",
+            MessageClass::EvictNotify => "evict-notify",
+        }
+    }
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn data_carrying_classes() {
+        assert!(MessageClass::Data.carries_data());
+        assert!(MessageClass::WriteBack.carries_data());
+        assert!(MessageClass::ProbeData.carries_data());
+        assert!(!MessageClass::Request.carries_data());
+        assert!(!MessageClass::Invalidate.carries_data());
+        assert!(!MessageClass::InvalidateAck.carries_data());
+        assert!(!MessageClass::EvictNotify.carries_data());
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let indices: HashSet<usize> = MessageClass::ALL.iter().map(|c| c.index()).collect();
+        assert_eq!(indices.len(), MessageClass::ALL.len());
+        assert_eq!(*indices.iter().max().unwrap(), MessageClass::ALL.len() - 1);
+    }
+
+    #[test]
+    fn all_matches_declared_order() {
+        assert_eq!(MessageClass::ALL[0], MessageClass::Request);
+        assert_eq!(MessageClass::ALL[8], MessageClass::EvictNotify);
+        for (i, class) in MessageClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MessageClass::Probe.to_string(), "probe");
+        assert_eq!(MessageClass::InvalidateAck.name(), "invalidate-ack");
+    }
+}

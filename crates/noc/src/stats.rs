@@ -1,0 +1,143 @@
+//! Traffic accounting for the on-chip network.
+
+use crate::message::MessageClass;
+use allarm_types::stats::Counter;
+
+/// Per-class and aggregate traffic counters.
+///
+/// Bytes are the paper's primary traffic metric (Fig. 3c is "reduction in
+/// network traffic (bytes)"); flit-hops drive the NoC dynamic-energy model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NocStats {
+    messages: [Counter; MessageClass::ALL.len()],
+    bytes: [Counter; MessageClass::ALL.len()],
+    hops: [Counter; MessageClass::ALL.len()],
+    flit_hops: Counter,
+    local_deliveries: Counter,
+}
+
+impl NocStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NocStats::default()
+    }
+
+    /// Records one message of `class` that was `bytes` long, traversed
+    /// `hops` links and was split into `flits` flits.
+    pub fn record(&mut self, class: MessageClass, bytes: u64, hops: u32, flits: u64) {
+        let i = class.index();
+        self.messages[i].incr();
+        self.bytes[i].add(bytes);
+        self.hops[i].add(u64::from(hops));
+        self.flit_hops.add(flits * u64::from(hops));
+        if hops == 0 {
+            self.local_deliveries.incr();
+        }
+    }
+
+    /// Number of messages of a given class.
+    pub fn messages_of(&self, class: MessageClass) -> u64 {
+        self.messages[class.index()].get()
+    }
+
+    /// Bytes carried by messages of a given class.
+    pub fn bytes_of(&self, class: MessageClass) -> u64 {
+        self.bytes[class.index()].get()
+    }
+
+    /// Link traversals performed by messages of a given class.
+    pub fn hops_of(&self, class: MessageClass) -> u64 {
+        self.hops[class.index()].get()
+    }
+
+    /// Total messages across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().map(|c| c.get()).sum()
+    }
+
+    /// Total bytes across all classes — the paper's network-traffic metric.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|c| c.get()).sum()
+    }
+
+    /// Total link traversals across all classes.
+    pub fn total_hops(&self) -> u64 {
+        self.hops.iter().map(|c| c.get()).sum()
+    }
+
+    /// Total flit-link traversals (the activity count for NoC dynamic
+    /// energy).
+    pub fn total_flit_hops(&self) -> u64 {
+        self.flit_hops.get()
+    }
+
+    /// Messages whose source and destination were the same node (no link
+    /// traversal, e.g. a core talking to its own directory).
+    pub fn local_deliveries(&self) -> u64 {
+        self.local_deliveries.get()
+    }
+
+    /// Accumulates another statistics block into this one.
+    pub fn merge(&mut self, other: &NocStats) {
+        for i in 0..MessageClass::ALL.len() {
+            self.messages[i] += other.messages[i];
+            self.bytes[i] += other.bytes[i];
+            self.hops[i] += other.hops[i];
+        }
+        self.flit_hops += other.flit_hops;
+        self.local_deliveries += other.local_deliveries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_class() {
+        let mut s = NocStats::new();
+        s.record(MessageClass::Request, 8, 3, 2);
+        s.record(MessageClass::Request, 8, 1, 2);
+        s.record(MessageClass::Data, 72, 3, 18);
+        assert_eq!(s.messages_of(MessageClass::Request), 2);
+        assert_eq!(s.bytes_of(MessageClass::Request), 16);
+        assert_eq!(s.hops_of(MessageClass::Request), 4);
+        assert_eq!(s.messages_of(MessageClass::Data), 1);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 88);
+        assert_eq!(s.total_hops(), 7);
+        assert_eq!(s.total_flit_hops(), 2 * 3 + 2 * 1 + 18 * 3);
+    }
+
+    #[test]
+    fn zero_hop_messages_count_as_local() {
+        let mut s = NocStats::new();
+        s.record(MessageClass::Data, 72, 0, 18);
+        assert_eq!(s.local_deliveries(), 1);
+        assert_eq!(s.total_flit_hops(), 0);
+        assert_eq!(s.total_bytes(), 72);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = NocStats::new();
+        a.record(MessageClass::Probe, 8, 2, 2);
+        let mut b = NocStats::new();
+        b.record(MessageClass::Probe, 8, 4, 2);
+        b.record(MessageClass::Invalidate, 8, 1, 2);
+        a.merge(&b);
+        assert_eq!(a.messages_of(MessageClass::Probe), 2);
+        assert_eq!(a.hops_of(MessageClass::Probe), 6);
+        assert_eq!(a.messages_of(MessageClass::Invalidate), 1);
+        assert_eq!(a.total_messages(), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = NocStats::new();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.total_hops(), 0);
+        assert_eq!(s.local_deliveries(), 0);
+    }
+}

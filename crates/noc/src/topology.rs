@@ -1,0 +1,207 @@
+//! 2-D mesh topology and XY (dimension-ordered) routing.
+
+use allarm_types::ids::NodeId;
+
+/// Coordinates of a router in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (0-based, increases east).
+    pub x: u32,
+    /// Row (0-based, increases south).
+    pub y: u32,
+}
+
+/// A 2-D mesh of routers, one per node, using XY dimension-ordered routing.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_noc::Mesh;
+/// use allarm_types::ids::NodeId;
+///
+/// let mesh = Mesh::new(4, 4);
+/// assert_eq!(mesh.hops(NodeId::new(0), NodeId::new(5)), 2);
+/// assert_eq!(mesh.hops(NodeId::new(3), NodeId::new(3)), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    width: u32,
+    height: u32,
+}
+
+impl Mesh {
+    /// Creates a `width x height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        Mesh { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of routers.
+    pub fn num_nodes(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Coordinates of a node (row-major numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the mesh.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        let idx = node.index() as u32;
+        assert!(idx < self.num_nodes(), "node {node} outside {}-node mesh", self.num_nodes());
+        Coord {
+            x: idx % self.width,
+            y: idx / self.width,
+        }
+    }
+
+    /// Node identifier at given coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the mesh.
+    pub fn node_at(&self, coord: Coord) -> NodeId {
+        assert!(coord.x < self.width && coord.y < self.height, "coordinate outside mesh");
+        NodeId::new((coord.y * self.width + coord.x) as u16)
+    }
+
+    /// Manhattan distance between two nodes — the number of links an XY-routed
+    /// message traverses.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        let a = self.coord(from);
+        let b = self.coord(to);
+        a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+    }
+
+    /// The sequence of nodes an XY-routed message visits, including source
+    /// and destination.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let src = self.coord(from);
+        let dst = self.coord(to);
+        let mut path = vec![from];
+        let mut cur = src;
+        // X first...
+        while cur.x != dst.x {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            path.push(self.node_at(cur));
+        }
+        // ...then Y.
+        while cur.y != dst.y {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            path.push(self.node_at(cur));
+        }
+        path
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes; useful for
+    /// sanity checks and capacity planning.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.num_nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += u64::from(self.hops(NodeId::new(a as u16), NodeId::new(b as u16)));
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_are_row_major() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(mesh.coord(NodeId::new(0)), Coord { x: 0, y: 0 });
+        assert_eq!(mesh.coord(NodeId::new(3)), Coord { x: 3, y: 0 });
+        assert_eq!(mesh.coord(NodeId::new(4)), Coord { x: 0, y: 1 });
+        assert_eq!(mesh.coord(NodeId::new(15)), Coord { x: 3, y: 3 });
+        assert_eq!(mesh.node_at(Coord { x: 2, y: 1 }), NodeId::new(6));
+    }
+
+    #[test]
+    fn hops_are_manhattan_distance() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(mesh.hops(NodeId::new(0), NodeId::new(15)), 6);
+        assert_eq!(mesh.hops(NodeId::new(5), NodeId::new(6)), 1);
+        assert_eq!(mesh.hops(NodeId::new(7), NodeId::new(7)), 0);
+        // Symmetric.
+        assert_eq!(
+            mesh.hops(NodeId::new(2), NodeId::new(13)),
+            mesh.hops(NodeId::new(13), NodeId::new(2))
+        );
+    }
+
+    #[test]
+    fn route_goes_x_then_y_and_has_hops_plus_one_nodes() {
+        let mesh = Mesh::new(4, 4);
+        let route = mesh.route(NodeId::new(0), NodeId::new(10));
+        assert_eq!(route.first(), Some(&NodeId::new(0)));
+        assert_eq!(route.last(), Some(&NodeId::new(10)));
+        assert_eq!(route.len() as u32, mesh.hops(NodeId::new(0), NodeId::new(10)) + 1);
+        // X-first: 0 -> 1 -> 2 -> 6 -> 10.
+        assert_eq!(
+            route,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(6), NodeId::new(10)]
+        );
+    }
+
+    #[test]
+    fn route_to_self_is_single_node() {
+        let mesh = Mesh::new(2, 2);
+        assert_eq!(mesh.route(NodeId::new(3), NodeId::new(3)), vec![NodeId::new(3)]);
+    }
+
+    #[test]
+    fn mean_hops_of_known_meshes() {
+        // For a 1x2 mesh every pair is 1 hop apart.
+        assert_eq!(Mesh::new(2, 1).mean_hops(), 1.0);
+        // 4x4 mesh mean hop distance is 2.5 (known closed form: (x+y)/3 * ... )
+        let mean = Mesh::new(4, 4).mean_hops();
+        assert!((mean - 2.666).abs() < 0.01, "mean hops was {mean}");
+        assert_eq!(Mesh::new(1, 1).mean_hops(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_node_panics() {
+        Mesh::new(2, 2).coord(NodeId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        Mesh::new(0, 4);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let mesh = Mesh::new(4, 2);
+        assert_eq!(mesh.width(), 4);
+        assert_eq!(mesh.height(), 2);
+        assert_eq!(mesh.num_nodes(), 8);
+    }
+}

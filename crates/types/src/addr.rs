@@ -1,0 +1,252 @@
+//! Address newtypes: virtual addresses, physical addresses, cache-line and
+//! page granularities.
+//!
+//! The simulator is trace driven: workloads emit virtual addresses, the NUMA
+//! allocator translates them to physical addresses at page granularity, and
+//! the cache and directory models operate on physical cache-line addresses.
+//! Keeping the four granularities as distinct types prevents an entire class
+//! of "passed a byte address where a line address was expected" bugs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a cache line in bytes (64 B, Table I of the paper).
+pub const LINE_BYTES: u64 = 64;
+
+/// Size of a virtual-memory page in bytes (4 KiB, the x86 small page used by
+/// the Linux first-touch allocator in the paper's setup).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Number of cache lines per page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Creates an address from a raw value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(value: u64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(value: $name) -> Self {
+                value.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A byte-granularity virtual address issued by a workload thread.
+    VirtAddr
+);
+
+addr_newtype!(
+    /// A byte-granularity physical address produced by the NUMA allocator.
+    PhysAddr
+);
+
+addr_newtype!(
+    /// A physical cache-line address (the physical address divided by
+    /// [`LINE_BYTES`]). This is the unit tracked by caches and probe filters.
+    LineAddr
+);
+
+addr_newtype!(
+    /// A page number (virtual or physical depending on context; the value is
+    /// the byte address divided by [`PAGE_BYTES`]).
+    PageAddr
+);
+
+impl VirtAddr {
+    /// Returns the virtual page containing this address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use allarm_types::addr::{VirtAddr, PageAddr};
+    /// assert_eq!(VirtAddr::new(4096 * 3 + 5).page(), PageAddr::new(3));
+    /// ```
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Returns the byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+}
+
+impl PhysAddr {
+    /// Returns the physical cache line containing this address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use allarm_types::addr::{PhysAddr, LineAddr};
+    /// assert_eq!(PhysAddr::new(64 * 10 + 3).line(), LineAddr::new(10));
+    /// ```
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Returns the physical page containing this address.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Returns the byte offset of this address within its cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+}
+
+impl LineAddr {
+    /// Returns the physical page containing this cache line.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / LINES_PER_PAGE)
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 * LINE_BYTES)
+    }
+
+    /// Returns the index of this line within its page (0..[`LINES_PER_PAGE`]).
+    pub const fn index_in_page(self) -> u64 {
+        self.0 % LINES_PER_PAGE
+    }
+}
+
+impl PageAddr {
+    /// Returns the byte address of the first byte of this page.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 * PAGE_BYTES)
+    }
+
+    /// Returns the first cache line of this page.
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 * LINES_PER_PAGE)
+    }
+
+    /// Returns the `i`-th cache line of this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LINES_PER_PAGE`.
+    pub fn line(self, i: u64) -> LineAddr {
+        assert!(
+            i < LINES_PER_PAGE,
+            "line index {i} out of range for a {PAGE_BYTES}-byte page"
+        );
+        LineAddr(self.0 * LINES_PER_PAGE + i)
+    }
+
+    /// Iterates over every cache line of this page.
+    pub fn lines(self) -> impl Iterator<Item = LineAddr> {
+        let first = self.0 * LINES_PER_PAGE;
+        (first..first + LINES_PER_PAGE).map(LineAddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(LINES_PER_PAGE * LINE_BYTES, PAGE_BYTES);
+    }
+
+    #[test]
+    fn virt_addr_page_and_offset() {
+        let va = VirtAddr::new(3 * PAGE_BYTES + 100);
+        assert_eq!(va.page(), PageAddr::new(3));
+        assert_eq!(va.page_offset(), 100);
+    }
+
+    #[test]
+    fn phys_addr_line_page_offsets() {
+        let pa = PhysAddr::new(2 * PAGE_BYTES + 5 * LINE_BYTES + 7);
+        assert_eq!(pa.page(), PageAddr::new(2));
+        assert_eq!(pa.line(), LineAddr::new(2 * LINES_PER_PAGE + 5));
+        assert_eq!(pa.line_offset(), 7);
+    }
+
+    #[test]
+    fn line_addr_roundtrips() {
+        let line = LineAddr::new(1234);
+        assert_eq!(line.base_addr().line(), line);
+        assert_eq!(line.page(), PageAddr::new(1234 / LINES_PER_PAGE));
+        assert_eq!(line.index_in_page(), 1234 % LINES_PER_PAGE);
+    }
+
+    #[test]
+    fn page_lines_cover_whole_page() {
+        let page = PageAddr::new(9);
+        let lines: Vec<LineAddr> = page.lines().collect();
+        assert_eq!(lines.len(), LINES_PER_PAGE as usize);
+        assert_eq!(lines[0], page.first_line());
+        assert_eq!(lines[0].page(), page);
+        assert_eq!(lines.last().copied().map(|l| l.page()), Some(page));
+        assert_eq!(page.line(5), lines[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_line_out_of_range_panics() {
+        let _ = PageAddr::new(0).line(LINES_PER_PAGE);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+        assert_eq!(format!("{:X}", PhysAddr::new(255)), "FF");
+        assert_eq!(PhysAddr::new(255).to_string(), "0xff");
+    }
+
+    #[test]
+    fn raw_conversions() {
+        assert_eq!(u64::from(LineAddr::new(42)), 42);
+        assert_eq!(LineAddr::from(42u64), LineAddr::new(42));
+        assert_eq!(LineAddr::new(42).raw(), 42);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid machine or experiment configuration.
+///
+/// Returned by [`crate::config::MachineConfig::validate`] and by builders in
+/// downstream crates that accept user-supplied configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates a new configuration error for `field` with a human-readable
+    /// `reason`.
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The configuration field that failed validation.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Why the field is invalid.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration for `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_reason() {
+        let err = ConfigError::new("l2.ways", "must be a power of two");
+        let text = err.to_string();
+        assert!(text.contains("l2.ways"));
+        assert!(text.contains("power of two"));
+    }
+
+    #[test]
+    fn accessors_return_parts() {
+        let err = ConfigError::new("num_cores", "must be non-zero");
+        assert_eq!(err.field(), "num_cores");
+        assert_eq!(err.reason(), "must be non-zero");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Strongly-typed identifiers for cores, nodes (affinity domains) and threads.
+//!
+//! The simulator distinguishes between the hardware core executing a memory
+//! access ([`CoreId`]), the NUMA node / affinity domain that homes a physical
+//! page and hosts a directory controller ([`NodeId`]), and the software thread
+//! issuing accesses ([`ThreadId`]). In the paper's 16-core configuration each
+//! core is its own affinity domain, but the types stay distinct so that
+//! configurations with multiple cores per node remain expressible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u16);
+
+        impl $name {
+            /// Creates a new identifier from a raw index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use allarm_types::ids::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(3);")]
+            /// assert_eq!(id.index(), 3);
+            /// ```
+            pub const fn new(index: u16) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index as a `usize`, convenient for indexing
+            /// per-core or per-node vectors.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as stored.
+            pub const fn raw(self) -> u16 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(value: u16) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for u16 {
+            fn from(value: $name) -> Self {
+                value.0
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> Self {
+                value.index()
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a hardware core (one per tile in the mesh).
+    CoreId,
+    "core"
+);
+
+id_newtype!(
+    /// Identifier of a NUMA node / affinity domain.
+    ///
+    /// Each node hosts a memory controller, a slice of DRAM and a directory
+    /// controller with its probe filter.
+    NodeId,
+    "node"
+);
+
+id_newtype!(
+    /// Identifier of a software thread.
+    ///
+    /// Threads are scheduled onto cores by the workload; in the default
+    /// 16-thread experiments thread `i` runs on core `i`.
+    ThreadId,
+    "thread"
+);
+
+impl CoreId {
+    /// Returns an iterator over the first `n` core identifiers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use allarm_types::ids::CoreId;
+    /// let cores: Vec<CoreId> = CoreId::first(4).collect();
+    /// assert_eq!(cores.len(), 4);
+    /// assert_eq!(cores[3], CoreId::new(3));
+    /// ```
+    pub fn first(n: usize) -> impl Iterator<Item = CoreId> {
+        (0..n as u16).map(CoreId::new)
+    }
+}
+
+impl NodeId {
+    /// Returns an iterator over the first `n` node identifiers.
+    pub fn first(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n as u16).map(NodeId::new)
+    }
+}
+
+impl ThreadId {
+    /// Returns an iterator over the first `n` thread identifiers.
+    pub fn first(n: usize) -> impl Iterator<Item = ThreadId> {
+        (0..n as u16).map(ThreadId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn core_id_roundtrips_through_u16() {
+        let id = CoreId::new(7);
+        assert_eq!(u16::from(id), 7);
+        assert_eq!(CoreId::from(7u16), id);
+        assert_eq!(id.index(), 7usize);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+        assert_eq!(NodeId::new(0).to_string(), "node0");
+        assert_eq!(ThreadId::new(15).to_string(), "thread15");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+        assert!(NodeId::new(5) > NodeId::new(4));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<CoreId> = CoreId::first(16).collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn first_yields_consecutive_ids() {
+        let nodes: Vec<NodeId> = NodeId::first(3).collect();
+        assert_eq!(nodes, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        let threads: Vec<ThreadId> = ThreadId::first(2).collect();
+        assert_eq!(threads, vec![ThreadId::new(0), ThreadId::new(1)]);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CoreId::default(), CoreId::new(0));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,227 @@
+//! Small statistics helpers shared by the cache, network, directory and
+//! simulator crates.
+//!
+//! The heavyweight, component-specific statistics structs live with their
+//! components; this module only provides the building blocks: a saturating
+//! event [`Counter`], a running [`MeanAccumulator`], and [`ratio`] /
+//! [`normalized`] helpers that deal with empty denominators consistently.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_types::stats::Counter;
+/// let mut evictions = Counter::new();
+/// evictions.incr();
+/// evictions.add(2);
+/// assert_eq!(evictions.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as a floating point number (for ratios).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl AddAssign for Counter {
+    fn add_assign(&mut self, rhs: Counter) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(value: Counter) -> Self {
+        value.0
+    }
+}
+
+/// A running arithmetic mean over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_types::stats::MeanAccumulator;
+/// let mut mean = MeanAccumulator::new();
+/// mean.push(2.0);
+/// mean.push(4.0);
+/// assert_eq!(mean.mean(), Some(3.0));
+/// assert_eq!(mean.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeanAccumulator {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        MeanAccumulator { sum: 0.0, count: 0 }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Returns the mean, or `None` if no samples were added.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Number of samples pushed so far.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples pushed so far.
+    pub const fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Divides `num` by `den`, returning 0.0 when the denominator is zero.
+///
+/// Used for hit rates and local/remote fractions where an empty denominator
+/// simply means "no events", not an error.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Returns `value / baseline`, the normalisation the paper uses throughout
+/// its figures ("normalised evictions", "normalised traffic", ...).
+///
+/// When the baseline is zero, returns 1.0 if the value is also zero (both
+/// systems did nothing, so they are equal) and `f64::INFINITY` otherwise.
+pub fn normalized(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if value == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        value / baseline
+    }
+}
+
+/// Geometric mean of a slice of positive values, the aggregation the paper
+/// uses for the "geomean" bars.
+///
+/// Returns `None` for an empty slice or if any value is not strictly
+/// positive.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments_and_adds() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        c += 5u64;
+        let mut d = Counter::new();
+        d.add(10);
+        c += d;
+        assert_eq!(c.get(), 20);
+        assert_eq!(u64::from(c), 20);
+        assert_eq!(c.to_string(), "20");
+    }
+
+    #[test]
+    fn mean_accumulator_handles_empty_and_nonempty() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), None);
+        m.push(1.0);
+        m.push(2.0);
+        m.push(3.0);
+        assert_eq!(m.mean(), Some(2.0));
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 6.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 10), 0.5);
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(0, 0), 0.0);
+    }
+
+    #[test]
+    fn normalized_handles_zero_baseline() {
+        assert_eq!(normalized(50.0, 100.0), 0.5);
+        assert_eq!(normalized(0.0, 0.0), 1.0);
+        assert!(normalized(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn geometric_mean_of_identical_values_is_that_value() {
+        let g = geometric_mean(&[1.13, 1.13, 1.13]).unwrap();
+        assert!((g - 1.13).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Simulated-time arithmetic.
+//!
+//! All latencies in the simulator are expressed in integer nanoseconds, the
+//! unit used by Table I of the paper (1 ns cache access, 60 ns DRAM, 10 ns
+//! link). [`Nanos`] is a transparent wrapper that supports the arithmetic the
+//! simulator needs while preventing accidental mixing with other integer
+//! quantities such as byte counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or timestamp in simulated nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_types::time::Nanos;
+///
+/// let dram = Nanos::new(60);
+/// let probe = Nanos::new(12);
+/// // The critical path of two overlapped operations:
+/// assert_eq!(dram.max(probe), dram);
+/// assert_eq!(dram + probe, Nanos::new(72));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a duration from a raw nanosecond count.
+    pub const fn new(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value as a floating-point number of nanoseconds.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns the larger of the two durations (the critical path of two
+    /// overlapped operations).
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of the two durations.
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ns", self.0)
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(value: u64) -> Self {
+        Nanos(value)
+    }
+}
+
+impl From<Nanos> for u64 {
+    fn from(value: Nanos) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        let a = Nanos::new(10);
+        let b = Nanos::new(3);
+        assert_eq!(a + b, Nanos::new(13));
+        assert_eq!(a - b, Nanos::new(7));
+        assert_eq!(a * 4, Nanos::new(40));
+        assert_eq!(a / 2, Nanos::new(5));
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut t = Nanos::ZERO;
+        t += Nanos::new(5);
+        t += Nanos::new(7);
+        assert_eq!(t, Nanos::new(12));
+        t -= Nanos::new(2);
+        assert_eq!(t, Nanos::new(10));
+    }
+
+    #[test]
+    fn max_min_saturating() {
+        assert_eq!(Nanos::new(60).max(Nanos::new(12)), Nanos::new(60));
+        assert_eq!(Nanos::new(60).min(Nanos::new(12)), Nanos::new(12));
+        assert_eq!(Nanos::new(5).saturating_sub(Nanos::new(9)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Nanos = (1..=4).map(Nanos::new).sum();
+        assert_eq!(total, Nanos::new(10));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Nanos::new(60).to_string(), "60 ns");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Nanos::new(1) < Nanos::new(2));
+        assert_eq!(Nanos::default(), Nanos::ZERO);
+    }
+}

@@ -1,0 +1,148 @@
+//! The multi-process workload of the paper's Section III-B.
+//!
+//! The paper's second experiment runs **two single-threaded copies** of a
+//! SPLASH2 benchmark, co-ordinated only to start together, and measures how
+//! performance, probe-filter evictions and network traffic respond to
+//! shrinking the probe filter (Fig. 4). Because each copy's data is entirely
+//! its own and is homed on its own node by first-touch, the baseline wastes
+//! the whole probe filter on data nobody else will ever request — exactly
+//! the scenario ALLARM was designed to optimise.
+
+use crate::profile::Benchmark;
+use crate::trace::{ThreadTrace, TraceGenerator, Workload};
+use allarm_types::ids::CoreId;
+
+/// Builds the two-copy, single-thread-per-copy workload for `benchmark`.
+///
+/// Each copy is generated as an independent single-threaded instance of the
+/// benchmark (separate virtual address spaces, so the copies share nothing),
+/// and the `i`-th copy is pinned to `cores[i]`.
+///
+/// # Panics
+///
+/// Panics if `cores` is empty or contains duplicate entries.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_workloads::{multiprocess_workload, Benchmark};
+/// use allarm_types::ids::CoreId;
+///
+/// let w = multiprocess_workload(
+///     Benchmark::Barnes,
+///     5_000,
+///     42,
+///     &[CoreId::new(0), CoreId::new(8)],
+/// );
+/// assert_eq!(w.threads.len(), 2);
+/// assert_eq!(w.threads[1].core, CoreId::new(8));
+/// ```
+pub fn multiprocess_workload(
+    benchmark: Benchmark,
+    accesses_per_process: usize,
+    seed: u64,
+    cores: &[CoreId],
+) -> Workload {
+    assert!(!cores.is_empty(), "a multi-process workload needs at least one process");
+    let distinct: std::collections::HashSet<CoreId> = cores.iter().copied().collect();
+    assert_eq!(distinct.len(), cores.len(), "process cores must be distinct");
+
+    let mut threads: Vec<ThreadTrace> = Vec::with_capacity(cores.len());
+    for (copy, core) in cores.iter().enumerate() {
+        // Each copy is an independent single-threaded run with its own seed;
+        // generating it as "thread 0" gives it the full private window, and
+        // shifting every address by a copy-specific offset keeps the copies'
+        // address spaces disjoint (separate processes share nothing).
+        let single = TraceGenerator::new(1, accesses_per_process, seed.wrapping_add(copy as u64 * 0x5D58_21))
+            .generate(benchmark);
+        let mut trace = single.threads.into_iter().next().expect("one thread was generated");
+        let offset = copy as u64 * (1u64 << 44);
+        for access in &mut trace.accesses {
+            access.vaddr = allarm_types::addr::VirtAddr::new(access.vaddr.raw() + offset);
+        }
+        trace.core = *core;
+        trace.thread = allarm_types::ids::ThreadId::new(copy as u16);
+        threads.push(trace);
+    }
+
+    Workload {
+        name: format!("{}-2p", benchmark.name()),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn builds_one_trace_per_process_on_requested_cores() {
+        let w = multiprocess_workload(
+            Benchmark::Cholesky,
+            1_000,
+            7,
+            &[CoreId::new(0), CoreId::new(8)],
+        );
+        assert_eq!(w.threads.len(), 2);
+        assert_eq!(w.threads[0].core, CoreId::new(0));
+        assert_eq!(w.threads[1].core, CoreId::new(8));
+        assert_eq!(w.name, "cholesky-2p");
+    }
+
+    #[test]
+    fn copies_share_no_pages() {
+        let w = multiprocess_workload(
+            Benchmark::Barnes,
+            2_000,
+            9,
+            &[CoreId::new(0), CoreId::new(8)],
+        );
+        let pages_of = |trace: &crate::ThreadTrace| -> HashSet<u64> {
+            trace.accesses.iter().map(|a| a.vaddr.page().raw()).collect()
+        };
+        let a = pages_of(&w.threads[0]);
+        let b = pages_of(&w.threads[1]);
+        assert!(a.is_disjoint(&b), "process address spaces must be disjoint");
+    }
+
+    #[test]
+    fn copies_use_different_seeds_but_same_structure() {
+        let w = multiprocess_workload(
+            Benchmark::OceanContiguous,
+            1_000,
+            11,
+            &[CoreId::new(0), CoreId::new(8)],
+        );
+        assert_eq!(w.threads[0].accesses.len(), w.threads[1].accesses.len());
+        // The address *patterns* differ (different seed) even though the
+        // profile is identical.
+        let same = w.threads[0]
+            .accesses
+            .iter()
+            .zip(&w.threads[1].accesses)
+            .filter(|(x, y)| x.vaddr.raw() == y.vaddr.raw())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let cores = [CoreId::new(0), CoreId::new(8)];
+        let a = multiprocess_workload(Benchmark::Barnes, 500, 3, &cores);
+        let b = multiprocess_workload(Benchmark::Barnes, 500, 3, &cores);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_cores_rejected() {
+        multiprocess_workload(Benchmark::Barnes, 10, 1, &[CoreId::new(0), CoreId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_core_list_rejected() {
+        multiprocess_workload(Benchmark::Barnes, 10, 1, &[]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Benchmark identities and their memory-behaviour profiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight SPLASH2 / PARSEC benchmarks the paper evaluates (Fig. 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// SPLASH2 `barnes` — hierarchical N-body; good data isolation.
+    Barnes,
+    /// PARSEC `blackscholes` — option pricing; data initialised by the main
+    /// thread and read by workers (producer/consumer sharing rooted at
+    /// CPU 0).
+    Blackscholes,
+    /// SPLASH2 `cholesky` — sparse matrix factorisation.
+    Cholesky,
+    /// PARSEC `dedup` — pipeline-parallel compression; heavy shared state.
+    Dedup,
+    /// PARSEC `fluidanimate` — particle simulation with a working set large
+    /// enough that capacity misses dominate (the one slowdown in Fig. 3a).
+    Fluidanimate,
+    /// SPLASH2 `ocean` (contiguous partitions) — the largest ALLARM win.
+    OceanContiguous,
+    /// SPLASH2 `ocean` (non-contiguous partitions).
+    OceanNonContiguous,
+    /// PARSEC `x264` — video encoding; mostly shared, streaming frames.
+    X264,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the order the paper's figures list them.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Barnes,
+        Benchmark::Blackscholes,
+        Benchmark::Cholesky,
+        Benchmark::Dedup,
+        Benchmark::Fluidanimate,
+        Benchmark::OceanContiguous,
+        Benchmark::OceanNonContiguous,
+        Benchmark::X264,
+    ];
+
+    /// The subset used in the multi-process experiment of Fig. 4 (the four
+    /// SPLASH2 benchmarks).
+    pub const MULTIPROCESS: [Benchmark; 4] = [
+        Benchmark::Barnes,
+        Benchmark::Cholesky,
+        Benchmark::OceanContiguous,
+        Benchmark::OceanNonContiguous,
+    ];
+
+    /// The benchmark's name as it appears in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Barnes => "barnes",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Cholesky => "cholesky",
+            Benchmark::Dedup => "dedup",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::OceanContiguous => "ocean-cont",
+            Benchmark::OceanNonContiguous => "ocean-non-cont",
+            Benchmark::X264 => "x264",
+        }
+    }
+
+    /// Looks a benchmark up by its figure name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// The memory-behaviour profile used to synthesise this benchmark's
+    /// traces. The parameters are calibrated so the simulated local/remote
+    /// request mix and the relative ALLARM gains track Fig. 2 and Fig. 3
+    /// (see EXPERIMENTS.md for measured values).
+    pub fn profile(self) -> BenchmarkProfile {
+        match self {
+            Benchmark::Barnes => BenchmarkProfile {
+                name: "barnes",
+                private_hot_kb: 96,
+                private_stream_kb: 256,
+                private_init_kb: 640,
+                shared_hot_kb: 96,
+                shared_stream_kb: 3072,
+                shared_fraction: 0.40,
+                private_stream_fraction: 0.10,
+                shared_stream_fraction: 0.45,
+                write_fraction: 0.30,
+                shared_write_fraction: 0.02,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::Blackscholes => BenchmarkProfile {
+                name: "blackscholes",
+                private_hot_kb: 48,
+                private_stream_kb: 192,
+                private_init_kb: 192,
+                shared_hot_kb: 128,
+                shared_stream_kb: 10240,
+                shared_fraction: 0.70,
+                private_stream_fraction: 0.20,
+                shared_stream_fraction: 0.55,
+                write_fraction: 0.15,
+                shared_write_fraction: 0.01,
+                shared_init_by_thread0: true,
+            },
+            Benchmark::Cholesky => BenchmarkProfile {
+                name: "cholesky",
+                private_hot_kb: 96,
+                private_stream_kb: 320,
+                private_init_kb: 576,
+                shared_hot_kb: 128,
+                shared_stream_kb: 3072,
+                shared_fraction: 0.42,
+                private_stream_fraction: 0.12,
+                shared_stream_fraction: 0.46,
+                write_fraction: 0.30,
+                shared_write_fraction: 0.03,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::Dedup => BenchmarkProfile {
+                name: "dedup",
+                private_hot_kb: 64,
+                private_stream_kb: 256,
+                private_init_kb: 256,
+                shared_hot_kb: 160,
+                shared_stream_kb: 8192,
+                shared_fraction: 0.58,
+                private_stream_fraction: 0.20,
+                shared_stream_fraction: 0.50,
+                write_fraction: 0.30,
+                shared_write_fraction: 0.04,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::Fluidanimate => BenchmarkProfile {
+                name: "fluidanimate",
+                private_hot_kb: 416,
+                private_stream_kb: 448,
+                private_init_kb: 512,
+                shared_hot_kb: 128,
+                shared_stream_kb: 3072,
+                shared_fraction: 0.32,
+                private_stream_fraction: 0.28,
+                shared_stream_fraction: 0.46,
+                write_fraction: 0.30,
+                shared_write_fraction: 0.02,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::OceanContiguous => BenchmarkProfile {
+                name: "ocean-cont",
+                private_hot_kb: 96,
+                private_stream_kb: 192,
+                private_init_kb: 768,
+                shared_hot_kb: 64,
+                shared_stream_kb: 2048,
+                shared_fraction: 0.32,
+                private_stream_fraction: 0.08,
+                shared_stream_fraction: 0.45,
+                write_fraction: 0.35,
+                shared_write_fraction: 0.01,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::OceanNonContiguous => BenchmarkProfile {
+                name: "ocean-non-cont",
+                private_hot_kb: 96,
+                private_stream_kb: 256,
+                private_init_kb: 832,
+                shared_hot_kb: 64,
+                shared_stream_kb: 3072,
+                shared_fraction: 0.35,
+                private_stream_fraction: 0.10,
+                shared_stream_fraction: 0.46,
+                write_fraction: 0.35,
+                shared_write_fraction: 0.01,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::X264 => BenchmarkProfile {
+                name: "x264",
+                private_hot_kb: 80,
+                private_stream_kb: 256,
+                private_init_kb: 320,
+                shared_hot_kb: 192,
+                shared_stream_kb: 8192,
+                shared_fraction: 0.62,
+                private_stream_fraction: 0.18,
+                shared_stream_fraction: 0.52,
+                write_fraction: 0.25,
+                shared_write_fraction: 0.02,
+                shared_init_by_thread0: false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The parametric description of a benchmark's memory behaviour.
+///
+/// All sizes are in kilobytes; per-thread quantities are marked as such.
+/// See the crate-level documentation for how the parameters map onto the
+/// effects the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Name used in figures and reports.
+    pub name: &'static str,
+    /// Per-thread hot (heavily reused) private data.
+    pub private_hot_kb: u64,
+    /// Per-thread streamed (low-reuse) private data.
+    pub private_stream_kb: u64,
+    /// Per-thread private data that is written exactly once during an
+    /// initialisation pass and never revisited (e.g. ocean's grid setup or
+    /// barnes' tree construction). In the baseline every one of these lines
+    /// still allocates a probe-filter entry that then sits stale until the
+    /// replacement policy recycles it.
+    pub private_init_kb: u64,
+    /// Globally shared hot data.
+    pub shared_hot_kb: u64,
+    /// Globally shared streamed data.
+    pub shared_stream_kb: u64,
+    /// Probability that an access targets shared data.
+    pub shared_fraction: f64,
+    /// Of private accesses, the probability of hitting the streamed region
+    /// (the rest go to the hot region).
+    pub private_stream_fraction: f64,
+    /// Of shared accesses, the probability of hitting the streamed region.
+    pub shared_stream_fraction: f64,
+    /// Probability that a private-region access is a store.
+    pub write_fraction: f64,
+    /// Probability that a shared-region access is a store. Shared data in
+    /// these benchmarks is predominantly read (results are accumulated into
+    /// private buffers), so this is typically much lower than
+    /// [`BenchmarkProfile::write_fraction`].
+    pub shared_write_fraction: f64,
+    /// If true, every shared page is first touched (initialised) by thread
+    /// 0, so all shared data is homed on node 0 (blackscholes).
+    pub shared_init_by_thread0: bool,
+}
+
+impl BenchmarkProfile {
+    /// Validates that the probabilities are in range and the regions are
+    /// non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (label, p) in [
+            ("shared_fraction", self.shared_fraction),
+            ("private_stream_fraction", self.private_stream_fraction),
+            ("shared_stream_fraction", self.shared_stream_fraction),
+            ("write_fraction", self.write_fraction),
+            ("shared_write_fraction", self.shared_write_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{label} must be within [0, 1], got {p}"));
+            }
+        }
+        if self.private_hot_kb == 0 && self.private_stream_kb == 0 {
+            return Err("profile has no private data".to_string());
+        }
+        if self.shared_hot_kb == 0 && self.shared_stream_kb == 0 {
+            return Err("profile has no shared data".to_string());
+        }
+        Ok(())
+    }
+
+    /// Total per-thread private footprint in kilobytes.
+    pub fn private_footprint_kb(&self) -> u64 {
+        self.private_hot_kb + self.private_stream_kb + self.private_init_kb
+    }
+
+    /// Total shared footprint in kilobytes.
+    pub fn shared_footprint_kb(&self) -> u64 {
+        self.shared_hot_kb + self.shared_stream_kb
+    }
+
+    /// Returns a copy scaled by `factor` in every region size (used by the
+    /// probe-filter sweeps to keep simulation times reasonable while
+    /// preserving the hot/stream/shared structure).
+    pub fn scaled(&self, factor: f64) -> BenchmarkProfile {
+        let scale = |kb: u64| ((kb as f64 * factor).round() as u64).max(4);
+        BenchmarkProfile {
+            private_hot_kb: scale(self.private_hot_kb),
+            private_stream_kb: scale(self.private_stream_kb),
+            private_init_kb: scale(self.private_init_kb),
+            shared_hot_kb: scale(self.shared_hot_kb),
+            shared_stream_kb: scale(self.shared_stream_kb),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_eight_benchmarks_in_figure_order() {
+        assert_eq!(Benchmark::ALL.len(), 8);
+        assert_eq!(Benchmark::ALL[0].name(), "barnes");
+        assert_eq!(Benchmark::ALL[7].name(), "x264");
+    }
+
+    #[test]
+    fn multiprocess_subset_is_splash2() {
+        assert_eq!(Benchmark::MULTIPROCESS.len(), 4);
+        assert!(Benchmark::MULTIPROCESS.contains(&Benchmark::Barnes));
+        assert!(Benchmark::MULTIPROCESS.contains(&Benchmark::OceanNonContiguous));
+        assert!(!Benchmark::MULTIPROCESS.contains(&Benchmark::X264));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for bench in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(bench.name()), Some(bench));
+            assert_eq!(bench.to_string(), bench.name());
+        }
+        assert_eq!(Benchmark::from_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn every_profile_is_valid() {
+        for bench in Benchmark::ALL {
+            let profile = bench.profile();
+            profile.validate().unwrap_or_else(|e| panic!("{bench}: {e}"));
+            assert_eq!(profile.name, bench.name());
+        }
+    }
+
+    #[test]
+    fn blackscholes_is_the_producer_consumer_benchmark() {
+        assert!(Benchmark::Blackscholes.profile().shared_init_by_thread0);
+        let others = Benchmark::ALL
+            .iter()
+            .filter(|b| b.profile().shared_init_by_thread0)
+            .count();
+        assert_eq!(others, 1);
+    }
+
+    #[test]
+    fn fluidanimate_has_the_largest_private_hot_set() {
+        let fluid = Benchmark::Fluidanimate.profile().private_hot_kb;
+        for bench in Benchmark::ALL {
+            if bench != Benchmark::Fluidanimate {
+                assert!(bench.profile().private_hot_kb < fluid);
+            }
+        }
+        // Its hot set exceeds the 256 kB L2, making it capacity-bound.
+        assert!(fluid > 256);
+    }
+
+    #[test]
+    fn footprints_accumulate() {
+        let p = Benchmark::Barnes.profile();
+        assert_eq!(
+            p.private_footprint_kb(),
+            p.private_hot_kb + p.private_stream_kb + p.private_init_kb
+        );
+        assert_eq!(p.shared_footprint_kb(), p.shared_hot_kb + p.shared_stream_kb);
+    }
+
+    #[test]
+    fn scaling_preserves_structure_and_avoids_zero() {
+        let p = Benchmark::OceanContiguous.profile();
+        let half = p.scaled(0.5);
+        assert_eq!(half.private_hot_kb, p.private_hot_kb / 2);
+        assert!(half.validate().is_ok());
+        let tiny = p.scaled(0.0001);
+        assert!(tiny.private_hot_kb >= 4);
+        assert!(tiny.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut p = Benchmark::Barnes.profile();
+        p.shared_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = Benchmark::Barnes.profile();
+        p.private_hot_kb = 0;
+        p.private_stream_kb = 0;
+        assert!(p.validate().is_err());
+        let mut p = Benchmark::Barnes.profile();
+        p.shared_hot_kb = 0;
+        p.shared_stream_kb = 0;
+        assert!(p.validate().is_err());
+    }
+}

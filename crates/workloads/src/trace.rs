@@ -1,0 +1,467 @@
+//! Memory-access trace generation from benchmark profiles.
+
+use crate::profile::{Benchmark, BenchmarkProfile};
+use allarm_types::addr::{VirtAddr, PAGE_BYTES};
+use allarm_types::ids::{CoreId, ThreadId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Byte distance between consecutive accesses in a streaming region; four
+/// accesses touch a 64-byte line before moving on, modelling the spatial
+/// locality of array traversals.
+const STREAM_STRIDE_BYTES: u64 = 16;
+
+/// Base virtual address of thread `t`'s private region (each thread gets a
+/// 4 GiB window, far larger than any profile's footprint).
+fn private_base(thread: usize) -> u64 {
+    (thread as u64 + 1) << 32
+}
+
+/// Offset of the private streaming region within a thread's window.
+const PRIVATE_STREAM_OFFSET: u64 = 1 << 30;
+
+/// Offset of the private write-once initialisation region within a thread's
+/// window.
+const PRIVATE_INIT_OFFSET: u64 = 1 << 31;
+
+/// Base virtual address of the process-wide shared region.
+const SHARED_BASE: u64 = 0x7000_0000_0000;
+
+/// Offset of the shared streaming region within the shared window.
+const SHARED_STREAM_OFFSET: u64 = 1 << 34;
+
+/// A single memory reference in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The virtual address referenced.
+    pub vaddr: VirtAddr,
+    /// True for a store, false for a load.
+    pub write: bool,
+}
+
+impl MemAccess {
+    /// Creates a load access.
+    pub fn load(vaddr: u64) -> Self {
+        MemAccess {
+            vaddr: VirtAddr::new(vaddr),
+            write: false,
+        }
+    }
+
+    /// Creates a store access.
+    pub fn store(vaddr: u64) -> Self {
+        MemAccess {
+            vaddr: VirtAddr::new(vaddr),
+            write: true,
+        }
+    }
+}
+
+/// The access trace of one software thread, plus the core it is pinned to by
+/// the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// The thread's identity.
+    pub thread: ThreadId,
+    /// The core this thread runs on for the whole simulation. (The paper
+    /// does not pin threads, but its scheduler keeps them in place in the
+    /// common case; a fixed placement keeps the model deterministic.)
+    pub core: CoreId,
+    /// The ordered sequence of memory references the thread issues.
+    pub accesses: Vec<MemAccess>,
+}
+
+/// A complete multi-threaded (or multi-process) workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human-readable name (benchmark name, possibly with a suffix).
+    pub name: String,
+    /// Per-thread traces.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Workload {
+    /// Total number of memory references across all threads.
+    pub fn total_accesses(&self) -> usize {
+        self.threads.iter().map(|t| t.accesses.len()).sum()
+    }
+
+    /// The highest core index used by the workload plus one (the minimum
+    /// machine size able to run it).
+    pub fn cores_required(&self) -> usize {
+        self.threads
+            .iter()
+            .map(|t| t.core.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Generates per-thread traces from a [`BenchmarkProfile`].
+///
+/// # Examples
+///
+/// ```
+/// use allarm_workloads::{Benchmark, TraceGenerator};
+///
+/// let gen = TraceGenerator::new(4, 1_000, 7);
+/// let workload = gen.generate(Benchmark::Barnes);
+/// assert_eq!(workload.threads.len(), 4);
+/// assert_eq!(workload.name, "barnes");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TraceGenerator {
+    num_threads: usize,
+    accesses_per_thread: usize,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `num_threads` threads, each issuing
+    /// `accesses_per_thread` references in its main phase, using `seed` for
+    /// all randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize, accesses_per_thread: usize, seed: u64) -> Self {
+        assert!(num_threads > 0, "a workload needs at least one thread");
+        TraceGenerator {
+            num_threads,
+            accesses_per_thread,
+            seed,
+        }
+    }
+
+    /// Number of threads the generator produces.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Main-phase accesses per thread.
+    pub fn accesses_per_thread(&self) -> usize {
+        self.accesses_per_thread
+    }
+
+    /// Generates the workload for a named benchmark.
+    pub fn generate(&self, benchmark: Benchmark) -> Workload {
+        self.generate_profile(benchmark.name(), &benchmark.profile())
+    }
+
+    /// Generates a workload from an arbitrary profile (used by sensitivity
+    /// experiments and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn generate_profile(&self, name: &str, profile: &BenchmarkProfile) -> Workload {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile for {name}: {e}"));
+        let threads = (0..self.num_threads)
+            .map(|t| self.generate_thread(t, profile))
+            .collect();
+        Workload {
+            name: name.to_string(),
+            threads,
+        }
+    }
+
+    /// The initialisation accesses for thread `t`: one store to every shared
+    /// page this thread is responsible for first-touching. Under the
+    /// first-touch policy these stores determine where shared pages are
+    /// homed — on node 0 for the producer/consumer profiles, spread across
+    /// all nodes otherwise.
+    fn init_phase(&self, thread: usize, profile: &BenchmarkProfile) -> Vec<MemAccess> {
+        let shared_bytes = profile.shared_footprint_kb() * 1024;
+        let shared_pages = shared_bytes.div_ceil(PAGE_BYTES);
+        let mut accesses = Vec::new();
+        for page in 0..shared_pages {
+            let owner = if profile.shared_init_by_thread0 {
+                0
+            } else {
+                (page as usize) % self.num_threads
+            };
+            if owner == thread {
+                let addr = self.shared_page_addr(page, profile);
+                accesses.push(MemAccess::store(addr));
+            }
+        }
+        accesses
+    }
+
+    /// Byte address of the start of the `page`-th page of the shared
+    /// footprint (hot pages first, then streaming pages).
+    fn shared_page_addr(&self, page: u64, profile: &BenchmarkProfile) -> u64 {
+        let hot_pages = (profile.shared_hot_kb * 1024).div_ceil(PAGE_BYTES);
+        if page < hot_pages {
+            SHARED_BASE + page * PAGE_BYTES
+        } else {
+            SHARED_BASE + SHARED_STREAM_OFFSET + (page - hot_pages) * PAGE_BYTES
+        }
+    }
+
+    fn generate_thread(&self, thread: usize, profile: &BenchmarkProfile) -> ThreadTrace {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(thread as u64),
+        );
+
+        let priv_hot_bytes = profile.private_hot_kb * 1024;
+        let priv_stream_bytes = profile.private_stream_kb * 1024;
+        let shared_hot_bytes = profile.shared_hot_kb * 1024;
+        let shared_stream_bytes = profile.shared_stream_kb * 1024;
+
+        let priv_base = private_base(thread);
+        let priv_stream_base = priv_base + PRIVATE_STREAM_OFFSET;
+        let shared_hot_base = SHARED_BASE;
+        let shared_stream_base = SHARED_BASE + SHARED_STREAM_OFFSET;
+
+        // Streaming cursors start at a per-thread offset so the threads do
+        // not march through shared data in lockstep.
+        let mut priv_stream_pos: u64 = 0;
+        let mut shared_stream_pos: u64 = if shared_stream_bytes > 0 {
+            (thread as u64 * shared_stream_bytes / self.num_threads as u64)
+                / STREAM_STRIDE_BYTES
+                * STREAM_STRIDE_BYTES
+        } else {
+            0
+        };
+
+        let mut accesses = self.init_phase(thread, profile);
+
+        // Private initialisation pass: one load per cache line of the
+        // touch-once region (each thread scanning its slice of the input
+        // data set, building its private structures). Under first-touch
+        // these lines are homed locally; in the baseline each one allocates
+        // a probe-filter entry that sits stale after the clean line is
+        // silently dropped from the cache — exactly the thread-local waste
+        // ALLARM eliminates.
+        let init_lines = (profile.private_init_kb * 1024) / allarm_types::addr::LINE_BYTES;
+        let private_init_base = priv_base + PRIVATE_INIT_OFFSET;
+        for line in 0..init_lines {
+            accesses.push(MemAccess::load(
+                private_init_base + line * allarm_types::addr::LINE_BYTES,
+            ));
+        }
+
+        accesses.reserve(self.accesses_per_thread);
+
+        for _ in 0..self.accesses_per_thread {
+            let shared = rng.gen_bool(profile.shared_fraction);
+            let write_fraction = if shared {
+                profile.shared_write_fraction
+            } else {
+                profile.write_fraction
+            };
+            let vaddr = if shared {
+                if shared_stream_bytes > 0 && rng.gen_bool(profile.shared_stream_fraction) {
+                    let addr = shared_stream_base + shared_stream_pos;
+                    shared_stream_pos = (shared_stream_pos + STREAM_STRIDE_BYTES) % shared_stream_bytes;
+                    addr
+                } else if shared_hot_bytes > 0 {
+                    shared_hot_base + align_down(rng.gen_range(0..shared_hot_bytes))
+                } else {
+                    shared_stream_base
+                }
+            } else if priv_stream_bytes > 0 && rng.gen_bool(profile.private_stream_fraction) {
+                let addr = priv_stream_base + priv_stream_pos;
+                priv_stream_pos = (priv_stream_pos + STREAM_STRIDE_BYTES) % priv_stream_bytes;
+                addr
+            } else if priv_hot_bytes > 0 {
+                priv_base + align_down(rng.gen_range(0..priv_hot_bytes))
+            } else {
+                priv_stream_base
+            };
+            let write = rng.gen_bool(write_fraction);
+            accesses.push(MemAccess {
+                vaddr: VirtAddr::new(vaddr),
+                write,
+            });
+        }
+
+        ThreadTrace {
+            thread: ThreadId::new(thread as u16),
+            core: CoreId::new(thread as u16),
+            accesses,
+        }
+    }
+}
+
+fn align_down(addr: u64) -> u64 {
+    addr / STREAM_STRIDE_BYTES * STREAM_STRIDE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn quick(bench: Benchmark) -> Workload {
+        TraceGenerator::new(4, 2_000, 123).generate(bench)
+    }
+
+    #[test]
+    fn generates_one_trace_per_thread_on_distinct_cores() {
+        let w = quick(Benchmark::Barnes);
+        assert_eq!(w.threads.len(), 4);
+        let cores: HashSet<CoreId> = w.threads.iter().map(|t| t.core).collect();
+        assert_eq!(cores.len(), 4);
+        assert_eq!(w.cores_required(), 4);
+        assert!(w.total_accesses() >= 4 * 2_000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TraceGenerator::new(4, 500, 9).generate(Benchmark::Cholesky);
+        let b = TraceGenerator::new(4, 500, 9).generate(Benchmark::Cholesky);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceGenerator::new(2, 500, 1).generate(Benchmark::Cholesky);
+        let b = TraceGenerator::new(2, 500, 2).generate(Benchmark::Cholesky);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn private_addresses_are_disjoint_between_threads() {
+        let w = quick(Benchmark::OceanContiguous);
+        // Any address below SHARED_BASE belongs to exactly one thread's
+        // 4 GiB window.
+        for t in &w.threads {
+            for a in &t.accesses {
+                let addr = a.vaddr.raw();
+                if addr < SHARED_BASE {
+                    let window = addr >> 32;
+                    assert_eq!(window, t.thread.index() as u64 + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_accesses_exist_and_are_in_shared_window() {
+        let w = quick(Benchmark::Blackscholes);
+        let shared_count: usize = w
+            .threads
+            .iter()
+            .map(|t| t.accesses.iter().filter(|a| a.vaddr.raw() >= SHARED_BASE).count())
+            .sum();
+        // Blackscholes is ~78% shared; with 8000 main-phase accesses this is
+        // comfortably in the thousands.
+        assert!(shared_count > 4_000, "only {shared_count} shared accesses");
+    }
+
+    #[test]
+    fn blackscholes_init_is_done_by_thread0_only() {
+        let profile = Benchmark::Blackscholes.profile();
+        let gen = TraceGenerator::new(4, 100, 5);
+        let w = gen.generate(Benchmark::Blackscholes);
+        let shared_pages = (profile.shared_footprint_kb() * 1024).div_ceil(PAGE_BYTES) as usize;
+        let private_init_lines = (profile.private_init_kb * 1024 / 64) as usize;
+        // Thread 0's trace carries all the shared init stores plus its own
+        // private init pass in addition to its main phase; the other threads
+        // only have their private init pass and main phase.
+        assert_eq!(
+            w.threads[0].accesses.len(),
+            shared_pages + private_init_lines + 100
+        );
+        assert_eq!(w.threads[1].accesses.len(), private_init_lines + 100);
+        // The first init store is a write to the shared window.
+        assert!(w.threads[0].accesses[0].write);
+        assert!(w.threads[0].accesses[0].vaddr.raw() >= SHARED_BASE);
+    }
+
+    #[test]
+    fn spread_init_touches_every_shared_page_exactly_once() {
+        let bench = Benchmark::Barnes;
+        let profile = bench.profile();
+        let gen = TraceGenerator::new(4, 0, 5);
+        let w = gen.generate(bench);
+        let shared_pages = (profile.shared_footprint_kb() * 1024).div_ceil(PAGE_BYTES);
+        let mut touched: HashSet<u64> = HashSet::new();
+        for t in &w.threads {
+            for a in &t.accesses {
+                if a.vaddr.raw() >= SHARED_BASE {
+                    touched.insert(a.vaddr.page().raw());
+                }
+            }
+        }
+        assert_eq!(touched.len() as u64, shared_pages);
+    }
+
+    #[test]
+    fn private_init_pass_is_one_load_per_line() {
+        let bench = Benchmark::OceanContiguous;
+        let profile = bench.profile();
+        let w = TraceGenerator::new(2, 0, 5).generate(bench);
+        let init_lines = profile.private_init_kb * 1024 / 64;
+        for t in &w.threads {
+            let private_init: Vec<_> = t
+                .accesses
+                .iter()
+                .filter(|a| a.vaddr.raw() < SHARED_BASE)
+                .collect();
+            assert_eq!(private_init.len() as u64, init_lines);
+            assert!(private_init.iter().all(|a| !a.write));
+            // Every access touches a distinct cache line.
+            let lines: HashSet<u64> = private_init.iter().map(|a| a.vaddr.raw() / 64).collect();
+            assert_eq!(lines.len() as u64, init_lines);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_roughly_respected() {
+        let w = TraceGenerator::new(2, 20_000, 3).generate(Benchmark::OceanContiguous);
+        let profile = Benchmark::OceanContiguous.profile();
+        // Skip the init stores (all writes) by looking at the second thread
+        // of a spread-init profile only beyond its init accesses.
+        let t = &w.threads[1];
+        let init_len = t.accesses.len() - 20_000;
+        let main = &t.accesses[init_len..];
+        let writes = main.iter().filter(|a| a.write).count() as f64;
+        let frac = writes / main.len() as f64;
+        // The observed fraction blends the private and shared write
+        // fractions according to the shared fraction.
+        let expected = profile.shared_fraction * profile.shared_write_fraction
+            + (1.0 - profile.shared_fraction) * profile.write_fraction;
+        assert!((frac - expected).abs() < 0.02, "write fraction {frac} vs expected {expected}");
+    }
+
+    #[test]
+    fn streaming_region_addresses_wrap_within_region() {
+        let w = TraceGenerator::new(1, 50_000, 11).generate(Benchmark::X264);
+        let profile = Benchmark::X264.profile();
+        let stream_base = SHARED_BASE + SHARED_STREAM_OFFSET;
+        let stream_bytes = profile.shared_stream_kb * 1024;
+        for a in &w.threads[0].accesses {
+            let addr = a.vaddr.raw();
+            if addr >= stream_base {
+                assert!(addr < stream_base + stream_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_access_constructors() {
+        assert!(!MemAccess::load(64).write);
+        assert!(MemAccess::store(64).write);
+        assert_eq!(MemAccess::load(64).vaddr.raw(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        TraceGenerator::new(0, 10, 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let gen = TraceGenerator::new(8, 1000, 4);
+        assert_eq!(gen.num_threads(), 8);
+        assert_eq!(gen.accesses_per_thread(), 1000);
+    }
+}

@@ -1,0 +1,1 @@
+//! Example applications for the ALLARM simulator live in `src/bin/`.

@@ -1,0 +1,2 @@
+//! Integration-test-only crate: the tests spanning multiple ALLARM crates
+//! live in the `tests/` subdirectory of this package.

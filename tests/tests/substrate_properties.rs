@@ -1,0 +1,151 @@
+//! Property-based tests of the substrate data structures: caches, the probe
+//! filter, the mesh, the NUMA allocator and the event queue.
+
+use allarm_cache::{CoherenceState, ReplacementPolicy, SetAssocCache};
+use allarm_coherence::ProbeFilter;
+use allarm_engine::EventQueue;
+use allarm_mem::{NumaAllocator, NumaPolicy};
+use allarm_noc::Mesh;
+use allarm_types::addr::{LineAddr, VirtAddr, PAGE_BYTES};
+use allarm_types::config::{CacheConfig, DramConfig, ProbeFilterConfig};
+use allarm_types::ids::{CoreId, NodeId};
+use allarm_types::Nanos;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A set-associative cache never holds more lines than its capacity and
+    /// never holds the same line twice, for any insert/invalidate sequence.
+    #[test]
+    fn cache_capacity_and_uniqueness(
+        ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..400),
+        policy in prop_oneof![
+            Just(ReplacementPolicy::Lru),
+            Just(ReplacementPolicy::Fifo),
+            Just(ReplacementPolicy::Random),
+        ],
+    ) {
+        let mut cache = SetAssocCache::with_policy(&CacheConfig::new(4096, 4, 1), policy);
+        for (line, invalidate) in ops {
+            let line = LineAddr::new(line);
+            if invalidate {
+                cache.invalidate(line);
+            } else {
+                cache.insert(line, CoherenceState::Exclusive);
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+            let mut seen = std::collections::HashSet::new();
+            for (addr, _) in cache.iter() {
+                prop_assert!(seen.insert(addr), "line {addr} present twice");
+            }
+        }
+    }
+
+    /// After inserting a line it is always findable until it is evicted or
+    /// invalidated; a victim is only reported when its set was full.
+    #[test]
+    fn cache_insert_makes_line_resident(lines in proptest::collection::vec(0u64..512, 1..200)) {
+        let mut cache = SetAssocCache::new(&CacheConfig::new(2048, 2, 1));
+        for line in lines {
+            let line = LineAddr::new(line);
+            cache.insert(line, CoherenceState::Shared);
+            prop_assert_eq!(cache.probe(line), Some(CoherenceState::Shared));
+        }
+    }
+
+    /// The probe filter never exceeds its capacity, and every allocation is
+    /// either findable afterwards or was rejected deterministically.
+    #[test]
+    fn probe_filter_occupancy_bounded(
+        lines in proptest::collection::vec(0u64..2048, 1..500),
+    ) {
+        let mut pf = ProbeFilter::new(&ProbeFilterConfig::new(64 * 64, 4));
+        for line in lines {
+            let line = LineAddr::new(line);
+            pf.allocate(line, CoreId::new(0));
+            prop_assert!(pf.peek(line).is_some(), "freshly allocated entry must be present");
+            prop_assert!(pf.occupancy() <= pf.capacity());
+        }
+        let stats = pf.stats();
+        prop_assert_eq!(
+            stats.evictions.get() + pf.occupancy() as u64 + stats.deallocations.get(),
+            stats.allocations.get(),
+            "allocations = evictions + resident + deallocations"
+        );
+    }
+
+    /// XY routing: the route length always equals the Manhattan distance
+    /// plus one, endpoints match, and consecutive nodes are mesh neighbours.
+    #[test]
+    fn mesh_routes_are_minimal_and_connected(
+        width in 1u32..6, height in 1u32..6, a in 0u16..36, b in 0u16..36,
+    ) {
+        let mesh = Mesh::new(width, height);
+        let n = (width * height) as u16;
+        let from = NodeId::new(a % n);
+        let to = NodeId::new(b % n);
+        let route = mesh.route(from, to);
+        prop_assert_eq!(route.len() as u32, mesh.hops(from, to) + 1);
+        prop_assert_eq!(route.first().copied(), Some(from));
+        prop_assert_eq!(route.last().copied(), Some(to));
+        for pair in route.windows(2) {
+            prop_assert_eq!(mesh.hops(pair[0], pair[1]), 1);
+        }
+    }
+
+    /// First-touch placement homes a page on its first toucher whenever that
+    /// node has capacity, and translations are stable afterwards.
+    #[test]
+    fn first_touch_is_sticky(
+        touches in proptest::collection::vec((0u64..64, 0u16..4), 1..200),
+    ) {
+        let mut numa = NumaAllocator::new(
+            4,
+            DramConfig::new(256 * PAGE_BYTES, 60),
+            NumaPolicy::FirstTouch,
+        );
+        let mut first: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+        for (page, node) in touches {
+            let vaddr = VirtAddr::new(page * PAGE_BYTES + 8);
+            let frame = numa.translate(vaddr, NodeId::new(node));
+            match first.entry(page) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // Plenty of capacity in this test, so no spills: the home
+                    // is the first toucher.
+                    prop_assert_eq!(frame.home, NodeId::new(node));
+                    e.insert(frame.home);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    prop_assert_eq!(frame.home, *e.get(), "mapping must be stable");
+                }
+            }
+            prop_assert_eq!(numa.home_of_page(frame.phys_page), frame.home);
+        }
+    }
+
+    /// The event queue pops in non-decreasing time order and preserves
+    /// insertion order among equal timestamps.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..50, 1..200),
+    ) {
+        let mut queue = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            queue.push(Nanos::new(*t), i);
+        }
+        let mut last_time = Nanos::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some(event) = queue.pop() {
+            prop_assert!(event.time >= last_time);
+            if event.time == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(event.payload > prev, "ties must pop in insertion order");
+                }
+            } else {
+                last_time = event.time;
+            }
+            last_seq_at_time = Some(event.payload);
+        }
+    }
+}
