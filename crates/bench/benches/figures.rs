@@ -1,14 +1,17 @@
-//! Criterion benchmarks of the figure-regeneration experiments themselves,
-//! at a reduced trace length so `cargo bench` finishes quickly. One target
-//! per figure family; the full-scale tables are produced by the binaries in
-//! `src/bin/` (see DESIGN.md for the index).
+//! Benchmarks of the figure-regeneration experiments themselves, at a
+//! reduced trace length so `cargo bench` finishes quickly. One target per
+//! figure family; the full-scale tables are produced by the binaries in
+//! `src/bin/`.
+//!
+//! Uses the workspace's own grouped harness (`allarm-harness`) — criterion
+//! is unavailable offline.
 
 use allarm_core::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, ExperimentConfig, FIG3H_COVERAGES,
     FIG4_COVERAGES,
 };
+use allarm_harness::{benchmark_main, black_box, Group};
 use allarm_workloads::Benchmark;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 /// A trimmed-down experiment: the full Table I machine but short traces, so
 /// one baseline+ALLARM pair runs in tens of milliseconds.
@@ -16,36 +19,37 @@ fn bench_config() -> ExperimentConfig {
     ExperimentConfig::paper().with_accesses_per_thread(4_000)
 }
 
-fn bench_fig2_and_fig3_single_benchmark(c: &mut Criterion) {
+fn fig3_comparison() {
     let cfg = bench_config();
-    let mut group = c.benchmark_group("fig3_comparison");
-    for bench in [Benchmark::OceanContiguous, Benchmark::Blackscholes, Benchmark::Dedup] {
-        group.bench_function(bench.name(), |b| {
-            b.iter(|| black_box(compare_benchmark(bench, &cfg).speedup()))
+    let mut group = Group::new("fig3_comparison").sample_count(10);
+    for bench in [
+        Benchmark::OceanContiguous,
+        Benchmark::Blackscholes,
+        Benchmark::Dedup,
+    ] {
+        group.bench(bench.name(), || {
+            black_box(compare_benchmark(bench, &cfg).speedup());
         });
     }
     group.finish();
 }
 
-fn bench_fig3h_sweep(c: &mut Criterion) {
+fn fig3h_sweep() {
     let cfg = bench_config();
-    c.bench_function("fig3h_pf_sweep/barnes", |b| {
-        b.iter(|| black_box(pf_size_sweep(Benchmark::Barnes, &cfg, &FIG3H_COVERAGES).len()))
+    let mut group = Group::new("fig3h_pf_sweep").sample_count(10);
+    group.bench("barnes", || {
+        black_box(pf_size_sweep(Benchmark::Barnes, &cfg, &FIG3H_COVERAGES).len());
     });
+    group.finish();
 }
 
-fn bench_fig4_multiprocess(c: &mut Criterion) {
+fn fig4_multiprocess() {
     let cfg = bench_config();
-    c.bench_function("fig4_multiprocess/ocean-cont", |b| {
-        b.iter(|| {
-            black_box(multiprocess_sweep(Benchmark::OceanContiguous, &cfg, &FIG4_COVERAGES).len())
-        })
+    let mut group = Group::new("fig4_multiprocess").sample_count(10);
+    group.bench("ocean-cont", || {
+        black_box(multiprocess_sweep(Benchmark::OceanContiguous, &cfg, &FIG4_COVERAGES).len());
     });
+    group.finish();
 }
 
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig2_and_fig3_single_benchmark, bench_fig3h_sweep, bench_fig4_multiprocess
-);
-criterion_main!(figures);
+benchmark_main!(fig3_comparison, fig3h_sweep, fig4_multiprocess);

@@ -39,14 +39,41 @@ fn main() {
         fig3f_pf.push(name, cmp.normalized_pf_energy());
         fig3g.push(name, cmp.hidden_probe_fraction());
     }
-    print!("{}\n", render_table("Fig. 2: local vs remote directory requests", &[fig2_local, fig2_remote]));
-    print!("{}\n", render_table("Fig. 3a: speedup over baseline", &[fig3a]));
-    print!("{}\n", render_table("Fig. 3b: normalised probe-filter evictions", &[fig3b]));
-    print!("{}\n", render_table("Fig. 3c: normalised network traffic", &[fig3c]));
-    print!("{}\n", render_table("Fig. 3d: messages per probe-filter eviction", &[fig3d]));
-    print!("{}\n", render_table("Fig. 3e: normalised L2 misses", &[fig3e]));
-    print!("{}\n", render_table("Fig. 3f: normalised dynamic energy", &[fig3f_noc, fig3f_pf]));
-    print!("{}\n", render_table("Fig. 3g: local probes off the critical path", &[fig3g]));
+    println!(
+        "{}",
+        render_table(
+            "Fig. 2: local vs remote directory requests",
+            &[fig2_local, fig2_remote]
+        )
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3a: speedup over baseline", &[fig3a])
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3b: normalised probe-filter evictions", &[fig3b])
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3c: normalised network traffic", &[fig3c])
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3d: messages per probe-filter eviction", &[fig3d])
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3e: normalised L2 misses", &[fig3e])
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3f: normalised dynamic energy", &[fig3f_noc, fig3f_pf])
+    );
+    println!(
+        "{}",
+        render_table("Fig. 3g: local probes off the critical path", &[fig3g])
+    );
 
     // Fig. 3h.
     let mut fig3h: Vec<FigureSeries> = FIG3H_COVERAGES
@@ -61,7 +88,10 @@ fn main() {
             fig3h[i].push(bench.name(), reference / p.allarm.runtime.as_f64());
         }
     }
-    print!("{}\n", render_table("Fig. 3h: ALLARM speedup vs probe-filter size", &fig3h));
+    println!(
+        "{}",
+        render_table("Fig. 3h: ALLARM speedup vs probe-filter size", &fig3h)
+    );
 
     // Fig. 4.
     let labels: Vec<String> = FIG4_COVERAGES.iter().map(|c| format_coverage(*c)).collect();
@@ -91,24 +121,50 @@ fn main() {
         let ref_evictions = reference.baseline.pf_evictions as f64;
         let ref_bytes = reference.baseline.noc_bytes as f64;
         let columns: [Vec<f64>; 6] = [
-            points.iter().map(|p| ref_runtime / p.baseline.runtime.as_f64()).collect(),
-            points.iter().map(|p| allarm_types::stats::normalized(p.baseline.pf_evictions as f64, ref_evictions)).collect(),
-            points.iter().map(|p| allarm_types::stats::normalized(p.baseline.noc_bytes as f64, ref_bytes)).collect(),
-            points.iter().map(|p| ref_runtime / p.allarm.runtime.as_f64()).collect(),
-            points.iter().map(|p| allarm_types::stats::normalized(p.allarm.pf_evictions as f64, ref_evictions)).collect(),
-            points.iter().map(|p| allarm_types::stats::normalized(p.allarm.noc_bytes as f64, ref_bytes)).collect(),
+            points
+                .iter()
+                .map(|p| ref_runtime / p.baseline.runtime.as_f64())
+                .collect(),
+            points
+                .iter()
+                .map(|p| {
+                    allarm_types::stats::normalized(p.baseline.pf_evictions as f64, ref_evictions)
+                })
+                .collect(),
+            points
+                .iter()
+                .map(|p| allarm_types::stats::normalized(p.baseline.noc_bytes as f64, ref_bytes))
+                .collect(),
+            points
+                .iter()
+                .map(|p| ref_runtime / p.allarm.runtime.as_f64())
+                .collect(),
+            points
+                .iter()
+                .map(|p| {
+                    allarm_types::stats::normalized(p.allarm.pf_evictions as f64, ref_evictions)
+                })
+                .collect(),
+            points
+                .iter()
+                .map(|p| allarm_types::stats::normalized(p.allarm.noc_bytes as f64, ref_bytes))
+                .collect(),
         ];
         for (panel, values) in panels.iter_mut().zip(columns) {
             panel.1.push(make(values));
         }
     }
     for (title, series) in &panels {
-        print!("{}\n", render_sweep_table(title, &labels, series));
+        println!("{}", render_sweep_table(title, &labels, series));
     }
 
     // Area table.
     println!("# Probe-filter area (mm2)");
     for capacity in [512, 256, 128, 64, 32u64] {
-        println!("{:>6}kB  {:>8.2}", capacity, probe_filter_area_mm2(capacity * 1024));
+        println!(
+            "{:>6}kB  {:>8.2}",
+            capacity,
+            probe_filter_area_mm2(capacity * 1024)
+        );
     }
 }

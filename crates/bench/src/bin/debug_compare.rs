@@ -22,12 +22,27 @@ fn main() {
         println!("l1/l2 hits         {} / {}", report.l1_hits, report.l2_hits);
         println!("l2 misses          {}", report.l2_misses);
         println!("dir requests       {}", report.directory_requests);
-        println!("  local/remote     {} / {}", report.local_requests, report.remote_requests);
-        println!("pf alloc/evict     {} / {}", report.pf_allocations, report.pf_evictions);
-        println!("eviction msgs/inv  {} / {}", report.eviction_messages, report.eviction_invalidations);
+        println!(
+            "  local/remote     {} / {}",
+            report.local_requests, report.remote_requests
+        );
+        println!(
+            "pf alloc/evict     {} / {}",
+            report.pf_allocations, report.pf_evictions
+        );
+        println!(
+            "eviction msgs/inv  {} / {}",
+            report.eviction_messages, report.eviction_invalidations
+        );
         println!("allarm skips       {}", report.allarm_allocation_skips);
-        println!("noc bytes/msgs     {} / {}", report.noc_bytes, report.noc_messages);
-        println!("dram reads/writes  {} / {}", report.dram_reads, report.dram_writes);
+        println!(
+            "noc bytes/msgs     {} / {}",
+            report.noc_bytes, report.noc_messages
+        );
+        println!(
+            "dram reads/writes  {} / {}",
+            report.dram_reads, report.dram_writes
+        );
         println!(
             "local probes       {} (hits {}, hidden {})",
             report.local_probes, report.local_probe_hits, report.local_probes_hidden

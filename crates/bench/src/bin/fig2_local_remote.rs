@@ -11,5 +11,11 @@ fn main() {
         local.push(bench.name(), cmp.baseline.local_fraction());
         remote.push(bench.name(), cmp.baseline.remote_fraction());
     }
-    print!("{}", render_table("Fig. 2: fraction of local vs remote directory requests", &[local, remote]));
+    print!(
+        "{}",
+        render_table(
+            "Fig. 2: fraction of local vs remote directory requests",
+            &[local, remote]
+        )
+    );
 }

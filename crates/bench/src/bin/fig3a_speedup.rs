@@ -9,5 +9,8 @@ fn main() {
     for (bench, cmp) in all_comparisons(&cfg) {
         series.push(bench.name(), cmp.speedup());
     }
-    print!("{}", render_table("Fig. 3a: speedup over baseline", &[series]));
+    print!(
+        "{}",
+        render_table("Fig. 3a: speedup over baseline", &[series])
+    );
 }

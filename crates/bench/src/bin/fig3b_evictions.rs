@@ -13,5 +13,11 @@ fn main() {
         base.push(bench.name(), cmp.baseline.pf_evictions as f64);
         allarm.push(bench.name(), cmp.allarm.pf_evictions as f64);
     }
-    print!("{}", render_table("Fig. 3b: normalised probe-filter evictions", &[norm, base, allarm]));
+    print!(
+        "{}",
+        render_table(
+            "Fig. 3b: normalised probe-filter evictions",
+            &[norm, base, allarm]
+        )
+    );
 }

@@ -9,5 +9,8 @@ fn main() {
     for (bench, cmp) in all_comparisons(&cfg) {
         series.push(bench.name(), cmp.normalized_traffic());
     }
-    print!("{}", render_table("Fig. 3c: normalised network traffic (bytes)", &[series]));
+    print!(
+        "{}",
+        render_table("Fig. 3c: normalised network traffic (bytes)", &[series])
+    );
 }

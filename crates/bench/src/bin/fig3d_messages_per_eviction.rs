@@ -9,5 +9,11 @@ fn main() {
     for (bench, cmp) in all_comparisons(&cfg) {
         series.push(bench.name(), cmp.baseline_messages_per_eviction());
     }
-    print!("{}", render_table("Fig. 3d: average messages per probe-filter eviction", &[series]));
+    print!(
+        "{}",
+        render_table(
+            "Fig. 3d: average messages per probe-filter eviction",
+            &[series]
+        )
+    );
 }

@@ -9,5 +9,8 @@ fn main() {
     for (bench, cmp) in all_comparisons(&cfg) {
         series.push(bench.name(), cmp.normalized_l2_misses());
     }
-    print!("{}", render_table("Fig. 3e: normalised L2 misses", &[series]));
+    print!(
+        "{}",
+        render_table("Fig. 3e: normalised L2 misses", &[series])
+    );
 }

@@ -12,5 +12,8 @@ fn main() {
         noc.push(bench.name(), cmp.normalized_noc_energy());
         pf.push(bench.name(), cmp.normalized_pf_energy());
     }
-    print!("{}", render_table("Fig. 3f: normalised dynamic energy", &[noc, pf]));
+    print!(
+        "{}",
+        render_table("Fig. 3f: normalised dynamic energy", &[noc, pf])
+    );
 }

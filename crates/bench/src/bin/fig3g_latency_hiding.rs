@@ -10,5 +10,11 @@ fn main() {
     for (bench, cmp) in all_comparisons(&cfg) {
         series.push(bench.name(), cmp.hidden_probe_fraction());
     }
-    print!("{}", render_table("Fig. 3g: fraction of local probes off the critical path", &[series]));
+    print!(
+        "{}",
+        render_table(
+            "Fig. 3g: fraction of local probes off the critical path",
+            &[series]
+        )
+    );
 }

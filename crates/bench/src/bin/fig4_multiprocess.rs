@@ -8,7 +8,11 @@ use allarm_core::report::{format_coverage, render_sweep_table, FigureSeries};
 use allarm_core::{multiprocess_sweep, SweepPoint, FIG4_COVERAGES};
 use allarm_workloads::Benchmark;
 
-fn print_panel(title: &str, benches: &[(Benchmark, Vec<SweepPoint>)], value: impl Fn(&SweepPoint, &SweepPoint) -> f64) {
+fn print_panel(
+    title: &str,
+    benches: &[(Benchmark, Vec<SweepPoint>)],
+    value: impl Fn(&SweepPoint, &SweepPoint) -> f64,
+) {
     let labels: Vec<String> = FIG4_COVERAGES.iter().map(|c| format_coverage(*c)).collect();
     let series: Vec<FigureSeries> = benches
         .iter()
@@ -35,23 +39,55 @@ fn main() {
         .collect();
 
     // Baseline panels (Fig. 4a-4c).
-    print_panel("Fig. 4a: baseline speedup vs PF size", &benches, |p, reference| {
-        reference.baseline.runtime.as_f64() / p.baseline.runtime.as_f64()
-    });
-    print_panel("Fig. 4b: baseline normalised evictions", &benches, |p, reference| {
-        allarm_types::stats::normalized(p.baseline.pf_evictions as f64, reference.baseline.pf_evictions as f64)
-    });
-    print_panel("Fig. 4c: baseline normalised traffic", &benches, |p, reference| {
-        allarm_types::stats::normalized(p.baseline.noc_bytes as f64, reference.baseline.noc_bytes as f64)
-    });
+    print_panel(
+        "Fig. 4a: baseline speedup vs PF size",
+        &benches,
+        |p, reference| reference.baseline.runtime.as_f64() / p.baseline.runtime.as_f64(),
+    );
+    print_panel(
+        "Fig. 4b: baseline normalised evictions",
+        &benches,
+        |p, reference| {
+            allarm_types::stats::normalized(
+                p.baseline.pf_evictions as f64,
+                reference.baseline.pf_evictions as f64,
+            )
+        },
+    );
+    print_panel(
+        "Fig. 4c: baseline normalised traffic",
+        &benches,
+        |p, reference| {
+            allarm_types::stats::normalized(
+                p.baseline.noc_bytes as f64,
+                reference.baseline.noc_bytes as f64,
+            )
+        },
+    );
     // ALLARM panels (Fig. 4d-4f), still normalised to the 512 kB baseline.
-    print_panel("Fig. 4d: ALLARM speedup vs PF size", &benches, |p, reference| {
-        reference.baseline.runtime.as_f64() / p.allarm.runtime.as_f64()
-    });
-    print_panel("Fig. 4e: ALLARM normalised evictions", &benches, |p, reference| {
-        allarm_types::stats::normalized(p.allarm.pf_evictions as f64, reference.baseline.pf_evictions as f64)
-    });
-    print_panel("Fig. 4f: ALLARM normalised traffic", &benches, |p, reference| {
-        allarm_types::stats::normalized(p.allarm.noc_bytes as f64, reference.baseline.noc_bytes as f64)
-    });
+    print_panel(
+        "Fig. 4d: ALLARM speedup vs PF size",
+        &benches,
+        |p, reference| reference.baseline.runtime.as_f64() / p.allarm.runtime.as_f64(),
+    );
+    print_panel(
+        "Fig. 4e: ALLARM normalised evictions",
+        &benches,
+        |p, reference| {
+            allarm_types::stats::normalized(
+                p.allarm.pf_evictions as f64,
+                reference.baseline.pf_evictions as f64,
+            )
+        },
+    );
+    print_panel(
+        "Fig. 4f: ALLARM normalised traffic",
+        &benches,
+        |p, reference| {
+            allarm_types::stats::normalized(
+                p.allarm.noc_bytes as f64,
+                reference.baseline.noc_bytes as f64,
+            )
+        },
+    );
 }

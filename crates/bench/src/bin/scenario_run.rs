@@ -1,0 +1,94 @@
+//! Runs a declarative scenario document: the front door of the redesigned
+//! API. Accepts a single `Scenario` or a `ScenarioGrid` in TOML or JSON,
+//! expands it, executes the set in parallel, and prints one summary row per
+//! run (or full JSONL reports with `--json`).
+//!
+//! ```text
+//! cargo run --release -p allarm-bench --bin scenario_run -- scenarios/fig3_comparison.toml
+//! cargo run --release -p allarm-bench --bin scenario_run -- --json my_scenario.toml
+//! ```
+
+use allarm_bench::parse_scenario_doc;
+use allarm_core::{BatchRunner, JsonlSink};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}` (supported: --json)");
+                return ExitCode::FAILURE;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: scenario_run [--json] <scenario.toml|scenario.json>");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let is_toml = !path.ends_with(".json");
+    let doc = match parse_scenario_doc(&text, is_toml) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenarios = doc.expand();
+    let runner = BatchRunner::new();
+    eprintln!(
+        "[scenario_run] {} scenario(s) on {} threads",
+        scenarios.len(),
+        runner.num_threads()
+    );
+
+    if json {
+        let mut sink = JsonlSink::new();
+        if let Err(e) = runner.run_with_sink(&scenarios, &mut sink) {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", sink.into_string());
+        return ExitCode::SUCCESS;
+    }
+
+    let results = match runner.run(&scenarios) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<40} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "scenario", "runtime ns", "l2 misses", "pf evict", "noc bytes", "local"
+    );
+    for entry in &results.entries {
+        println!(
+            "{:<40} {:>12} {:>10} {:>10} {:>12} {:>10.3}",
+            entry.scenario.name,
+            entry.report.runtime.as_u64(),
+            entry.report.l2_misses,
+            entry.report.pf_evictions,
+            entry.report.noc_bytes,
+            entry.report.local_fraction(),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,14 +1,17 @@
-//! Shared helpers for the figure-regeneration binaries and criterion
-//! benches.
+//! Shared helpers for the figure-regeneration binaries and benches.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the ALLARM
-//! paper (see DESIGN.md for the index). They share the experiment scale
-//! handling and the per-benchmark comparison loop defined here.
+//! paper. Since the Scenario/Builder redesign each figure is a declarative
+//! [`ScenarioGrid`] — constructed here and also checked in as TOML under
+//! `scenarios/` — executed in parallel by the [`allarm_core::BatchRunner`].
 
 #![warn(missing_docs)]
 
-use allarm_core::{compare_benchmark, Comparison, ExperimentConfig};
+use allarm_core::{
+    AllocationPolicy, BatchRunner, Comparison, ExperimentConfig, Scenario, ScenarioGrid,
+};
 use allarm_workloads::Benchmark;
+use serde::Deserialize as _;
 
 /// Reads the experiment scale from the `ALLARM_ACCESSES` environment
 /// variable (main-phase accesses per thread), falling back to the paper
@@ -27,17 +30,97 @@ pub fn figure_config() -> ExperimentConfig {
     cfg
 }
 
+/// The grid behind Fig. 2 and Fig. 3a–3g: every benchmark of the
+/// multi-threaded evaluation under both allocation policies. Also checked
+/// in as `scenarios/fig3_comparison.toml`.
+pub fn fig3_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    ScenarioGrid::new(cfg.scenario(Benchmark::Barnes, AllocationPolicy::Baseline))
+        .benchmarks(Benchmark::ALL.to_vec())
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
+/// The grid behind Fig. 3h: every benchmark × the three probe-filter
+/// coverages × both policies. Also checked in as
+/// `scenarios/fig3h_pf_sweep.toml`.
+pub fn fig3h_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    fig3_grid(cfg).pf_coverages(allarm_core::FIG3H_COVERAGES.to_vec())
+}
+
+/// The grid behind Fig. 4: the SPLASH2 subset as two-process workloads ×
+/// five probe-filter coverages × both policies. Also checked in as
+/// `scenarios/fig4_multiprocess.toml`.
+pub fn fig4_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    ScenarioGrid::new(cfg.multiprocess_scenario(Benchmark::Barnes, AllocationPolicy::Baseline))
+        .benchmarks(Benchmark::MULTIPROCESS.to_vec())
+        .pf_coverages(allarm_core::FIG4_COVERAGES.to_vec())
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
 /// Runs the baseline-vs-ALLARM comparison for every benchmark of the
-/// multi-threaded evaluation (the runs behind Fig. 2 and Fig. 3a–3g),
-/// printing a progress line per benchmark to stderr.
+/// multi-threaded evaluation (the runs behind Fig. 2 and Fig. 3a–3g). All
+/// 16 scenarios execute in parallel across OS threads.
 pub fn all_comparisons(cfg: &ExperimentConfig) -> Vec<(Benchmark, Comparison)> {
-    Benchmark::ALL
-        .iter()
-        .map(|&bench| {
-            eprintln!("[allarm-bench] running {bench} (baseline + allarm)...");
-            (bench, compare_benchmark(bench, cfg))
-        })
-        .collect()
+    let scenarios = fig3_grid(cfg).expand();
+    eprintln!(
+        "[allarm-bench] running {} scenarios on {} threads...",
+        scenarios.len(),
+        BatchRunner::new().num_threads()
+    );
+    let results = BatchRunner::new()
+        .run(&scenarios)
+        .unwrap_or_else(|e| panic!("invalid figure configuration: {e}"));
+    let comparisons = results.paired();
+    assert_eq!(
+        comparisons.len(),
+        Benchmark::ALL.len(),
+        "one baseline/allarm pair per benchmark"
+    );
+    Benchmark::ALL.iter().copied().zip(comparisons).collect()
+}
+
+/// A parsed scenario document: either a single scenario or a sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioDoc {
+    /// One scenario.
+    Single(Box<Scenario>),
+    /// A grid of scenarios.
+    Grid(Box<ScenarioGrid>),
+}
+
+impl ScenarioDoc {
+    /// The scenarios this document expands to.
+    pub fn expand(&self) -> Vec<Scenario> {
+        match self {
+            ScenarioDoc::Single(s) => vec![(**s).clone()],
+            ScenarioDoc::Grid(g) => g.expand(),
+        }
+    }
+}
+
+/// Parses a scenario document from TOML (`.toml`) or JSON (anything else).
+/// A document whose *top level* has a `base` table is a [`ScenarioGrid`];
+/// otherwise it is a single [`Scenario`]. (The detection is structural —
+/// parsed, not substring-matched — so a scenario merely *named* "base" is
+/// not misclassified.)
+///
+/// # Errors
+///
+/// Returns an error string describing the first malformed field.
+pub fn parse_scenario_doc(text: &str, is_toml: bool) -> Result<ScenarioDoc, String> {
+    let tree: serde::Value = if is_toml {
+        toml::from_str(text).map_err(|e| format!("invalid scenario document: {e}"))?
+    } else {
+        serde_json::from_str(text).map_err(|e| format!("invalid scenario document: {e}"))?
+    };
+    if tree.get("base").is_some() {
+        ScenarioGrid::from_value(&tree)
+            .map(|g| ScenarioDoc::Grid(Box::new(g)))
+            .map_err(|e| format!("invalid scenario grid: {e}"))
+    } else {
+        Scenario::from_value(&tree)
+            .map(|s| ScenarioDoc::Single(Box::new(s)))
+            .map_err(|e| format!("invalid scenario: {e}"))
+    }
 }
 
 #[cfg(test)]
@@ -50,5 +133,38 @@ mod tests {
         let cfg = figure_config();
         assert_eq!(cfg.threads, 16);
         assert!(cfg.accesses_per_thread >= 1_000);
+    }
+
+    #[test]
+    fn figure_grids_have_the_expected_sizes() {
+        let cfg = ExperimentConfig::quick_test();
+        assert_eq!(fig3_grid(&cfg).len(), 16); // 8 benchmarks x 2 policies
+        assert_eq!(fig3h_grid(&cfg).len(), 48); // x 3 coverages
+        assert_eq!(fig4_grid(&cfg).len(), 40); // 4 benchmarks x 5 coverages x 2
+        fig3_grid(&cfg).validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_docs_parse_both_shapes() {
+        let cfg = ExperimentConfig::quick_test();
+        let single = cfg.scenario(Benchmark::Barnes, AllocationPolicy::Allarm);
+        let doc = parse_scenario_doc(&single.to_toml().unwrap(), true).unwrap();
+        assert_eq!(doc, ScenarioDoc::Single(Box::new(single.clone())));
+        assert_eq!(doc.expand().len(), 1);
+
+        let grid = fig3_grid(&cfg);
+        let doc = parse_scenario_doc(&grid.to_toml().unwrap(), true).unwrap();
+        assert_eq!(doc, ScenarioDoc::Grid(Box::new(grid.clone())));
+        assert_eq!(doc.expand().len(), 16);
+
+        // JSON forms too.
+        let doc = parse_scenario_doc(&single.to_json(), false).unwrap();
+        assert_eq!(doc.expand(), vec![single]);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse_scenario_doc("nonsense", true).is_err());
+        assert!(parse_scenario_doc("{}", false).is_err());
     }
 }

@@ -339,7 +339,10 @@ mod tests {
             c.fill(LineAddr::new(i), CoherenceState::Exclusive);
         }
         // Line 0 now lives in L2.
-        assert_eq!(c.invalidate(LineAddr::new(0)), Some(CoherenceState::Exclusive));
+        assert_eq!(
+            c.invalidate(LineAddr::new(0)),
+            Some(CoherenceState::Exclusive)
+        );
         assert!(!c.contains(LineAddr::new(0)));
         assert_eq!(c.invalidate(LineAddr::new(9999)), None);
     }

@@ -31,8 +31,15 @@ impl ReplacementPolicy {
     ///
     /// Panics if the slices are empty or have different lengths.
     pub fn pick_victim(self, last_touch: &[u64], inserted: &[u64], tick: u64) -> usize {
-        assert!(!last_touch.is_empty(), "cannot pick a victim from an empty set");
-        assert_eq!(last_touch.len(), inserted.len(), "metadata slices must match");
+        assert!(
+            !last_touch.is_empty(),
+            "cannot pick a victim from an empty set"
+        );
+        assert_eq!(
+            last_touch.len(),
+            inserted.len(),
+            "metadata slices must match"
+        );
         match self {
             ReplacementPolicy::Lru => last_touch
                 .iter()
@@ -81,21 +88,30 @@ mod tests {
     fn lru_picks_least_recently_touched() {
         let last_touch = [10, 3, 7, 9];
         let inserted = [0, 1, 2, 3];
-        assert_eq!(ReplacementPolicy::Lru.pick_victim(&last_touch, &inserted, 11), 1);
+        assert_eq!(
+            ReplacementPolicy::Lru.pick_victim(&last_touch, &inserted, 11),
+            1
+        );
     }
 
     #[test]
     fn lru_breaks_ties_by_way_index() {
         let last_touch = [5, 5, 5];
         let inserted = [0, 1, 2];
-        assert_eq!(ReplacementPolicy::Lru.pick_victim(&last_touch, &inserted, 6), 0);
+        assert_eq!(
+            ReplacementPolicy::Lru.pick_victim(&last_touch, &inserted, 6),
+            0
+        );
     }
 
     #[test]
     fn fifo_ignores_touches() {
         let last_touch = [100, 1, 50];
         let inserted = [2, 5, 0];
-        assert_eq!(ReplacementPolicy::Fifo.pick_victim(&last_touch, &inserted, 101), 2);
+        assert_eq!(
+            ReplacementPolicy::Fifo.pick_victim(&last_touch, &inserted, 101),
+            2
+        );
     }
 
     #[test]

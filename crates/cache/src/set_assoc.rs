@@ -126,7 +126,10 @@ impl SetAssocCache {
     /// statistics (a directory probe).
     pub fn probe(&self, line: LineAddr) -> Option<CoherenceState> {
         let set = self.set_index(line);
-        self.sets[set].iter().find(|w| w.addr == line).map(|w| w.state)
+        self.sets[set]
+            .iter()
+            .find(|w| w.addr == line)
+            .map(|w| w.state)
     }
 
     /// Inserts `line` in `state`, evicting a victim if the set is full.
@@ -244,7 +247,9 @@ impl SetAssocCache {
 
     /// Iterates over all resident lines and their states.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, CoherenceState)> + '_ {
-        self.sets.iter().flat_map(|s| s.iter().map(|w| (w.addr, w.state)))
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| (w.addr, w.state)))
     }
 }
 
@@ -276,7 +281,9 @@ mod tests {
         c.insert(LineAddr::new(2), CoherenceState::Exclusive);
         // Touch line 0 so line 2 becomes LRU.
         c.lookup(LineAddr::new(0));
-        let victim = c.insert(LineAddr::new(4), CoherenceState::Exclusive).unwrap();
+        let victim = c
+            .insert(LineAddr::new(4), CoherenceState::Exclusive)
+            .unwrap();
         assert_eq!(victim.addr, LineAddr::new(2));
         assert_eq!(c.stats().evictions.get(), 1);
         assert!(c.probe(LineAddr::new(0)).is_some());
@@ -320,7 +327,10 @@ mod tests {
     fn invalidate_removes_and_counts() {
         let mut c = tiny();
         c.insert(LineAddr::new(0), CoherenceState::Modified);
-        assert_eq!(c.invalidate(LineAddr::new(0)), Some(CoherenceState::Modified));
+        assert_eq!(
+            c.invalidate(LineAddr::new(0)),
+            Some(CoherenceState::Modified)
+        );
         assert_eq!(c.invalidate(LineAddr::new(0)), None);
         assert_eq!(c.stats().invalidations.get(), 1);
         assert_eq!(c.stats().writebacks.get(), 1);
@@ -331,7 +341,10 @@ mod tests {
     fn remove_silently_does_not_count_invalidation() {
         let mut c = tiny();
         c.insert(LineAddr::new(0), CoherenceState::Exclusive);
-        assert_eq!(c.remove_silently(LineAddr::new(0)), Some(CoherenceState::Exclusive));
+        assert_eq!(
+            c.remove_silently(LineAddr::new(0)),
+            Some(CoherenceState::Exclusive)
+        );
         assert_eq!(c.stats().invalidations.get(), 0);
         assert_eq!(c.remove_silently(LineAddr::new(0)), None);
     }

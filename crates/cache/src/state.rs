@@ -100,11 +100,26 @@ mod tests {
 
     #[test]
     fn remote_read_transitions() {
-        assert_eq!(CoherenceState::Modified.after_remote_read(), CoherenceState::Owned);
-        assert_eq!(CoherenceState::Owned.after_remote_read(), CoherenceState::Owned);
-        assert_eq!(CoherenceState::Exclusive.after_remote_read(), CoherenceState::Shared);
-        assert_eq!(CoherenceState::Shared.after_remote_read(), CoherenceState::Shared);
-        assert_eq!(CoherenceState::Invalid.after_remote_read(), CoherenceState::Invalid);
+        assert_eq!(
+            CoherenceState::Modified.after_remote_read(),
+            CoherenceState::Owned
+        );
+        assert_eq!(
+            CoherenceState::Owned.after_remote_read(),
+            CoherenceState::Owned
+        );
+        assert_eq!(
+            CoherenceState::Exclusive.after_remote_read(),
+            CoherenceState::Shared
+        );
+        assert_eq!(
+            CoherenceState::Shared.after_remote_read(),
+            CoherenceState::Shared
+        );
+        assert_eq!(
+            CoherenceState::Invalid.after_remote_read(),
+            CoherenceState::Invalid
+        );
     }
 
     #[test]

@@ -256,7 +256,11 @@ impl DirectoryController {
         latency
     }
 
-    fn handle_hit(&mut self, req: CoherenceRequest, sys: &mut dyn SystemAccess) -> DirectoryResponse {
+    fn handle_hit(
+        &mut self,
+        req: CoherenceRequest,
+        sys: &mut dyn SystemAccess,
+    ) -> DirectoryResponse {
         let entry = self
             .probe_filter
             .peek(req.line)
@@ -299,8 +303,7 @@ impl DirectoryController {
                             let dram = sys.dram_read(self.home);
                             self.stats.dram_fills.incr();
                             let probe_path = probe + sys.cache_access_latency() + ack;
-                            let data =
-                                sys.send(self.home, req.requester_node, MessageClass::Data);
+                            let data = sys.send(self.home, req.requester_node, MessageClass::Data);
                             // Re-establish tracking for the requester. Other
                             // sharers may remain in the entry, in which case
                             // the requester only gets a shared copy.
@@ -344,7 +347,8 @@ impl DirectoryController {
                 }
             }
             RequestKind::GetX | RequestKind::Upgrade => {
-                let response = self.invalidate_for_ownership(req, entry.sharers.iter().collect(), sys);
+                let response =
+                    self.invalidate_for_ownership(req, entry.sharers.iter().collect(), sys);
                 self.probe_filter.set_owner(req.line, req.requester, true);
                 response
             }
@@ -361,9 +365,10 @@ impl DirectoryController {
         sys: &mut dyn SystemAccess,
     ) -> DirectoryResponse {
         let targets: Vec<CoreId> = match self.sharer_tracking {
-            SharerTracking::SharerVector => {
-                sharers.into_iter().filter(|c| *c != req.requester).collect()
-            }
+            SharerTracking::SharerVector => sharers
+                .into_iter()
+                .filter(|c| *c != req.requester)
+                .collect(),
             SharerTracking::HammerBroadcast => (0..sys.num_cores() as u16)
                 .map(CoreId::new)
                 .filter(|c| *c != req.requester)
@@ -409,7 +414,11 @@ impl DirectoryController {
         }
     }
 
-    fn handle_miss(&mut self, req: CoherenceRequest, sys: &mut dyn SystemAccess) -> DirectoryResponse {
+    fn handle_miss(
+        &mut self,
+        req: CoherenceRequest,
+        sys: &mut dyn SystemAccess,
+    ) -> DirectoryResponse {
         let allocate = self.policy.should_allocate(req.requester_node, self.home);
 
         if !allocate {
@@ -738,7 +747,10 @@ mod tests {
         assert!(entry.sharers.contains(CoreId::new(0)));
         assert!(entry.sharers.contains(CoreId::new(2)));
         assert_eq!(entry.owner, CoreId::new(0));
-        assert_eq!(sys.caches[0].state_of(LineAddr::new(100)), Some(CoherenceState::Owned));
+        assert_eq!(
+            sys.caches[0].state_of(LineAddr::new(100)),
+            Some(CoherenceState::Owned)
+        );
     }
 
     #[test]
@@ -906,7 +918,8 @@ mod tests {
         let mut sys_bc = MiniSystem::new();
         let mut cfg = ProbeFilterConfig::new(2 * 64, 2);
         cfg.replacement = allarm_types::config::PfReplacement::Lru;
-        let mut dir_vec = DirectoryController::new(NodeId::new(0), &cfg, AllocationPolicy::Baseline);
+        let mut dir_vec =
+            DirectoryController::new(NodeId::new(0), &cfg, AllocationPolicy::Baseline);
         cfg.sharer_tracking = SharerTracking::HammerBroadcast;
         let mut dir_bc = DirectoryController::new(NodeId::new(0), &cfg, AllocationPolicy::Baseline);
 

@@ -1,6 +1,7 @@
 //! Probe-filter allocation policies: the baseline and ALLARM.
 
 use allarm_types::ids::NodeId;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Decides whether a request that *misses* in the probe filter allocates a
@@ -14,7 +15,7 @@ use std::fmt;
 /// when the requester is in the directory's own affinity domain, on the
 /// (statistical, not correctness-critical) assumption that such requests are
 /// to private data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum AllocationPolicy {
     /// Allocate a probe-filter entry on every miss (conventional sparse
     /// directory; the paper's baseline).

@@ -140,7 +140,10 @@ impl ProbeFilter {
         let tick = self.tick;
         self.stats.array_accesses.incr();
         let set = self.set_index(line);
-        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+        if let Some(slot) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.entry.line == line)
+        {
             slot.last_touch = tick;
             self.stats.hits.incr();
             Some(slot.entry)
@@ -227,7 +230,10 @@ impl ProbeFilter {
     /// no entry exists.
     pub fn add_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
         let set = self.set_index(line);
-        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+        if let Some(slot) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.entry.line == line)
+        {
             slot.entry.sharers.insert(core);
             true
         } else {
@@ -239,7 +245,10 @@ impl ProbeFilter {
     /// the new owner, as happens after a GetX).
     pub fn set_owner(&mut self, line: LineAddr, owner: CoreId, exclusive: bool) -> bool {
         let set = self.set_index(line);
-        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+        if let Some(slot) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.entry.line == line)
+        {
             slot.entry.owner = owner;
             if exclusive {
                 slot.entry.sharers = SharerSet::only(owner);
@@ -261,7 +270,10 @@ impl ProbeFilter {
     /// can free the entry once no copies remain.
     pub fn remove_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
         let set = self.set_index(line);
-        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+        if let Some(slot) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.entry.line == line)
+        {
             slot.entry.sharers.remove(core);
             self.stats.array_accesses.incr();
             if slot.entry.sharers.is_empty() {
@@ -276,7 +288,10 @@ impl ProbeFilter {
     /// Explicitly removes the entry for `line`, if present.
     pub fn deallocate(&mut self, line: LineAddr) -> bool {
         let set = self.set_index(line);
-        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.valid && s.entry.line == line) {
+        if let Some(slot) = self.sets[set]
+            .iter_mut()
+            .find(|s| s.valid && s.entry.line == line)
+        {
             slot.valid = false;
             self.stats.deallocations.incr();
             true
@@ -287,7 +302,11 @@ impl ProbeFilter {
 
     /// Number of valid entries currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flat_map(|s| s.iter()).filter(|s| s.valid).count()
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|s| s.valid)
+            .count()
     }
 
     /// Maximum number of entries.

@@ -60,7 +60,12 @@ pub struct CoherenceRequest {
 
 impl CoherenceRequest {
     /// Creates a request.
-    pub fn new(line: LineAddr, kind: RequestKind, requester: CoreId, requester_node: NodeId) -> Self {
+    pub fn new(
+        line: LineAddr,
+        kind: RequestKind,
+        requester: CoreId,
+        requester_node: NodeId,
+    ) -> Self {
         CoherenceRequest {
             line,
             kind,

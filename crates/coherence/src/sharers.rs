@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn iter_ascending_order() {
-        let s: SharerSet = [CoreId::new(5), CoreId::new(1), CoreId::new(63)].into_iter().collect();
+        let s: SharerSet = [CoreId::new(5), CoreId::new(1), CoreId::new(63)]
+            .into_iter()
+            .collect();
         let cores: Vec<u16> = s.iter().map(|c| c.raw()).collect();
         assert_eq!(cores, vec![1, 5, 63]);
     }

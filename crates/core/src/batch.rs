@@ -1,0 +1,422 @@
+//! Parallel execution of scenario sets.
+//!
+//! [`BatchRunner`] takes the scenarios a [`crate::ScenarioGrid`] expands to
+//! (or any hand-built list), validates them all up front, and executes them
+//! across OS threads. Each scenario is a pure function of its own fields —
+//! the workload is materialized from `(spec, seed)` and the simulator is
+//! single-threaded — so parallel and serial execution produce **identical**
+//! results; the runner additionally delivers results to the [`ResultSink`]
+//! in scenario order regardless of completion order, so sinks observe the
+//! same sequence either way.
+//!
+//! Workloads are materialized once per distinct `(spec, seed)` pair and
+//! shared between scenarios via [`Arc`], so a policy-comparison grid does
+//! not pay trace generation twice per benchmark.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use allarm_types::error::ConfigError;
+use allarm_workloads::Workload;
+
+use crate::metrics::{Comparison, SimReport};
+use crate::scenario::Scenario;
+
+/// One completed scenario: the descriptor and its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntry {
+    /// Position of the scenario in the submitted batch.
+    pub index: usize,
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The full metric report of the run.
+    pub report: SimReport,
+}
+
+/// Consumes completed runs, in scenario order.
+///
+/// The runner guarantees `record` is called with strictly increasing
+/// `entry.index`, for both serial and parallel execution, so a sink never
+/// needs to reorder.
+pub trait ResultSink {
+    /// Receives the next completed entry.
+    fn record(&mut self, entry: &BatchEntry);
+}
+
+/// A sink that simply collects every entry.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    entries: Vec<BatchEntry>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Consumes the sink, returning the collected entries.
+    pub fn into_entries(self) -> Vec<BatchEntry> {
+        self.entries
+    }
+}
+
+impl ResultSink for VecSink {
+    fn record(&mut self, entry: &BatchEntry) {
+        self.entries.push(entry.clone());
+    }
+}
+
+/// A sink that renders each entry as one JSON object per line (JSONL),
+/// ready for downstream tooling. Each line carries the scenario `index`
+/// and `scenario` name alongside the `report`, so sweep rows that differ
+/// only in swept machine axes (e.g. probe-filter coverage) stay
+/// distinguishable without relying on line order.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    out: String,
+}
+
+impl JsonlSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// Consumes the sink, returning the JSONL document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl ResultSink for JsonlSink {
+    fn record(&mut self, entry: &BatchEntry) {
+        use serde::{Serialize as _, Value};
+        let line = Value::Map(vec![
+            ("index".to_string(), Value::U64(entry.index as u64)),
+            (
+                "scenario".to_string(),
+                Value::Str(entry.scenario.name.clone()),
+            ),
+            ("report".to_string(), entry.report.to_value()),
+        ]);
+        self.out.push_str(&serde_json::to_string(&line));
+        self.out.push('\n');
+    }
+}
+
+/// The ordered results of one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResults {
+    /// Completed entries, in scenario order.
+    pub entries: Vec<BatchEntry>,
+}
+
+impl BatchResults {
+    /// The reports, in scenario order.
+    pub fn reports(&self) -> impl Iterator<Item = &SimReport> {
+        self.entries.iter().map(|e| &e.report)
+    }
+
+    /// Number of completed scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pairs adjacent baseline/ALLARM runs of the same configuration into
+    /// [`Comparison`]s — the shape every per-benchmark figure consumes.
+    ///
+    /// Two consecutive entries form a pair when they differ *only* in
+    /// allocation policy (baseline first), which is exactly how
+    /// [`crate::ScenarioGrid`] orders its expansion (policy is the
+    /// fastest-varying axis).
+    pub fn paired(&self) -> Vec<Comparison> {
+        let mut comparisons = Vec::new();
+        let mut i = 0;
+        while i + 1 < self.entries.len() {
+            let a = &self.entries[i];
+            let b = &self.entries[i + 1];
+            if same_but_policy(&a.scenario, &b.scenario)
+                && !a.scenario.policy.is_allarm()
+                && b.scenario.policy.is_allarm()
+            {
+                comparisons.push(Comparison::new(a.report.clone(), b.report.clone()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        comparisons
+    }
+}
+
+/// True if the two scenarios are identical apart from allocation policy
+/// (and the name, which encodes the policy).
+fn same_but_policy(a: &Scenario, b: &Scenario) -> bool {
+    a.machine == b.machine
+        && a.numa_policy == b.numa_policy
+        && a.workload == b.workload
+        && a.seed == b.seed
+}
+
+/// Executes scenario sets, optionally in parallel.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_core::{AllocationPolicy, BatchRunner, Scenario, ScenarioGrid};
+/// use allarm_workloads::Benchmark;
+///
+/// let grid = ScenarioGrid::new(
+///         Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline)
+///             .with_accesses(500))
+///     .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm]);
+/// let results = BatchRunner::new().run(&grid.expand()).unwrap();
+/// assert_eq!(results.len(), 2);
+/// let pairs = results.paired();
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!(pairs[0].baseline.policy, "baseline");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    num_threads: usize,
+}
+
+impl BatchRunner {
+    /// Creates a runner using every available hardware thread.
+    pub fn new() -> Self {
+        BatchRunner {
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Creates a runner with an explicit worker count (clamped to ≥ 1).
+    /// `with_threads(1)` is the serial runner.
+    pub fn with_threads(num_threads: usize) -> Self {
+        BatchRunner {
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// The worker count this runner uses.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Validates and runs every scenario, returning ordered results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] across the batch; nothing runs
+    /// unless every scenario validates.
+    pub fn run(&self, scenarios: &[Scenario]) -> Result<BatchResults, ConfigError> {
+        let mut sink = VecSink::new();
+        self.run_with_sink(scenarios, &mut sink)?;
+        Ok(BatchResults {
+            entries: sink.into_entries(),
+        })
+    }
+
+    /// Validates and runs every scenario, streaming ordered entries into
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] across the batch; the sink is not
+    /// touched unless every scenario validates.
+    pub fn run_with_sink(
+        &self,
+        scenarios: &[Scenario],
+        sink: &mut dyn ResultSink,
+    ) -> Result<(), ConfigError> {
+        for scenario in scenarios {
+            scenario.validate()?;
+        }
+
+        // Materialize each distinct (spec, seed) workload exactly once, in
+        // scenario order, and share it across the batch.
+        let mut workloads: Vec<Arc<Workload>> = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            let existing = scenarios[..workloads.len()]
+                .iter()
+                .position(|s| s.workload == scenario.workload && s.seed == scenario.seed);
+            match existing {
+                Some(i) => workloads.push(Arc::clone(&workloads[i])),
+                None => workloads.push(Arc::new(scenario.workload())),
+            }
+        }
+
+        let workers = self.num_threads.min(scenarios.len().max(1));
+        if workers <= 1 {
+            for (index, scenario) in scenarios.iter().enumerate() {
+                let report = scenario
+                    .build()
+                    .expect("validated above")
+                    .run(&workloads[index]);
+                sink.record(&BatchEntry {
+                    index,
+                    scenario: scenario.clone(),
+                    report,
+                });
+            }
+            return Ok(());
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let workloads = &workloads;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= scenarios.len() {
+                        return;
+                    }
+                    let report = scenarios[index]
+                        .build()
+                        .expect("validated above")
+                        .run(&workloads[index]);
+                    // The receiver outlives the scope; a send failure means
+                    // the main thread panicked, so just stop.
+                    if tx.send((index, report)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Buffer completions and flush the ready prefix in order, so the
+            // sink sees the same sequence as a serial run.
+            let mut pending: Vec<Option<SimReport>> = vec![None; scenarios.len()];
+            let mut next_to_flush = 0;
+            for (index, report) in rx {
+                pending[index] = Some(report);
+                while next_to_flush < pending.len() {
+                    let Some(report) = pending[next_to_flush].take() else {
+                        break;
+                    };
+                    sink.record(&BatchEntry {
+                        index: next_to_flush,
+                        scenario: scenarios[next_to_flush].clone(),
+                        report,
+                    });
+                    next_to_flush += 1;
+                }
+            }
+        });
+        Ok(())
+    }
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioGrid;
+    use allarm_coherence::AllocationPolicy;
+    use allarm_workloads::Benchmark;
+    use serde::Deserialize as _;
+
+    fn tiny_grid() -> Vec<Scenario> {
+        ScenarioGrid::new(
+            Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline).with_accesses(400),
+        )
+        .benchmarks(vec![Benchmark::Barnes, Benchmark::Cholesky])
+        .pf_coverages(vec![512 * 1024, 128 * 1024])
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+        .expand()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let scenarios = tiny_grid();
+        assert_eq!(scenarios.len(), 8);
+        let serial = BatchRunner::with_threads(1).run(&scenarios).unwrap();
+        let parallel = BatchRunner::with_threads(4).run(&scenarios).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 8);
+        // Ordered by scenario index.
+        for (i, entry) in serial.entries.iter().enumerate() {
+            assert_eq!(entry.index, i);
+            assert_eq!(entry.scenario, scenarios[i]);
+        }
+    }
+
+    #[test]
+    fn paired_yields_one_comparison_per_configuration() {
+        let results = BatchRunner::new().run(&tiny_grid()).unwrap();
+        let pairs = results.paired();
+        assert_eq!(pairs.len(), 4);
+        for cmp in &pairs {
+            assert_eq!(cmp.baseline.policy, "baseline");
+            assert_eq!(cmp.allarm.policy, "allarm");
+            assert_eq!(cmp.baseline.total_accesses, cmp.allarm.total_accesses);
+        }
+    }
+
+    #[test]
+    fn workloads_are_shared_not_regenerated() {
+        // Both policies of one configuration must replay the identical
+        // trace: total accesses match exactly.
+        let scenarios = ScenarioGrid::new(
+            Scenario::quick_test(Benchmark::Dedup, AllocationPolicy::Baseline).with_accesses(300),
+        )
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+        .expand();
+        let results = BatchRunner::new().run(&scenarios).unwrap();
+        assert_eq!(
+            results.entries[0].report.total_accesses,
+            results.entries[1].report.total_accesses
+        );
+    }
+
+    #[test]
+    fn invalid_scenario_fails_the_whole_batch_before_running() {
+        let mut scenarios = tiny_grid();
+        scenarios[3].machine.l2.ways = 0;
+        let err = BatchRunner::new().run(&scenarios).unwrap_err();
+        assert_eq!(err.field(), "l2.ways");
+    }
+
+    #[test]
+    fn sinks_observe_ordered_entries() {
+        let scenarios = tiny_grid();
+        let mut sink = JsonlSink::new();
+        BatchRunner::with_threads(4)
+            .run_with_sink(&scenarios, &mut sink)
+            .unwrap();
+        let text = sink.into_string();
+        assert_eq!(text.lines().count(), scenarios.len());
+        // Lines carry the scenario identity and parse back as reports, in
+        // scenario order.
+        let first: serde::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("index"), Some(&serde::Value::U64(0)));
+        assert_eq!(
+            first.get("scenario"),
+            Some(&serde::Value::Str(scenarios[0].name.clone()))
+        );
+        let report = SimReport::from_value(first.get("report").unwrap()).unwrap();
+        assert_eq!(report.workload, "barnes");
+        assert_eq!(report.policy, "baseline");
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(BatchRunner::with_threads(0).num_threads(), 1);
+        assert!(BatchRunner::new().num_threads() >= 1);
+    }
+}

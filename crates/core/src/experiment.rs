@@ -1,14 +1,25 @@
 //! Experiment drivers: the runs behind every figure of the evaluation.
+//!
+//! Since the Scenario/Builder redesign these drivers are thin wrappers: each
+//! one assembles a [`ScenarioGrid`], hands it to the parallel
+//! [`BatchRunner`], and reshapes the ordered results into the per-figure
+//! forms ([`Comparison`]s and [`SweepPoint`]s). The declarative grids for
+//! the paper's figures are also checked in under `scenarios/` and used by
+//! the `allarm-bench` binaries.
 
+use crate::batch::BatchRunner;
 use crate::metrics::{Comparison, SimReport};
-use crate::simulator::Simulator;
+use crate::scenario::{Scenario, ScenarioGrid};
 use allarm_coherence::AllocationPolicy;
+use allarm_mem::NumaPolicy;
 use allarm_types::config::MachineConfig;
 use allarm_types::ids::CoreId;
-use allarm_workloads::{multiprocess_workload, Benchmark, TraceGenerator, Workload};
+use allarm_workloads::{Benchmark, Workload, WorkloadSpec};
 
 /// Everything that defines an experiment apart from the benchmark itself:
 /// the machine, the number of threads, the trace length and the seed.
+/// Convenience layer over [`Scenario`]: each accessor stamps these values
+/// into a scenario for one benchmark/policy pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// The simulated machine (Table I by default).
@@ -58,6 +69,40 @@ impl ExperimentConfig {
         self.accesses_per_thread = accesses;
         self
     }
+
+    /// The multi-threaded scenario for one benchmark under one policy.
+    pub fn scenario(&self, benchmark: Benchmark, policy: AllocationPolicy) -> Scenario {
+        Scenario {
+            name: format!("{}/{}", benchmark.name(), policy.name()),
+            machine: self.machine,
+            policy,
+            numa_policy: NumaPolicy::FirstTouch,
+            workload: WorkloadSpec::threads(benchmark, self.threads, self.accesses_per_thread),
+            seed: self.seed,
+        }
+    }
+
+    /// The two-process scenario of Section III-B for one benchmark under
+    /// one policy.
+    pub fn multiprocess_scenario(
+        &self,
+        benchmark: Benchmark,
+        policy: AllocationPolicy,
+    ) -> Scenario {
+        let cores = multiprocess_cores(&self.machine);
+        Scenario {
+            name: format!("{}-2p/{}", benchmark.name(), policy.name()),
+            machine: self.machine,
+            policy,
+            numa_policy: NumaPolicy::FirstTouch,
+            workload: WorkloadSpec::multiprocess(
+                benchmark,
+                cores.to_vec(),
+                self.accesses_per_thread,
+            ),
+            seed: self.seed,
+        }
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -78,57 +123,98 @@ pub struct SweepPoint {
 }
 
 /// Runs an arbitrary workload under one policy.
+///
+/// # Panics
+///
+/// Panics if the machine configuration is invalid; validate first with
+/// [`MachineConfig::validate`] (or use [`Scenario::run`]) to get an error
+/// instead.
 pub fn run_workload(
     workload: &Workload,
     policy: AllocationPolicy,
     machine: MachineConfig,
 ) -> SimReport {
-    Simulator::new(machine, policy).run(workload)
+    crate::builder::SimulationBuilder::new(machine)
+        .policy(policy)
+        .build()
+        .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"))
+        .run(workload)
 }
 
 /// Runs a named benchmark under one policy with the given experiment
 /// configuration.
+///
+/// # Panics
+///
+/// Panics if the resulting scenario fails validation.
 pub fn run_benchmark(
     benchmark: Benchmark,
     policy: AllocationPolicy,
     cfg: &ExperimentConfig,
 ) -> SimReport {
-    let workload =
-        TraceGenerator::new(cfg.threads, cfg.accesses_per_thread, cfg.seed).generate(benchmark);
-    run_workload(&workload, policy, cfg.machine)
+    cfg.scenario(benchmark, policy)
+        .run()
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"))
 }
 
 /// Runs a benchmark under both policies on the same workload and machine
-/// (the comparison behind Fig. 3a–3g).
+/// (the comparison behind Fig. 3a–3g). The two runs execute in parallel.
+///
+/// # Panics
+///
+/// Panics if the resulting scenarios fail validation.
 pub fn compare_benchmark(benchmark: Benchmark, cfg: &ExperimentConfig) -> Comparison {
-    let workload =
-        TraceGenerator::new(cfg.threads, cfg.accesses_per_thread, cfg.seed).generate(benchmark);
-    let baseline = run_workload(&workload, AllocationPolicy::Baseline, cfg.machine);
-    let allarm = run_workload(&workload, AllocationPolicy::Allarm, cfg.machine);
-    Comparison::new(baseline, allarm)
+    let grid = ScenarioGrid::new(cfg.scenario(benchmark, AllocationPolicy::Baseline))
+        .policies(AllocationPolicy::ALL.to_vec());
+    let results = BatchRunner::new()
+        .run(&grid.expand())
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    results
+        .paired()
+        .into_iter()
+        .next()
+        .expect("a two-policy grid pairs into one comparison")
 }
 
-/// Sweeps the probe-filter coverage for a multi-threaded benchmark (Fig. 3h).
+/// Reshapes a coverage × policy batch into one [`SweepPoint`] per coverage.
+fn sweep_points(grid: &ScenarioGrid, coverages: &[u64]) -> Vec<SweepPoint> {
+    let results = BatchRunner::new()
+        .run(&grid.expand())
+        .unwrap_or_else(|e| panic!("invalid sweep configuration: {e}"));
+    let comparisons = results.paired();
+    assert_eq!(
+        comparisons.len(),
+        coverages.len(),
+        "one baseline/allarm pair per coverage"
+    );
+    coverages
+        .iter()
+        .zip(comparisons)
+        .map(|(&coverage, cmp)| SweepPoint {
+            pf_coverage_bytes: coverage,
+            baseline: cmp.baseline,
+            allarm: cmp.allarm,
+        })
+        .collect()
+}
+
+/// Sweeps the probe-filter coverage for a multi-threaded benchmark
+/// (Fig. 3h). All `2 × coverages_bytes.len()` runs execute in parallel.
 ///
 /// Returns one [`SweepPoint`] per entry of `coverages_bytes`, in order.
+///
+/// # Panics
+///
+/// Panics if any swept scenario fails validation.
 pub fn pf_size_sweep(
     benchmark: Benchmark,
     cfg: &ExperimentConfig,
     coverages_bytes: &[u64],
 ) -> Vec<SweepPoint> {
-    let workload =
-        TraceGenerator::new(cfg.threads, cfg.accesses_per_thread, cfg.seed).generate(benchmark);
-    coverages_bytes
-        .iter()
-        .map(|&coverage| {
-            let machine = cfg.machine.with_probe_filter_coverage(coverage);
-            SweepPoint {
-                pf_coverage_bytes: coverage,
-                baseline: run_workload(&workload, AllocationPolicy::Baseline, machine),
-                allarm: run_workload(&workload, AllocationPolicy::Allarm, machine),
-            }
-        })
-        .collect()
+    let grid = ScenarioGrid::new(cfg.scenario(benchmark, AllocationPolicy::Baseline))
+        .pf_coverages(coverages_bytes.to_vec())
+        .policies(AllocationPolicy::ALL.to_vec());
+    sweep_points(&grid, coverages_bytes)
 }
 
 /// The cores the two processes of the multi-process experiment are pinned
@@ -138,39 +224,27 @@ pub fn multiprocess_cores(machine: &MachineConfig) -> [CoreId; 2] {
 }
 
 /// Sweeps the probe-filter coverage for the two-process, single-threaded
-/// setup of Section III-B (Fig. 4).
+/// setup of Section III-B (Fig. 4). All runs execute in parallel.
+///
+/// # Panics
+///
+/// Panics if any swept scenario fails validation.
 pub fn multiprocess_sweep(
     benchmark: Benchmark,
     cfg: &ExperimentConfig,
     coverages_bytes: &[u64],
 ) -> Vec<SweepPoint> {
-    let cores = multiprocess_cores(&cfg.machine);
-    let workload =
-        multiprocess_workload(benchmark, cfg.accesses_per_thread, cfg.seed, &cores);
-    coverages_bytes
-        .iter()
-        .map(|&coverage| {
-            let machine = cfg.machine.with_probe_filter_coverage(coverage);
-            SweepPoint {
-                pf_coverage_bytes: coverage,
-                baseline: run_workload(&workload, AllocationPolicy::Baseline, machine),
-                allarm: run_workload(&workload, AllocationPolicy::Allarm, machine),
-            }
-        })
-        .collect()
+    let grid = ScenarioGrid::new(cfg.multiprocess_scenario(benchmark, AllocationPolicy::Baseline))
+        .pf_coverages(coverages_bytes.to_vec())
+        .policies(AllocationPolicy::ALL.to_vec());
+    sweep_points(&grid, coverages_bytes)
 }
 
 /// The probe-filter coverages of Fig. 3h (512 kB, 256 kB, 128 kB).
 pub const FIG3H_COVERAGES: [u64; 3] = [512 * 1024, 256 * 1024, 128 * 1024];
 
 /// The probe-filter coverages of Fig. 4 (512 kB down to 32 kB).
-pub const FIG4_COVERAGES: [u64; 5] = [
-    512 * 1024,
-    256 * 1024,
-    128 * 1024,
-    64 * 1024,
-    32 * 1024,
-];
+pub const FIG4_COVERAGES: [u64; 5] = [512 * 1024, 256 * 1024, 128 * 1024, 64 * 1024, 32 * 1024];
 
 #[cfg(test)]
 mod tests {
@@ -236,6 +310,19 @@ mod tests {
         assert_eq!(cfg.machine.probe_filter.coverage_bytes, 128 * 1024);
         assert_eq!(cfg.accesses_per_thread, 100);
         assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper());
+    }
+
+    #[test]
+    fn config_scenarios_carry_the_experiment_scale() {
+        let cfg = tiny_cfg();
+        let s = cfg.scenario(Benchmark::Dedup, AllocationPolicy::Allarm);
+        assert_eq!(s.name, "dedup/allarm");
+        assert_eq!(s.workload.accesses(), 800);
+        assert_eq!(s.seed, 7);
+        s.validate().unwrap();
+        let mp = cfg.multiprocess_scenario(Benchmark::Barnes, AllocationPolicy::Baseline);
+        assert_eq!(mp.workload.cores_required(), 9);
+        mp.validate().unwrap();
     }
 
     #[test]

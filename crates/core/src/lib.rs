@@ -11,44 +11,65 @@
 //!
 //! # Quick start
 //!
+//! The public API is organised around declarative **scenarios**: a
+//! [`Scenario`] is a serializable value (TOML/JSON) describing one run —
+//! machine, allocation policy, NUMA policy, workload, seed — and a
+//! [`ScenarioGrid`] adds sweep axes. The [`BatchRunner`] executes a
+//! scenario set across OS threads with results delivered in deterministic
+//! order.
+//!
 //! ```
-//! use allarm_core::{ExperimentConfig, compare_benchmark};
+//! use allarm_core::{AllocationPolicy, BatchRunner, Scenario, ScenarioGrid};
 //! use allarm_workloads::Benchmark;
 //!
-//! // A scaled-down experiment that runs in well under a second.
-//! let cfg = ExperimentConfig::quick_test();
-//! let comparison = compare_benchmark(Benchmark::OceanContiguous, &cfg);
+//! // One benchmark under both policies, in parallel.
+//! let grid = ScenarioGrid::new(
+//!         Scenario::quick_test(Benchmark::OceanContiguous, AllocationPolicy::Baseline)
+//!             .with_accesses(1_000))
+//!     .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm]);
+//! let results = BatchRunner::new().run(&grid.expand()).unwrap();
+//! let comparison = &results.paired()[0];
 //! // ALLARM never increases the number of probe-filter evictions.
 //! assert!(comparison.normalized_evictions() <= 1.0);
 //! ```
 //!
-//! The three layers of the public API, from lowest to highest:
+//! The layers of the public API, from lowest to highest:
 //!
-//! * [`Simulator`] — run one workload on one machine configuration with one
-//!   allocation policy and get a [`SimReport`] of every metric;
-//! * [`compare_benchmark`] / [`run_benchmark`] — run a named benchmark under
-//!   both policies and get a [`Comparison`];
-//! * [`pf_size_sweep`] / [`multiprocess_sweep`] — the probe-filter capacity
-//!   sweeps behind Fig. 3h and Fig. 4.
+//! * [`SimulationBuilder`] — validate a machine/policy combination and get
+//!   a [`Simulator`] that replays one [`allarm_workloads::Workload`] into a
+//!   [`SimReport`] of every metric;
+//! * [`Scenario`] — the declarative, serializable form of one run;
+//! * [`ScenarioGrid`] + [`BatchRunner`] — sweep expansion and parallel
+//!   execution, feeding [`ResultSink`]s in scenario order;
+//! * [`compare_benchmark`] / [`pf_size_sweep`] / [`multiprocess_sweep`] —
+//!   pre-packaged drivers behind the paper's figures.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
+pub mod builder;
 pub mod experiment;
 pub mod metrics;
 pub mod report;
+pub mod scenario;
 pub mod simulator;
 pub mod system;
 
+pub use batch::{BatchEntry, BatchResults, BatchRunner, JsonlSink, ResultSink, VecSink};
+pub use builder::SimulationBuilder;
 pub use experiment::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, run_workload,
     ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES,
 };
 pub use metrics::{Comparison, SimReport};
+pub use scenario::{Scenario, ScenarioGrid};
 pub use simulator::Simulator;
 
 // Re-export the vocabulary types callers need to drive the API without
 // importing every substrate crate.
 pub use allarm_coherence::AllocationPolicy;
+pub use allarm_mem::NumaPolicy;
 pub use allarm_types::config::MachineConfig;
-pub use allarm_workloads::{Benchmark, Workload};
+pub use allarm_types::error::ConfigError;
+pub use allarm_workloads::{Benchmark, Workload, WorkloadSpec};

@@ -129,7 +129,10 @@ impl Comparison {
     /// Probe-filter evictions under ALLARM, normalised to the baseline
     /// (Fig. 3b): below 1.0 means fewer evictions.
     pub fn normalized_evictions(&self) -> f64 {
-        normalized(self.allarm.pf_evictions as f64, self.baseline.pf_evictions as f64)
+        normalized(
+            self.allarm.pf_evictions as f64,
+            self.baseline.pf_evictions as f64,
+        )
     }
 
     /// Network traffic in bytes under ALLARM, normalised to the baseline
@@ -152,7 +155,10 @@ impl Comparison {
     /// Probe-filter dynamic energy under ALLARM, normalised to the baseline
     /// (the "PF" bars of Fig. 3f).
     pub fn normalized_pf_energy(&self) -> f64 {
-        normalized(self.allarm.energy.probe_filter_pj, self.baseline.energy.probe_filter_pj)
+        normalized(
+            self.allarm.energy.probe_filter_pj,
+            self.baseline.energy.probe_filter_pj,
+        )
     }
 
     /// Average messages per probe-filter eviction in the baseline run

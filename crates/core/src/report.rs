@@ -64,7 +64,10 @@ pub fn render_table(title: &str, series: &[FigureSeries]) -> String {
     let benchmarks: Vec<&str> = series[0].values.iter().map(|(b, _)| b.as_str()).collect();
     for s in series {
         let names: Vec<&str> = s.values.iter().map(|(b, _)| b.as_str()).collect();
-        assert_eq!(names, benchmarks, "all series must cover the same benchmarks");
+        assert_eq!(
+            names, benchmarks,
+            "all series must cover the same benchmarks"
+        );
     }
 
     let name_width = benchmarks
@@ -127,7 +130,12 @@ pub fn render_sweep_table(title: &str, row_labels: &[String], series: &[FigureSe
         );
     }
     let name_width = row_labels.iter().map(|l| l.len()).max().unwrap_or(6).max(6);
-    let col_width = series.iter().map(|s| s.label.len()).max().unwrap_or(8).max(10);
+    let col_width = series
+        .iter()
+        .map(|s| s.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(10);
 
     let mut out = String::new();
     let _ = writeln!(out, "# {title}");

@@ -1,0 +1,521 @@
+//! Declarative simulation scenarios and sweep grids.
+//!
+//! A [`Scenario`] is a plain, serde-(de)serializable value — in the spirit
+//! of Firecracker's `MachineConfiguration` — that bundles everything one
+//! simulation run needs: the machine geometry, the directory allocation
+//! policy, the NUMA page-placement policy, the workload spec, and the seed.
+//! Scenario documents round-trip through TOML and JSON, so experiments can
+//! be checked in, diffed and reviewed instead of being hardwired in code.
+//!
+//! A [`ScenarioGrid`] is a scenario plus sweep axes (benchmarks, policies,
+//! probe-filter coverages, NUMA policies); [`ScenarioGrid::expand`] takes
+//! the cartesian product and yields the concrete scenario set the
+//! [`crate::BatchRunner`] executes in parallel.
+
+use allarm_coherence::AllocationPolicy;
+use allarm_mem::NumaPolicy;
+use allarm_types::config::MachineConfig;
+use allarm_types::error::ConfigError;
+use allarm_workloads::{Benchmark, Workload, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::builder::SimulationBuilder;
+use crate::metrics::SimReport;
+use crate::simulator::Simulator;
+
+/// Everything one simulation run needs, as a serializable value.
+///
+/// # Examples
+///
+/// Build a scenario in code, round-trip it through TOML, and run it:
+///
+/// ```
+/// use allarm_core::{AllocationPolicy, Scenario};
+/// use allarm_workloads::Benchmark;
+///
+/// let scenario = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Allarm)
+///     .with_accesses(1_000);
+/// let text = scenario.to_toml().unwrap();
+/// let parsed = Scenario::from_toml(&text).unwrap();
+/// assert_eq!(parsed, scenario);
+///
+/// let report = parsed.run().unwrap();
+/// assert!(report.total_accesses > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label, propagated into reports and result sinks.
+    pub name: String,
+    /// The simulated machine (Table I by default).
+    pub machine: MachineConfig,
+    /// The probe-filter allocation policy in force at every directory.
+    pub policy: AllocationPolicy,
+    /// The NUMA page-placement policy.
+    pub numa_policy: NumaPolicy,
+    /// What to run.
+    pub workload: WorkloadSpec,
+    /// Seed for workload generation (and any other randomness); a scenario
+    /// is a pure function of its fields, including this one.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario on the paper's Table I machine with the evaluation's
+    /// 16-thread, 250k-access configuration.
+    pub fn paper(benchmark: Benchmark, policy: AllocationPolicy) -> Self {
+        Scenario {
+            name: format!("{}/{}", benchmark.name(), policy.name()),
+            machine: MachineConfig::date2014(),
+            policy,
+            numa_policy: NumaPolicy::FirstTouch,
+            workload: WorkloadSpec::threads(benchmark, 16, 250_000),
+            seed: 2014,
+        }
+    }
+
+    /// A scaled-down scenario (Table I machine, short traces) for tests.
+    pub fn quick_test(benchmark: Benchmark, policy: AllocationPolicy) -> Self {
+        Scenario {
+            workload: WorkloadSpec::threads(benchmark, 16, 3_000),
+            ..Scenario::paper(benchmark, policy)
+        }
+    }
+
+    /// Returns a copy with a different name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns a copy with a different allocation policy (name updated to
+    /// match if it was the default `benchmark/policy` form).
+    pub fn with_policy(mut self, policy: AllocationPolicy) -> Self {
+        let default_name = format!(
+            "{}/{}",
+            self.workload.benchmark().name(),
+            self.policy.name()
+        );
+        if self.name == default_name {
+            self.name = format!("{}/{}", self.workload.benchmark().name(), policy.name());
+        }
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different probe-filter coverage per node.
+    pub fn with_pf_coverage(mut self, coverage_bytes: u64) -> Self {
+        self.machine = self.machine.with_probe_filter_coverage(coverage_bytes);
+        self
+    }
+
+    /// Returns a copy with a different per-thread / per-process trace
+    /// length.
+    pub fn with_accesses(mut self, accesses: usize) -> Self {
+        self.workload = self.workload.with_accesses(accesses);
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the scenario: machine geometry, workload spec, and their
+    /// compatibility (the machine must have enough cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.machine.validate()?;
+        self.workload
+            .validate()
+            .map_err(|e| ConfigError::new("workload", e))?;
+        let required = self.workload.cores_required();
+        if required > self.machine.num_cores as usize {
+            return Err(ConfigError::new(
+                "workload",
+                format!(
+                    "needs {required} cores but the machine has {}",
+                    self.machine.num_cores
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Generates the concrete workload for this scenario — a pure function
+    /// of the workload spec and seed.
+    pub fn workload(&self) -> Workload {
+        self.workload.materialize(self.seed)
+    }
+
+    /// Builds the configured simulator for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if validation fails.
+    pub fn build(&self) -> Result<Simulator, ConfigError> {
+        SimulationBuilder::from_scenario(self)?.build()
+    }
+
+    /// Validates, builds and runs the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if validation fails.
+    pub fn run(&self) -> Result<SimReport, ConfigError> {
+        let simulator = self.build()?;
+        Ok(simulator.run(&self.workload()))
+    }
+
+    /// Serializes the scenario as a TOML document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value cannot be rendered (never happens for
+    /// well-formed scenarios).
+    pub fn to_toml(&self) -> Result<String, serde::Error> {
+        toml::to_string(self)
+    }
+
+    /// Parses a scenario from a TOML document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first malformed field.
+    pub fn from_toml(text: &str) -> Result<Self, serde::Error> {
+        toml::from_str(text)
+    }
+
+    /// Serializes the scenario as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// A base scenario plus sweep axes: the declarative form of "this figure".
+///
+/// Empty axes mean "keep the base scenario's value"; non-empty axes are
+/// swept in order, and [`ScenarioGrid::expand`] yields the cartesian
+/// product (benchmarks × coverages × NUMA policies × allocation policies),
+/// slowest axis first, so related runs — in particular the baseline/ALLARM
+/// pair of one configuration — sit next to each other in the result order.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_core::{AllocationPolicy, Scenario, ScenarioGrid};
+/// use allarm_workloads::Benchmark;
+///
+/// let grid = ScenarioGrid::new(Scenario::quick_test(
+///         Benchmark::Barnes, AllocationPolicy::Baseline))
+///     .benchmarks(vec![Benchmark::Barnes, Benchmark::X264])
+///     .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+///     .pf_coverages(vec![512 * 1024, 128 * 1024]);
+/// assert_eq!(grid.len(), 8);
+/// let scenarios = grid.expand();
+/// assert_eq!(scenarios[0].name, "barnes/512kB/baseline");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGrid {
+    /// The scenario every grid point starts from.
+    pub base: Scenario,
+    /// Benchmarks to sweep (empty: keep the base workload's benchmark).
+    pub benchmarks: Vec<Benchmark>,
+    /// Probe-filter coverages in bytes to sweep (empty: keep the base).
+    pub pf_coverages: Vec<u64>,
+    /// NUMA policies to sweep (empty: keep the base).
+    pub numa_policies: Vec<NumaPolicy>,
+    /// Allocation policies to sweep (empty: keep the base). This is the
+    /// fastest-varying axis, so each configuration's policy pair is
+    /// adjacent in the expansion.
+    pub policies: Vec<AllocationPolicy>,
+}
+
+impl ScenarioGrid {
+    /// Creates a grid with no sweep axes (expands to just the base).
+    pub fn new(base: Scenario) -> Self {
+        ScenarioGrid {
+            base,
+            benchmarks: Vec::new(),
+            pf_coverages: Vec::new(),
+            numa_policies: Vec::new(),
+            policies: Vec::new(),
+        }
+    }
+
+    /// Sets the benchmark axis.
+    pub fn benchmarks(mut self, benchmarks: Vec<Benchmark>) -> Self {
+        self.benchmarks = benchmarks;
+        self
+    }
+
+    /// Sets the probe-filter coverage axis (bytes per node).
+    pub fn pf_coverages(mut self, coverages: Vec<u64>) -> Self {
+        self.pf_coverages = coverages;
+        self
+    }
+
+    /// Sets the NUMA policy axis.
+    pub fn numa_policies(mut self, policies: Vec<NumaPolicy>) -> Self {
+        self.numa_policies = policies;
+        self
+    }
+
+    /// Sets the allocation policy axis.
+    pub fn policies(mut self, policies: Vec<AllocationPolicy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        [
+            self.benchmarks.len(),
+            self.pf_coverages.len(),
+            self.numa_policies.len(),
+            self.policies.len(),
+        ]
+        .iter()
+        .map(|&n| n.max(1))
+        .product()
+    }
+
+    /// True if the grid expands to nothing (never; kept for clippy's
+    /// `len_without_is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Expands the grid into concrete scenarios, slowest axis first:
+    /// benchmarks, then coverages, then NUMA policies, then allocation
+    /// policies. Scenario names encode the swept axes, e.g.
+    /// `"barnes/512kB/baseline"`.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let benchmarks: Vec<Option<Benchmark>> = axis(&self.benchmarks);
+        let coverages: Vec<Option<u64>> = axis(&self.pf_coverages);
+        let numas: Vec<Option<NumaPolicy>> = axis(&self.numa_policies);
+        let policies: Vec<Option<AllocationPolicy>> = axis(&self.policies);
+
+        let mut scenarios = Vec::with_capacity(self.len());
+        for &bench in &benchmarks {
+            for &coverage in &coverages {
+                for &numa in &numas {
+                    for &policy in &policies {
+                        let mut s = self.base.clone();
+                        if let Some(b) = bench {
+                            s.workload = s.workload.with_benchmark(b);
+                        }
+                        if let Some(c) = coverage {
+                            s.machine = s.machine.with_probe_filter_coverage(c);
+                        }
+                        if let Some(n) = numa {
+                            s.numa_policy = n;
+                        }
+                        if let Some(p) = policy {
+                            s.policy = p;
+                        }
+                        s.name = grid_point_name(&s, bench, coverage, numa, policy);
+                        scenarios.push(s);
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// Validates the base and every axis value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found across the expansion.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for scenario in self.expand() {
+            scenario.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the grid as a TOML document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value cannot be rendered.
+    pub fn to_toml(&self) -> Result<String, serde::Error> {
+        toml::to_string(self)
+    }
+
+    /// Parses a grid from a TOML document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first malformed field.
+    pub fn from_toml(text: &str) -> Result<Self, serde::Error> {
+        toml::from_str(text)
+    }
+}
+
+/// Turns a sweep axis into "sweep these" or "keep the base" form.
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().copied().map(Some).collect()
+    }
+}
+
+/// Builds the `benchmark[/coverage][/numa]/policy` name of one grid point;
+/// axes that are not swept are omitted (except the benchmark and policy,
+/// which always appear so reports stay self-describing).
+fn grid_point_name(
+    scenario: &Scenario,
+    bench: Option<Benchmark>,
+    coverage: Option<u64>,
+    numa: Option<NumaPolicy>,
+    _policy: Option<AllocationPolicy>,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(
+        bench
+            .unwrap_or_else(|| scenario.workload.benchmark())
+            .name()
+            .to_string(),
+    );
+    if let Some(c) = coverage {
+        parts.push(format!("{}kB", c / 1024));
+    }
+    if let Some(n) = numa {
+        parts.push(n.name().to_string());
+    }
+    parts.push(scenario.policy.name().to_string());
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_is_valid_and_named() {
+        let s = Scenario::paper(Benchmark::Barnes, AllocationPolicy::Allarm);
+        s.validate().unwrap();
+        assert_eq!(s.name, "barnes/allarm");
+        assert_eq!(s.machine, MachineConfig::date2014());
+        assert_eq!(s.seed, 2014);
+    }
+
+    #[test]
+    fn builder_style_helpers_compose() {
+        let s = Scenario::quick_test(Benchmark::Dedup, AllocationPolicy::Baseline)
+            .with_policy(AllocationPolicy::Allarm)
+            .with_pf_coverage(128 * 1024)
+            .with_accesses(500)
+            .with_seed(7)
+            .named("custom");
+        assert_eq!(s.policy, AllocationPolicy::Allarm);
+        assert_eq!(s.machine.probe_filter.coverage_bytes, 128 * 1024);
+        assert_eq!(s.workload.accesses(), 500);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.name, "custom");
+    }
+
+    #[test]
+    fn with_policy_renames_default_names_only() {
+        let s = Scenario::quick_test(Benchmark::Dedup, AllocationPolicy::Baseline)
+            .with_policy(AllocationPolicy::Allarm);
+        assert_eq!(s.name, "dedup/allarm");
+        let s = Scenario::quick_test(Benchmark::Dedup, AllocationPolicy::Baseline)
+            .named("mine")
+            .with_policy(AllocationPolicy::Allarm);
+        assert_eq!(s.name, "mine");
+    }
+
+    #[test]
+    fn validation_rejects_oversized_workloads() {
+        let mut s = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
+        s.workload = WorkloadSpec::threads(Benchmark::Barnes, 64, 10);
+        let err = s.validate().unwrap_err();
+        assert_eq!(err.field(), "workload");
+        assert!(err.reason().contains("64 cores"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_machines() {
+        let mut s = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
+        s.machine.l2.ways = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn workload_generation_is_pure() {
+        let s =
+            Scenario::quick_test(Benchmark::Cholesky, AllocationPolicy::Allarm).with_accesses(200);
+        assert_eq!(s.workload(), s.workload());
+        assert_ne!(s.workload(), s.with_seed(3).workload());
+    }
+
+    #[test]
+    fn grid_expansion_orders_policy_fastest() {
+        let grid = ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ))
+        .benchmarks(vec![Benchmark::Barnes, Benchmark::Dedup])
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm]);
+        let scenarios = grid.expand();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(scenarios[0].name, "barnes/baseline");
+        assert_eq!(scenarios[1].name, "barnes/allarm");
+        assert_eq!(scenarios[2].name, "dedup/baseline");
+        assert_eq!(scenarios[3].name, "dedup/allarm");
+    }
+
+    #[test]
+    fn empty_axes_keep_the_base() {
+        let base = Scenario::quick_test(Benchmark::X264, AllocationPolicy::Allarm);
+        let grid = ScenarioGrid::new(base.clone());
+        let scenarios = grid.expand();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].machine, base.machine);
+        assert_eq!(scenarios[0].policy, AllocationPolicy::Allarm);
+        assert_eq!(scenarios[0].name, "x264/allarm");
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn coverage_axis_appears_in_names() {
+        let grid = ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ))
+        .pf_coverages(vec![512 * 1024, 64 * 1024]);
+        let scenarios = grid.expand();
+        assert_eq!(scenarios[0].name, "barnes/512kB/baseline");
+        assert_eq!(scenarios[1].name, "barnes/64kB/baseline");
+        assert_eq!(scenarios[1].machine.probe_filter.coverage_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn grid_validate_covers_every_point() {
+        let mut grid = ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ));
+        grid.validate().unwrap();
+        // A coverage whose geometry collapses to zero sets must be caught.
+        grid.pf_coverages = vec![512 * 1024, 2 * 64];
+        assert!(grid.validate().is_err());
+    }
+}

@@ -22,6 +22,10 @@ const DIRECTORY_SERVICE_TIME: Nanos = Nanos(12);
 
 /// A configured simulator, ready to replay one workload.
 ///
+/// Construct one through [`crate::SimulationBuilder`] (programmatic) or
+/// [`crate::Scenario`] (declarative); both validate the configuration
+/// before a simulator exists.
+///
 /// The simulation model: each thread's trace is replayed on its core; the
 /// scheduler always advances the core whose local clock is furthest behind,
 /// which approximates the interleaving of the real parallel execution. Every
@@ -34,14 +38,29 @@ const DIRECTORY_SERVICE_TIME: Nanos = Nanos(12);
 /// # Examples
 ///
 /// ```
-/// use allarm_core::{Simulator, AllocationPolicy, MachineConfig};
+/// use allarm_core::{AllocationPolicy, MachineConfig, SimulationBuilder};
 /// use allarm_workloads::{Benchmark, TraceGenerator};
 ///
-/// let machine = MachineConfig::small_test();
 /// let workload = TraceGenerator::new(4, 500, 1).generate(Benchmark::Barnes);
-/// let report = Simulator::new(machine, AllocationPolicy::Allarm)
+/// let report = SimulationBuilder::new(MachineConfig::small_test())
+///     .policy(AllocationPolicy::Allarm)
+///     .build()
+///     .expect("valid configuration")
 ///     .run(&workload);
 /// assert_eq!(report.total_accesses as usize, workload.total_accesses());
+/// ```
+///
+/// Or declaratively, from a (checked-in) scenario document:
+///
+/// ```
+/// use allarm_core::{AllocationPolicy, Scenario};
+/// use allarm_workloads::Benchmark;
+///
+/// let report = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Allarm)
+///     .with_accesses(500)
+///     .run()
+///     .expect("valid scenario");
+/// assert!(report.total_accesses > 0);
 /// ```
 #[derive(Debug)]
 pub struct Simulator {
@@ -52,26 +71,21 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates a simulator for `config` using `policy` at every directory.
-    pub fn new(config: MachineConfig, policy: AllocationPolicy) -> Self {
+    /// Assembles a simulator from already-validated parts. Only
+    /// [`crate::SimulationBuilder`] calls this; it is the crate-internal
+    /// seam between validation and execution.
+    pub(crate) fn from_parts(
+        config: MachineConfig,
+        policy: AllocationPolicy,
+        numa_policy: NumaPolicy,
+        energy_model: EnergyModel,
+    ) -> Self {
         Simulator {
             config,
             policy,
-            numa_policy: NumaPolicy::FirstTouch,
-            energy_model: EnergyModel::mcpat_32nm(),
+            numa_policy,
+            energy_model,
         }
-    }
-
-    /// Overrides the NUMA page-placement policy (default: first-touch).
-    pub fn with_numa_policy(mut self, numa_policy: NumaPolicy) -> Self {
-        self.numa_policy = numa_policy;
-        self
-    }
-
-    /// Overrides the per-event energy model.
-    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
-        self.energy_model = model;
-        self
     }
 
     /// The machine configuration this simulator was built with.
@@ -82,6 +96,11 @@ impl Simulator {
     /// The allocation policy in force at every directory.
     pub fn policy(&self) -> AllocationPolicy {
         self.policy
+    }
+
+    /// The NUMA page-placement policy in force.
+    pub fn numa_policy(&self) -> NumaPolicy {
+        self.numa_policy
     }
 
     /// Replays `workload` and returns the full metric report.
@@ -100,7 +119,9 @@ impl Simulator {
 
         let mut machine = Machine::new(&self.config);
         let mut directories: Vec<DirectoryController> = (0..self.config.num_nodes() as u16)
-            .map(|n| DirectoryController::new(NodeId::new(n), &self.config.probe_filter, self.policy))
+            .map(|n| {
+                DirectoryController::new(NodeId::new(n), &self.config.probe_filter, self.policy)
+            })
             .collect();
         let mut allocator = NumaAllocator::new(
             self.config.num_nodes() as usize,
@@ -153,10 +174,8 @@ impl Simulator {
                     CoherenceNeed::Upgrade => RequestKind::Upgrade,
                 };
                 let request = CoherenceRequest::new(line, kind, core, node);
-                let evictions_before =
-                    directories[home.index()].stats().pf_evictions.get();
-                let messages_before =
-                    directories[home.index()].stats().eviction_messages.get();
+                let evictions_before = directories[home.index()].stats().pf_evictions.get();
+                let messages_before = directories[home.index()].stats().eviction_messages.get();
                 let response = directories[home.index()].handle_request(request, &mut machine);
 
                 // Queue behind whatever the home controller is still doing,
@@ -171,8 +190,7 @@ impl Simulator {
                     4 * (directories[home.index()].stats().eviction_messages.get()
                         - messages_before),
                 ) + Nanos::new(
-                    8 * (directories[home.index()].stats().pf_evictions.get()
-                        - evictions_before),
+                    8 * (directories[home.index()].stats().pf_evictions.get() - evictions_before),
                 );
                 let service = DIRECTORY_SERVICE_TIME + eviction_work;
                 dir_busy_until[home.index()] = arrival + queue_delay + service;
@@ -283,17 +301,24 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SimulationBuilder;
     use allarm_workloads::{Benchmark, TraceGenerator};
 
     fn small_workload() -> Workload {
         TraceGenerator::new(4, 1_500, 7).generate(Benchmark::Barnes)
     }
 
+    fn simulator(policy: AllocationPolicy) -> Simulator {
+        SimulationBuilder::new(MachineConfig::small_test())
+            .policy(policy)
+            .build()
+            .expect("small_test is valid")
+    }
+
     #[test]
     fn replays_every_access() {
         let workload = small_workload();
-        let report = Simulator::new(MachineConfig::small_test(), AllocationPolicy::Baseline)
-            .run(&workload);
+        let report = simulator(AllocationPolicy::Baseline).run(&workload);
         assert_eq!(report.total_accesses as usize, workload.total_accesses());
         assert_eq!(
             report.l1_hits + report.l2_hits + report.l2_misses,
@@ -305,8 +330,7 @@ mod tests {
     #[test]
     fn directory_requests_equal_misses_plus_upgrades() {
         let workload = small_workload();
-        let report = Simulator::new(MachineConfig::small_test(), AllocationPolicy::Baseline)
-            .run(&workload);
+        let report = simulator(AllocationPolicy::Baseline).run(&workload);
         assert!(report.directory_requests >= report.l2_misses);
         assert_eq!(
             report.directory_requests,
@@ -317,9 +341,8 @@ mod tests {
     #[test]
     fn allarm_skips_allocations_and_reduces_evictions() {
         let workload = small_workload();
-        let machine = MachineConfig::small_test();
-        let baseline = Simulator::new(machine, AllocationPolicy::Baseline).run(&workload);
-        let allarm = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
+        let baseline = simulator(AllocationPolicy::Baseline).run(&workload);
+        let allarm = simulator(AllocationPolicy::Allarm).run(&workload);
         assert_eq!(baseline.allarm_allocation_skips, 0);
         assert!(allarm.allarm_allocation_skips > 0);
         assert!(allarm.pf_allocations < baseline.pf_allocations);
@@ -334,16 +357,16 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let workload = small_workload();
-        let machine = MachineConfig::small_test();
-        let a = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
-        let b = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
+        let a = simulator(AllocationPolicy::Allarm).run(&workload);
+        let b = simulator(AllocationPolicy::Allarm).run(&workload);
         assert_eq!(a, b);
     }
 
     #[test]
     fn policy_and_config_accessors() {
-        let sim = Simulator::new(MachineConfig::small_test(), AllocationPolicy::Allarm);
+        let sim = simulator(AllocationPolicy::Allarm);
         assert_eq!(sim.policy(), AllocationPolicy::Allarm);
+        assert_eq!(sim.numa_policy(), NumaPolicy::FirstTouch);
         assert_eq!(sim.config().num_cores, 4);
     }
 
@@ -351,16 +374,17 @@ mod tests {
     #[should_panic(expected = "cores")]
     fn oversized_workload_is_rejected() {
         let workload = TraceGenerator::new(8, 10, 1).generate(Benchmark::Barnes);
-        Simulator::new(MachineConfig::small_test(), AllocationPolicy::Baseline).run(&workload);
+        simulator(AllocationPolicy::Baseline).run(&workload);
     }
 
     #[test]
     fn numa_policy_override_changes_homing() {
         let workload = small_workload();
-        let machine = MachineConfig::small_test();
-        let first_touch = Simulator::new(machine, AllocationPolicy::Baseline).run(&workload);
-        let interleaved = Simulator::new(machine, AllocationPolicy::Baseline)
-            .with_numa_policy(NumaPolicy::Interleaved)
+        let first_touch = simulator(AllocationPolicy::Baseline).run(&workload);
+        let interleaved = SimulationBuilder::new(MachineConfig::small_test())
+            .numa_policy(NumaPolicy::Interleaved)
+            .build()
+            .expect("valid configuration")
             .run(&workload);
         // Interleaving destroys locality: the local fraction drops.
         assert!(interleaved.local_fraction() < first_touch.local_fraction());

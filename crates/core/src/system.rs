@@ -166,8 +166,13 @@ mod tests {
     fn system_access_reaches_caches_network_and_dram() {
         let mut machine = Machine::new(&MachineConfig::small_test());
         let line = LineAddr::new(99);
-        assert_eq!(machine.probe_cache(CoreId::new(1), line, false, false), ProbeOutcome::Miss);
-        machine.caches_mut(CoreId::new(1)).fill(line, CoherenceState::Shared);
+        assert_eq!(
+            machine.probe_cache(CoreId::new(1), line, false, false),
+            ProbeOutcome::Miss
+        );
+        machine
+            .caches_mut(CoreId::new(1))
+            .fill(line, CoherenceState::Shared);
         assert!(matches!(
             machine.probe_cache(CoreId::new(1), line, false, false),
             ProbeOutcome::Hit { .. }

@@ -1,0 +1,174 @@
+//! A minimal grouped benchmark harness.
+//!
+//! The workspace builds offline, so criterion is unavailable; this crate
+//! provides the small subset the ALLARM benches need, in the grouped style
+//! of iai/criterion harnesses: named groups of named benchmarks, warm-up,
+//! adaptive iteration counts, and median-of-samples reporting. Bench targets
+//! opt out of libtest with `harness = false` and call [`benchmark_main!`].
+//!
+//! # Examples
+//!
+//! ```
+//! use allarm_harness::{black_box, Group};
+//!
+//! fn fib(n: u64) -> u64 { (1..=n).product() }
+//!
+//! let mut group = Group::new("math").sample_count(5).min_duration_ms(1);
+//! group.bench("fib20", || { black_box(fib(black_box(20))); });
+//! group.finish();
+//! ```
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A named collection of benchmarks, printed as one block.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    filter: Option<String>,
+    sample_count: usize,
+    min_duration: Duration,
+    printed_header: bool,
+}
+
+impl Group {
+    /// Creates a group, reading the benchmark filter from the command line
+    /// (the first non-flag argument, as `cargo bench -- <filter>` passes it).
+    pub fn new(name: impl Into<String>) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Group {
+            name: name.into(),
+            filter,
+            sample_count: 10,
+            min_duration: Duration::from_millis(20),
+            printed_header: false,
+        }
+    }
+
+    /// Overrides the number of timed samples per benchmark (default 10).
+    pub fn sample_count(mut self, samples: usize) -> Self {
+        self.sample_count = samples.max(1);
+        self
+    }
+
+    /// Overrides the minimum wall-clock time per sample (default 20 ms); the
+    /// iteration count adapts until one sample takes at least this long.
+    pub fn min_duration_ms(mut self, ms: u64) -> Self {
+        self.min_duration = Duration::from_millis(ms);
+        self
+    }
+
+    /// Runs one benchmark: calls `f` repeatedly and reports the median
+    /// per-iteration time over the samples.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if !self.printed_header {
+            println!("# group {}", self.name);
+            self.printed_header = true;
+        }
+
+        // Warm up and find an iteration count where one sample is long
+        // enough to time reliably.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_duration || iters >= 1 << 30 {
+                break;
+            }
+            // Aim straight for the target with 2x headroom.
+            let target = self.min_duration.as_nanos().max(1);
+            let per_iter = (elapsed.as_nanos() / u128::from(iters)).max(1);
+            iters = ((2 * target / per_iter) as u64).clamp(iters + 1, 1 << 30);
+        }
+
+        let mut samples: Vec<u128> = (0..self.sample_count)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                start.elapsed().as_nanos() / u128::from(iters)
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{full:<50} {:>12}/iter  (min {}, max {}, {iters} iters x {} samples)",
+            format_ns(median),
+            format_ns(min),
+            format_ns(max),
+            self.sample_count,
+        );
+    }
+
+    /// Ends the group (prints a trailing newline if anything ran).
+    pub fn finish(self) {
+        if self.printed_header {
+            println!();
+        }
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares the `main` function of a `harness = false` bench target: each
+/// argument is a `fn()` that builds, runs and finishes its [`Group`]s.
+#[macro_export]
+macro_rules! benchmark_main {
+    ($($group_fn:path),+ $(,)?) => {
+        fn main() {
+            $( $group_fn(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut group = Group::new("selftest").sample_count(3).min_duration_ms(1);
+        let mut count = 0u64;
+        group.bench("counter", || {
+            count = black_box(count.wrapping_add(1));
+        });
+        group.finish();
+        assert!(count > 0, "benchmark closure must have run");
+    }
+
+    #[test]
+    fn format_is_humane() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.500 us");
+        assert_eq!(format_ns(2_500_000), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

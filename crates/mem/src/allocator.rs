@@ -231,12 +231,14 @@ impl NumaAllocator {
                 } else {
                     self.stats.spilled_allocations.incr();
                 }
-                let phys_page =
-                    PageAddr::new(candidate as u64 * self.pages_per_node + slot);
+                let phys_page = PageAddr::new(candidate as u64 * self.pages_per_node + slot);
                 return (phys_page, NodeId::new(candidate as u16));
             }
         }
-        panic!("physical memory exhausted: all {} nodes are full", self.num_nodes);
+        panic!(
+            "physical memory exhausted: all {} nodes are full",
+            self.num_nodes
+        );
     }
 }
 
@@ -309,11 +311,19 @@ mod tests {
     fn interleaved_round_robins() {
         let mut numa = NumaAllocator::new(4, small_dram(), NumaPolicy::Interleaved);
         let homes: Vec<NodeId> = (0..4u64)
-            .map(|i| numa.translate(VirtAddr::new(i * PAGE_BYTES), NodeId::new(0)).home)
+            .map(|i| {
+                numa.translate(VirtAddr::new(i * PAGE_BYTES), NodeId::new(0))
+                    .home
+            })
             .collect();
         assert_eq!(
             homes,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 
@@ -365,7 +375,10 @@ mod tests {
         let mut numa = NumaAllocator::new(2, small_dram(), NumaPolicy::FirstTouch);
         assert_eq!(numa.mapping_of(PageAddr::new(7)), None);
         let f = numa.translate(VirtAddr::new(7 * PAGE_BYTES), NodeId::new(1));
-        assert_eq!(numa.mapping_of(PageAddr::new(7)), Some((f.phys_page, NodeId::new(1))));
+        assert_eq!(
+            numa.mapping_of(PageAddr::new(7)),
+            Some((f.phys_page, NodeId::new(1)))
+        );
     }
 
     #[test]

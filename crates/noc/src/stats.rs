@@ -106,7 +106,7 @@ mod tests {
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.total_bytes(), 88);
         assert_eq!(s.total_hops(), 7);
-        assert_eq!(s.total_flit_hops(), 2 * 3 + 2 * 1 + 18 * 3);
+        assert_eq!(s.total_flit_hops(), 2 * 3 + 2 + 18 * 3);
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Mesh {
     /// Panics if the node is outside the mesh.
     pub fn coord(&self, node: NodeId) -> Coord {
         let idx = node.index() as u32;
-        assert!(idx < self.num_nodes(), "node {node} outside {}-node mesh", self.num_nodes());
+        assert!(
+            idx < self.num_nodes(),
+            "node {node} outside {}-node mesh",
+            self.num_nodes()
+        );
         Coord {
             x: idx % self.width,
             y: idx / self.width,
@@ -75,7 +79,10 @@ impl Mesh {
     ///
     /// Panics if the coordinates are outside the mesh.
     pub fn node_at(&self, coord: Coord) -> NodeId {
-        assert!(coord.x < self.width && coord.y < self.height, "coordinate outside mesh");
+        assert!(
+            coord.x < self.width && coord.y < self.height,
+            "coordinate outside mesh"
+        );
         NodeId::new((coord.y * self.width + coord.x) as u16)
     }
 
@@ -161,18 +168,30 @@ mod tests {
         let route = mesh.route(NodeId::new(0), NodeId::new(10));
         assert_eq!(route.first(), Some(&NodeId::new(0)));
         assert_eq!(route.last(), Some(&NodeId::new(10)));
-        assert_eq!(route.len() as u32, mesh.hops(NodeId::new(0), NodeId::new(10)) + 1);
+        assert_eq!(
+            route.len() as u32,
+            mesh.hops(NodeId::new(0), NodeId::new(10)) + 1
+        );
         // X-first: 0 -> 1 -> 2 -> 6 -> 10.
         assert_eq!(
             route,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(6), NodeId::new(10)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(6),
+                NodeId::new(10)
+            ]
         );
     }
 
     #[test]
     fn route_to_self_is_single_node() {
         let mesh = Mesh::new(2, 2);
-        assert_eq!(mesh.route(NodeId::new(3), NodeId::new(3)), vec![NodeId::new(3)]);
+        assert_eq!(
+            mesh.route(NodeId::new(3), NodeId::new(3)),
+            vec![NodeId::new(3)]
+        );
     }
 
     #[test]

@@ -53,15 +53,36 @@ impl CacheConfig {
     /// `ways * line_bytes`, or if any field is zero.
     pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
         if self.size_bytes == 0 {
-            return Err(ConfigError::new(format!("{name}.size_bytes"), "must be non-zero"));
+            return Err(ConfigError::new(
+                format!("{name}.size_bytes"),
+                "must be non-zero",
+            ));
         }
         if self.ways == 0 {
             return Err(ConfigError::new(format!("{name}.ways"), "must be non-zero"));
         }
         if self.line_bytes == 0 {
-            return Err(ConfigError::new(format!("{name}.line_bytes"), "must be non-zero"));
+            return Err(ConfigError::new(
+                format!("{name}.line_bytes"),
+                "must be non-zero",
+            ));
         }
-        if self.size_bytes % (u64::from(self.ways) * self.line_bytes) != 0 {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::new(
+                format!("{name}.line_bytes"),
+                "must be a power of two (set indexing uses address bit fields)",
+            ));
+        }
+        if u64::from(self.ways) > self.num_lines() {
+            return Err(ConfigError::new(
+                format!("{name}.ways"),
+                "associativity exceeds the number of lines (zero sets)",
+            ));
+        }
+        if !self
+            .size_bytes
+            .is_multiple_of(u64::from(self.ways) * self.line_bytes)
+        {
             return Err(ConfigError::new(
                 format!("{name}.size_bytes"),
                 "capacity must be a multiple of ways * line_bytes",
@@ -154,12 +175,24 @@ impl ProbeFilterConfig {
     /// `ways * LINE_BYTES`.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.coverage_bytes == 0 {
-            return Err(ConfigError::new("probe_filter.coverage_bytes", "must be non-zero"));
+            return Err(ConfigError::new(
+                "probe_filter.coverage_bytes",
+                "must be non-zero",
+            ));
         }
         if self.ways == 0 {
             return Err(ConfigError::new("probe_filter.ways", "must be non-zero"));
         }
-        if self.coverage_bytes % (u64::from(self.ways) * LINE_BYTES) != 0 {
+        if u64::from(self.ways) > self.num_entries() {
+            return Err(ConfigError::new(
+                "probe_filter.ways",
+                "associativity exceeds the number of entries (zero sets)",
+            ));
+        }
+        if !self
+            .coverage_bytes
+            .is_multiple_of(u64::from(self.ways) * LINE_BYTES)
+        {
             return Err(ConfigError::new(
                 "probe_filter.coverage_bytes",
                 "coverage must be a multiple of ways * 64 bytes",
@@ -255,13 +288,19 @@ impl NocConfig {
     /// is zero.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.mesh_x == 0 || self.mesh_y == 0 {
-            return Err(ConfigError::new("noc.mesh", "mesh dimensions must be non-zero"));
+            return Err(ConfigError::new(
+                "noc.mesh",
+                "mesh dimensions must be non-zero",
+            ));
         }
         if self.flit_bytes == 0 {
             return Err(ConfigError::new("noc.flit_bytes", "must be non-zero"));
         }
         if self.control_msg_bytes == 0 || self.data_msg_bytes == 0 {
-            return Err(ConfigError::new("noc.msg_bytes", "message sizes must be non-zero"));
+            return Err(ConfigError::new(
+                "noc.msg_bytes",
+                "message sizes must be non-zero",
+            ));
         }
         if self.link_bandwidth_bytes_per_ns == 0 {
             return Err(ConfigError::new("noc.link_bandwidth", "must be non-zero"));
@@ -434,8 +473,38 @@ mod tests {
         assert!(c.validate("l2").is_err());
         c.size_bytes = 0;
         assert!(c.validate("l2").is_err());
-        let c = CacheConfig { ways: 0, ..CacheConfig::new(1024, 4, 1) };
+        let c = CacheConfig {
+            ways: 0,
+            ..CacheConfig::new(1024, 4, 1)
+        };
         assert!(c.validate("l2").is_err());
+    }
+
+    #[test]
+    fn zero_set_geometry_is_rejected() {
+        // 128 bytes = 2 lines, but 4 ways: num_sets would be 0 and every
+        // set-index computation would divide by zero.
+        let c = CacheConfig::new(128, 4, 1);
+        assert_eq!(c.num_sets(), 0);
+        let err = c.validate("l1d").unwrap_err();
+        assert_eq!(err.field(), "l1d.ways");
+
+        // Same degenerate shape for the probe filter: 2 entries, 4 ways.
+        let pf = ProbeFilterConfig::new(2 * 64, 4);
+        assert_eq!(pf.num_sets(), 0);
+        let err = pf.validate().unwrap_err();
+        assert_eq!(err.field(), "probe_filter.ways");
+    }
+
+    #[test]
+    fn non_power_of_two_line_bytes_is_rejected() {
+        let c = CacheConfig {
+            line_bytes: 96,
+            ..CacheConfig::new(96 * 4 * 4, 4, 1)
+        };
+        let err = c.validate("l2").unwrap_err();
+        assert_eq!(err.field(), "l2.line_bytes");
+        assert!(err.reason().contains("power of two"));
     }
 
     #[test]
@@ -458,7 +527,10 @@ mod tests {
     fn zero_dram_rejected() {
         let d = DramConfig::new(0, 60);
         assert!(d.validate().is_err());
-        assert_eq!(DramConfig::new(128 * 1024 * 1024, 60).pages_per_node(), 32768);
+        assert_eq!(
+            DramConfig::new(128 * 1024 * 1024, 60).pages_per_node(),
+            32768
+        );
     }
 
     #[test]

@@ -37,8 +37,10 @@
 
 pub mod multiprocess;
 pub mod profile;
+pub mod spec;
 pub mod trace;
 
 pub use multiprocess::multiprocess_workload;
 pub use profile::{Benchmark, BenchmarkProfile};
+pub use spec::WorkloadSpec;
 pub use trace::{MemAccess, ThreadTrace, TraceGenerator, Workload};

@@ -43,9 +43,16 @@ pub fn multiprocess_workload(
     seed: u64,
     cores: &[CoreId],
 ) -> Workload {
-    assert!(!cores.is_empty(), "a multi-process workload needs at least one process");
+    assert!(
+        !cores.is_empty(),
+        "a multi-process workload needs at least one process"
+    );
     let distinct: std::collections::HashSet<CoreId> = cores.iter().copied().collect();
-    assert_eq!(distinct.len(), cores.len(), "process cores must be distinct");
+    assert_eq!(
+        distinct.len(),
+        cores.len(),
+        "process cores must be distinct"
+    );
 
     let mut threads: Vec<ThreadTrace> = Vec::with_capacity(cores.len());
     for (copy, core) in cores.iter().enumerate() {
@@ -53,9 +60,17 @@ pub fn multiprocess_workload(
         // generating it as "thread 0" gives it the full private window, and
         // shifting every address by a copy-specific offset keeps the copies'
         // address spaces disjoint (separate processes share nothing).
-        let single = TraceGenerator::new(1, accesses_per_process, seed.wrapping_add(copy as u64 * 0x5D58_21))
-            .generate(benchmark);
-        let mut trace = single.threads.into_iter().next().expect("one thread was generated");
+        let single = TraceGenerator::new(
+            1,
+            accesses_per_process,
+            seed.wrapping_add(copy as u64 * 0x005D_5821),
+        )
+        .generate(benchmark);
+        let mut trace = single
+            .threads
+            .into_iter()
+            .next()
+            .expect("one thread was generated");
         let offset = copy as u64 * (1u64 << 44);
         for access in &mut trace.accesses {
             access.vaddr = allarm_types::addr::VirtAddr::new(access.vaddr.raw() + offset);
@@ -99,7 +114,11 @@ mod tests {
             &[CoreId::new(0), CoreId::new(8)],
         );
         let pages_of = |trace: &crate::ThreadTrace| -> HashSet<u64> {
-            trace.accesses.iter().map(|a| a.vaddr.page().raw()).collect()
+            trace
+                .accesses
+                .iter()
+                .map(|a| a.vaddr.page().raw())
+                .collect()
         };
         let a = pages_of(&w.threads[0]);
         let b = pages_of(&w.threads[1]);

@@ -324,7 +324,9 @@ mod tests {
     fn every_profile_is_valid() {
         for bench in Benchmark::ALL {
             let profile = bench.profile();
-            profile.validate().unwrap_or_else(|e| panic!("{bench}: {e}"));
+            profile
+                .validate()
+                .unwrap_or_else(|e| panic!("{bench}: {e}"));
             assert_eq!(profile.name, bench.name());
         }
     }
@@ -358,7 +360,10 @@ mod tests {
             p.private_footprint_kb(),
             p.private_hot_kb + p.private_stream_kb + p.private_init_kb
         );
-        assert_eq!(p.shared_footprint_kb(), p.shared_hot_kb + p.shared_stream_kb);
+        assert_eq!(
+            p.shared_footprint_kb(),
+            p.shared_hot_kb + p.shared_stream_kb
+        );
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Declarative, serializable workload specifications.
+//!
+//! A [`WorkloadSpec`] is the workload half of a scenario document: it names
+//! *what* to run (a benchmark, how many threads or processes, how long a
+//! trace) without materializing the trace itself. Specs are plain serde
+//! values, so they round-trip through TOML/JSON scenario files, and
+//! [`WorkloadSpec::materialize`] turns one into a concrete [`Workload`] as a
+//! pure function of `(spec, seed)` — the foundation of the batch runner's
+//! determinism guarantee.
+
+use crate::multiprocess::multiprocess_workload;
+use crate::profile::Benchmark;
+use crate::trace::{TraceGenerator, Workload};
+use allarm_types::ids::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of a workload, (de)serializable as part of a
+/// scenario document.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_workloads::{Benchmark, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::threads(Benchmark::Barnes, 4, 1_000);
+/// let workload = spec.materialize(42);
+/// assert_eq!(workload.threads.len(), 4);
+/// // Materialization is a pure function of (spec, seed):
+/// assert_eq!(spec.materialize(42), workload);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// A multi-threaded run of one benchmark: `threads` worker threads
+    /// pinned to cores `0..threads`, each issuing `accesses_per_thread`
+    /// main-phase references (the setup of Fig. 2 and Fig. 3).
+    Threads {
+        /// The benchmark whose profile drives trace generation.
+        benchmark: Benchmark,
+        /// Number of worker threads.
+        threads: usize,
+        /// Main-phase memory references per thread.
+        accesses_per_thread: usize,
+    },
+    /// Independent single-threaded copies of one benchmark, pinned to the
+    /// given cores — the consolidated multi-process setup of Fig. 4.
+    Multiprocess {
+        /// The benchmark each process runs.
+        benchmark: Benchmark,
+        /// The core each process is pinned to (one process per entry; the
+        /// entries must be distinct).
+        cores: Vec<CoreId>,
+        /// Main-phase memory references per process.
+        accesses_per_process: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor for the multi-threaded form.
+    pub fn threads(benchmark: Benchmark, threads: usize, accesses_per_thread: usize) -> Self {
+        WorkloadSpec::Threads {
+            benchmark,
+            threads,
+            accesses_per_thread,
+        }
+    }
+
+    /// Convenience constructor for the multi-process form.
+    pub fn multiprocess(
+        benchmark: Benchmark,
+        cores: Vec<CoreId>,
+        accesses_per_process: usize,
+    ) -> Self {
+        WorkloadSpec::Multiprocess {
+            benchmark,
+            cores,
+            accesses_per_process,
+        }
+    }
+
+    /// The benchmark this spec runs.
+    pub fn benchmark(&self) -> Benchmark {
+        match self {
+            WorkloadSpec::Threads { benchmark, .. }
+            | WorkloadSpec::Multiprocess { benchmark, .. } => *benchmark,
+        }
+    }
+
+    /// Returns a copy running a different benchmark with the same shape
+    /// (used when a scenario grid sweeps the benchmark axis).
+    pub fn with_benchmark(&self, benchmark: Benchmark) -> Self {
+        let mut spec = self.clone();
+        match &mut spec {
+            WorkloadSpec::Threads { benchmark: b, .. }
+            | WorkloadSpec::Multiprocess { benchmark: b, .. } => *b = benchmark,
+        }
+        spec
+    }
+
+    /// Returns a copy with a different per-thread / per-process trace
+    /// length.
+    pub fn with_accesses(&self, accesses: usize) -> Self {
+        let mut spec = self.clone();
+        match &mut spec {
+            WorkloadSpec::Threads {
+                accesses_per_thread,
+                ..
+            } => *accesses_per_thread = accesses,
+            WorkloadSpec::Multiprocess {
+                accesses_per_process,
+                ..
+            } => *accesses_per_process = accesses,
+        }
+        spec
+    }
+
+    /// The per-thread / per-process trace length.
+    pub fn accesses(&self) -> usize {
+        match self {
+            WorkloadSpec::Threads {
+                accesses_per_thread,
+                ..
+            } => *accesses_per_thread,
+            WorkloadSpec::Multiprocess {
+                accesses_per_process,
+                ..
+            } => *accesses_per_process,
+        }
+    }
+
+    /// The minimum number of cores a machine needs to run this workload.
+    pub fn cores_required(&self) -> usize {
+        match self {
+            WorkloadSpec::Threads { threads, .. } => *threads,
+            WorkloadSpec::Multiprocess { cores, .. } => {
+                cores.iter().map(|c| c.index() + 1).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field: zero threads, an
+    /// empty or duplicated core list.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            WorkloadSpec::Threads { threads, .. } => {
+                if *threads == 0 {
+                    return Err("workload.threads: must be non-zero".to_string());
+                }
+            }
+            WorkloadSpec::Multiprocess { cores, .. } => {
+                if cores.is_empty() {
+                    return Err("workload.cores: must name at least one core".to_string());
+                }
+                let distinct: std::collections::HashSet<CoreId> = cores.iter().copied().collect();
+                if distinct.len() != cores.len() {
+                    return Err("workload.cores: process cores must be distinct".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates the concrete workload: a pure function of `(self, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`]; callers that
+    /// take untrusted specs should validate first.
+    pub fn materialize(&self, seed: u64) -> Workload {
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid workload spec: {e}"));
+        match self {
+            WorkloadSpec::Threads {
+                benchmark,
+                threads,
+                accesses_per_thread,
+            } => TraceGenerator::new(*threads, *accesses_per_thread, seed).generate(*benchmark),
+            WorkloadSpec::Multiprocess {
+                benchmark,
+                cores,
+                accesses_per_process,
+            } => multiprocess_workload(*benchmark, *accesses_per_process, seed, cores),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_spec_materializes_deterministically() {
+        let spec = WorkloadSpec::threads(Benchmark::Cholesky, 4, 500);
+        assert_eq!(spec.benchmark(), Benchmark::Cholesky);
+        assert_eq!(spec.cores_required(), 4);
+        assert_eq!(spec.accesses(), 500);
+        let a = spec.materialize(9);
+        let b = spec.materialize(9);
+        assert_eq!(a, b);
+        assert_eq!(a.name, "cholesky");
+        assert_ne!(a, spec.materialize(10));
+    }
+
+    #[test]
+    fn multiprocess_spec_pins_processes() {
+        let spec = WorkloadSpec::multiprocess(
+            Benchmark::Barnes,
+            vec![CoreId::new(0), CoreId::new(8)],
+            300,
+        );
+        assert_eq!(spec.cores_required(), 9);
+        let w = spec.materialize(7);
+        assert_eq!(w.threads.len(), 2);
+        assert_eq!(w.threads[1].core, CoreId::new(8));
+        assert_eq!(w.name, "barnes-2p");
+    }
+
+    #[test]
+    fn axis_helpers_replace_one_field() {
+        let spec = WorkloadSpec::threads(Benchmark::Barnes, 16, 1_000);
+        let other = spec.with_benchmark(Benchmark::X264).with_accesses(50);
+        assert_eq!(other.benchmark(), Benchmark::X264);
+        assert_eq!(other.accesses(), 50);
+        assert_eq!(other.cores_required(), 16);
+        // The original is untouched.
+        assert_eq!(spec.benchmark(), Benchmark::Barnes);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(WorkloadSpec::threads(Benchmark::Barnes, 0, 10)
+            .validate()
+            .is_err());
+        assert!(WorkloadSpec::multiprocess(Benchmark::Barnes, vec![], 10)
+            .validate()
+            .is_err());
+        assert!(WorkloadSpec::multiprocess(
+            Benchmark::Barnes,
+            vec![CoreId::new(1), CoreId::new(1)],
+            10
+        )
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn spec_serializes_roundtrip() {
+        use serde::{Deserialize as _, Serialize as _};
+        for spec in [
+            WorkloadSpec::threads(Benchmark::Dedup, 16, 250_000),
+            WorkloadSpec::multiprocess(
+                Benchmark::OceanContiguous,
+                vec![CoreId::new(0), CoreId::new(8)],
+                60_000,
+            ),
+        ] {
+            let v = spec.to_value();
+            assert_eq!(WorkloadSpec::from_value(&v).unwrap(), spec);
+        }
+    }
+}

@@ -222,8 +222,7 @@ impl TraceGenerator {
         // not march through shared data in lockstep.
         let mut priv_stream_pos: u64 = 0;
         let mut shared_stream_pos: u64 = if shared_stream_bytes > 0 {
-            (thread as u64 * shared_stream_bytes / self.num_threads as u64)
-                / STREAM_STRIDE_BYTES
+            (thread as u64 * shared_stream_bytes / self.num_threads as u64) / STREAM_STRIDE_BYTES
                 * STREAM_STRIDE_BYTES
         } else {
             0
@@ -258,7 +257,8 @@ impl TraceGenerator {
             let vaddr = if shared {
                 if shared_stream_bytes > 0 && rng.gen_bool(profile.shared_stream_fraction) {
                     let addr = shared_stream_base + shared_stream_pos;
-                    shared_stream_pos = (shared_stream_pos + STREAM_STRIDE_BYTES) % shared_stream_bytes;
+                    shared_stream_pos =
+                        (shared_stream_pos + STREAM_STRIDE_BYTES) % shared_stream_bytes;
                     addr
                 } else if shared_hot_bytes > 0 {
                     shared_hot_base + align_down(rng.gen_range(0..shared_hot_bytes))
@@ -348,7 +348,12 @@ mod tests {
         let shared_count: usize = w
             .threads
             .iter()
-            .map(|t| t.accesses.iter().filter(|a| a.vaddr.raw() >= SHARED_BASE).count())
+            .map(|t| {
+                t.accesses
+                    .iter()
+                    .filter(|a| a.vaddr.raw() >= SHARED_BASE)
+                    .count()
+            })
             .sum();
         // Blackscholes is ~78% shared; with 8000 main-phase accesses this is
         // comfortably in the thousands.
@@ -428,7 +433,10 @@ mod tests {
         // fractions according to the shared fraction.
         let expected = profile.shared_fraction * profile.shared_write_fraction
             + (1.0 - profile.shared_fraction) * profile.write_fraction;
-        assert!((frac - expected).abs() < 0.02, "write fraction {frac} vs expected {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "write fraction {frac} vs expected {expected}"
+        );
     }
 
     #[test]

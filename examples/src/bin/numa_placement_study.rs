@@ -5,14 +5,15 @@
 //! runs the same benchmark under first-touch, next-touch and interleaved
 //! page placement and shows how the local-request fraction — and with it
 //! ALLARM's ability to skip probe-filter allocations — changes. It exercises
-//! the `Simulator` API directly rather than the pre-packaged experiment
-//! drivers.
+//! the `SimulationBuilder` API directly rather than the pre-packaged
+//! experiment drivers; see `probe_filter_sizing` for the declarative
+//! `Scenario` route.
 //!
 //! ```text
 //! cargo run --release -p allarm-examples --bin numa_placement_study
 //! ```
 
-use allarm_core::{AllocationPolicy, MachineConfig, Simulator};
+use allarm_core::{AllocationPolicy, MachineConfig, SimulationBuilder};
 use allarm_mem::NumaPolicy;
 use allarm_types::ids::NodeId;
 use allarm_workloads::{Benchmark, TraceGenerator};
@@ -21,7 +22,10 @@ fn main() {
     let machine = MachineConfig::date2014();
     let workload = TraceGenerator::new(16, 40_000, 99).generate(Benchmark::Barnes);
 
-    println!("NUMA placement sensitivity for {} (16 threads)", workload.name);
+    println!(
+        "NUMA placement sensitivity for {} (16 threads)",
+        workload.name
+    );
     println!();
     println!(
         "{:<14} {:>8} {:>12} {:>12} {:>14} {:>12}",
@@ -37,8 +41,11 @@ fn main() {
 
     for (label, numa) in placements {
         for policy in AllocationPolicy::ALL {
-            let report = Simulator::new(machine, policy)
-                .with_numa_policy(numa)
+            let report = SimulationBuilder::new(machine)
+                .policy(policy)
+                .numa_policy(numa)
+                .build()
+                .expect("the Table I machine is valid")
                 .run(&workload);
             println!(
                 "{:<14} {:>8} {:>12} {:>12.2} {:>14} {:>12}",

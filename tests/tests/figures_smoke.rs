@@ -25,7 +25,10 @@ fn fig2_and_fig3_series_cover_every_benchmark() {
         speedup.push(bench.name(), cmp.speedup());
         // Fractions are probabilities.
         assert!((0.0..=1.0).contains(&cmp.local_fraction()), "{bench}");
-        assert!((0.0..=1.0).contains(&cmp.hidden_probe_fraction()), "{bench}");
+        assert!(
+            (0.0..=1.0).contains(&cmp.hidden_probe_fraction()),
+            "{bench}"
+        );
         assert!(cmp.speedup() > 0.0);
     }
     let table = render_table("Fig. 3a smoke", &[speedup]);

@@ -3,7 +3,7 @@
 
 use allarm_core::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, AllocationPolicy,
-    ExperimentConfig, MachineConfig, Simulator,
+    ExperimentConfig, MachineConfig, SimulationBuilder,
 };
 use allarm_types::Nanos;
 use allarm_workloads::{Benchmark, TraceGenerator};
@@ -43,7 +43,10 @@ fn allarm_never_increases_probe_filter_pressure() {
             cmp.allarm.pf_evictions <= cmp.baseline.pf_evictions,
             "{bench}: ALLARM evicted more probe-filter entries than the baseline"
         );
-        assert!(cmp.allarm.allarm_allocation_skips > 0, "{bench}: ALLARM never skipped");
+        assert!(
+            cmp.allarm.allarm_allocation_skips > 0,
+            "{bench}: ALLARM never skipped"
+        );
         assert_eq!(cmp.baseline.allarm_allocation_skips, 0);
     }
 }
@@ -104,8 +107,14 @@ fn policies_agree_when_there_is_no_coherence_pressure() {
     // produce identical runtimes because the directory is barely exercised.
     let machine = MachineConfig::date2014();
     let workload = TraceGenerator::new(1, 2_000, 3).generate(Benchmark::Blackscholes);
-    let baseline = Simulator::new(machine, AllocationPolicy::Baseline).run(&workload);
-    let allarm = Simulator::new(machine, AllocationPolicy::Allarm).run(&workload);
+    let build = |policy| {
+        SimulationBuilder::new(machine)
+            .policy(policy)
+            .build()
+            .expect("the Table I machine is valid")
+    };
+    let baseline = build(AllocationPolicy::Baseline).run(&workload);
+    let allarm = build(AllocationPolicy::Allarm).run(&workload);
     assert_eq!(baseline.l2_misses, allarm.l2_misses);
     assert_eq!(baseline.runtime, allarm.runtime);
 }

@@ -1,19 +1,23 @@
-//! Property-based tests of the coherence protocol: for arbitrary interleaved
-//! request sequences, the directory plus caches must preserve the
-//! single-writer / multiple-reader invariant and the probe filter must never
-//! lose track of a remotely cached line.
+//! Randomized property tests of the coherence protocol: for arbitrary
+//! interleaved request sequences, the directory plus caches must preserve
+//! the single-writer / multiple-reader invariant and the probe filter must
+//! never lose track of a remotely cached line.
+//!
+//! Sequences are generated from fixed seeds with the engine's [`StreamRng`]
+//! (the workspace builds offline, without proptest), so every run replays
+//! the same cases.
 
 use allarm_cache::{CoherenceState, CoreCaches, ProbeOutcome};
 use allarm_coherence::{
     AllocationPolicy, CoherenceRequest, DirectoryController, RequestKind, SystemAccess,
 };
+use allarm_engine::StreamRng;
 use allarm_mem::DramModel;
 use allarm_noc::{MessageClass, Network};
 use allarm_types::addr::LineAddr;
 use allarm_types::config::{MachineConfig, NocConfig, ProbeFilterConfig};
 use allarm_types::ids::{CoreId, NodeId};
 use allarm_types::Nanos;
-use proptest::prelude::*;
 
 /// A four-core machine whose directory for node 0 is under test.
 struct TestMachine {
@@ -77,10 +81,18 @@ struct Step {
     write: bool,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    // All lines are homed on node 0 (they index within node 0's DRAM pages),
-    // so the single directory under test sees every transaction.
-    (0u16..4, 0u64..48, any::<bool>()).prop_map(|(core, line, write)| Step { core, line, write })
+/// Generates a random request sequence. All lines are homed on node 0 (they
+/// index within node 0's DRAM pages), so the single directory under test
+/// sees every transaction.
+fn random_steps(rng: &mut StreamRng) -> Vec<Step> {
+    let len = 1 + rng.below(119) as usize;
+    (0..len)
+        .map(|_| Step {
+            core: rng.below(4) as u16,
+            line: rng.below(48),
+            write: rng.chance(0.5),
+        })
+        .collect()
 }
 
 /// Replays a request sequence through one directory, mirroring what the
@@ -116,7 +128,10 @@ fn run_steps(policy: AllocationPolicy, steps: &[Step]) {
                 let state = machine.caches[core.index()]
                     .state_of(line)
                     .expect("writer holds the line");
-                assert!(state.can_write(), "writer left in non-writable state {state}");
+                assert!(
+                    state.can_write(),
+                    "writer left in non-writable state {state}"
+                );
             }
         }
 
@@ -131,7 +146,10 @@ fn run_steps(policy: AllocationPolicy, steps: &[Step]) {
                 .filter_map(|(i, c)| c.state_of(line).map(|s| (i, s)))
                 .collect();
             let writable = holders.iter().filter(|(_, s)| s.can_write()).count();
-            assert!(writable <= 1, "line {l}: multiple writable copies: {holders:?}");
+            assert!(
+                writable <= 1,
+                "line {l}: multiple writable copies: {holders:?}"
+            );
             if writable == 1 {
                 assert_eq!(
                     holders.len(),
@@ -157,16 +175,31 @@ fn run_steps(policy: AllocationPolicy, steps: &[Step]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn baseline_protocol_preserves_swmr(steps in proptest::collection::vec(step_strategy(), 1..120)) {
-        run_steps(AllocationPolicy::Baseline, &steps);
+/// Runs 48 random request sequences derived from `seed`, printing the
+/// failing case index (the stream label) before a panic propagates so the
+/// sequence can be replayed in isolation.
+fn run_cases(seed: u64, policy: AllocationPolicy) {
+    let root = StreamRng::from_seed(seed);
+    for case in 0..48 {
+        let steps = random_steps(&mut root.stream(case));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_steps(policy, &steps);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "randomized case {case} failed (replay: StreamRng::from_seed({seed:#x}).stream({case}))"
+            );
+            std::panic::resume_unwind(payload);
+        }
     }
+}
 
-    #[test]
-    fn allarm_protocol_preserves_swmr(steps in proptest::collection::vec(step_strategy(), 1..120)) {
-        run_steps(AllocationPolicy::Allarm, &steps);
-    }
+#[test]
+fn baseline_protocol_preserves_swmr() {
+    run_cases(0xBA5E_2014, AllocationPolicy::Baseline);
+}
+
+#[test]
+fn allarm_protocol_preserves_swmr() {
+    run_cases(0xA11A_2014, AllocationPolicy::Allarm);
 }

@@ -1,0 +1,41 @@
+//! The checked-in scenario grids under `scenarios/` must stay in sync with
+//! the constructors in `allarm_bench` (regenerate with
+//! `cargo run -p allarm-bench --bin export_scenarios`).
+
+use allarm_bench::{fig3_grid, fig3h_grid, fig4_grid};
+use allarm_core::{ExperimentConfig, ScenarioGrid};
+use std::path::Path;
+
+fn load(name: &str) -> ScenarioGrid {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../scenarios")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    ScenarioGrid::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn checked_in_grids_match_the_constructors() {
+    let cfg = ExperimentConfig::paper();
+    assert_eq!(load("fig3_comparison.toml"), fig3_grid(&cfg));
+    assert_eq!(load("fig3h_pf_sweep.toml"), fig3h_grid(&cfg));
+    assert_eq!(load("fig4_multiprocess.toml"), fig4_grid(&cfg));
+}
+
+#[test]
+fn checked_in_grids_are_valid_and_sized_as_documented() {
+    let fig3 = load("fig3_comparison.toml");
+    assert_eq!(fig3.len(), 16); // 8 benchmarks x 2 policies
+    fig3.validate().unwrap();
+
+    let fig3h = load("fig3h_pf_sweep.toml");
+    assert_eq!(fig3h.len(), 48); // x 3 coverages
+    assert_eq!(fig3h.pf_coverages, vec![512 * 1024, 256 * 1024, 128 * 1024]);
+    fig3h.validate().unwrap();
+
+    let fig4 = load("fig4_multiprocess.toml");
+    assert_eq!(fig4.len(), 40); // 4 benchmarks x 5 coverages x 2 policies
+    assert_eq!(fig4.base.workload.cores_required(), 9);
+    fig4.validate().unwrap();
+}
