@@ -1,36 +1,61 @@
 //! Runs a declarative scenario document: the front door of the redesigned
 //! API. Accepts a single `Scenario` or a `ScenarioGrid` in TOML or JSON,
 //! expands it, executes the set in parallel, and prints one summary row per
-//! run (or full JSONL reports with `--json`).
+//! run (or full JSONL reports with `--json`). `--output` streams results to
+//! disk as they complete — JSONL, or CSV when the path ends in `.csv` — and
+//! `--sim-threads` shards every run across worker threads (byte-identical
+//! results; see the README's parallelism section).
 //!
 //! ```text
 //! cargo run --release -p allarm-bench --bin scenario_run -- scenarios/fig3_comparison.toml
 //! cargo run --release -p allarm-bench --bin scenario_run -- --json my_scenario.toml
+//! cargo run --release -p allarm-bench --bin scenario_run -- \
+//!     --sim-threads 4 --output results.csv scenarios/fig3_comparison.toml
 //! ```
 
 use allarm_bench::parse_scenario_doc;
-use allarm_core::{BatchRunner, JsonlSink};
+use allarm_core::{BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: scenario_run [--json] [--output <path>] [--sim-threads <n>] \
+     <scenario.toml|scenario.json>";
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut output: Option<String> = None;
+    let mut sim_threads: Option<usize> = None;
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--output" => match args.next() {
+                Some(p) => output = Some(p),
+                None => {
+                    eprintln!("--output needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sim-threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => sim_threads = Some(n),
+                None => {
+                    eprintln!("--sim-threads needs a number (0 = all hardware threads)\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}` (supported: --json)");
+                eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
             other if path.is_none() => path = Some(other.to_string()),
             other => {
-                eprintln!("unexpected argument `{other}`");
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: scenario_run [--json] <scenario.toml|scenario.json>");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 
@@ -50,13 +75,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let scenarios = doc.expand();
+    let mut scenarios = doc.expand();
+    if let Some(n) = sim_threads {
+        for scenario in &mut scenarios {
+            scenario.sim_threads = allarm_core::SimThreads(n);
+        }
+    }
     let runner = BatchRunner::new();
     eprintln!(
-        "[scenario_run] {} scenario(s) on {} threads",
+        "[scenario_run] {} scenario(s) on {} threads{}",
         scenarios.len(),
-        runner.num_threads()
+        runner.num_threads(),
+        match sim_threads {
+            Some(n) => format!(" (x {n} intra-run)"),
+            None => String::new(),
+        }
     );
+
+    if let Some(output) = output {
+        return run_to_file(&runner, &scenarios, &path, &output);
+    }
 
     if json {
         let mut sink = JsonlSink::new();
@@ -91,4 +129,58 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Streams the batch into a file-backed sink: CSV when the path ends in
+/// `.csv`, JSONL otherwise.
+fn run_to_file(
+    runner: &BatchRunner,
+    scenarios: &[allarm_core::Scenario],
+    doc_path: &str,
+    output: &str,
+) -> ExitCode {
+    fn run_into<S: ResultSink>(
+        created: std::io::Result<S>,
+        finish: impl FnOnce(S) -> std::io::Result<()>,
+        runner: &BatchRunner,
+        scenarios: &[allarm_core::Scenario],
+        doc_path: &str,
+        output: &str,
+    ) -> Result<(), String> {
+        let mut sink = created.map_err(|e| format!("cannot create {output}: {e}"))?;
+        runner
+            .run_with_sink(scenarios, &mut sink)
+            .map_err(|e| format!("{doc_path}: {e}"))?;
+        finish(sink).map_err(|e| format!("writing {output}: {e}"))
+    }
+
+    let result = if output.ends_with(".csv") {
+        run_into(
+            CsvFileSink::create(output),
+            CsvFileSink::finish,
+            runner,
+            scenarios,
+            doc_path,
+            output,
+        )
+    } else {
+        run_into(
+            JsonlFileSink::create(output),
+            JsonlFileSink::finish,
+            runner,
+            scenarios,
+            doc_path,
+            output,
+        )
+    };
+    match result {
+        Ok(()) => {
+            eprintln!("[scenario_run] wrote {output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -14,17 +14,26 @@ use allarm_workloads::Benchmark;
 use serde::Deserialize as _;
 
 /// Reads the experiment scale from the `ALLARM_ACCESSES` environment
-/// variable (main-phase accesses per thread), falling back to the paper
-/// configuration's default. Set a smaller value for quick smoke runs:
+/// variable (main-phase accesses per thread) and the intra-run parallelism
+/// from `ALLARM_SIM_THREADS` (worker threads per simulation; `0` = all
+/// hardware threads; results are byte-identical either way), falling back
+/// to the paper configuration's defaults. Set a smaller access count for
+/// quick smoke runs:
 ///
 /// ```text
 /// ALLARM_ACCESSES=20000 cargo run --release -p allarm-bench --bin fig3a_speedup
+/// ALLARM_SIM_THREADS=4 cargo run --release -p allarm-bench --bin all_figures
 /// ```
 pub fn figure_config() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper();
     if let Ok(value) = std::env::var("ALLARM_ACCESSES") {
         if let Ok(accesses) = value.parse::<usize>() {
             cfg = cfg.with_accesses_per_thread(accesses);
+        }
+    }
+    if let Ok(value) = std::env::var("ALLARM_SIM_THREADS") {
+        if let Ok(sim_threads) = value.parse::<usize>() {
+            cfg = cfg.with_sim_threads(sim_threads);
         }
     }
     cfg
@@ -44,6 +53,14 @@ pub fn fig3_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
 /// `scenarios/fig3h_pf_sweep.toml`.
 pub fn fig3h_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
     fig3_grid(cfg).pf_coverages(allarm_core::FIG3H_COVERAGES.to_vec())
+}
+
+/// A beyond-the-paper grid: PARSEC `streamcluster` (not part of the
+/// original evaluation) under both policies. Also checked in as
+/// `scenarios/streamcluster_comparison.toml`.
+pub fn streamcluster_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    ScenarioGrid::new(cfg.scenario(Benchmark::Streamcluster, AllocationPolicy::Baseline))
+        .policies(AllocationPolicy::ALL.to_vec())
 }
 
 /// The grid behind Fig. 4: the SPLASH2 subset as two-process workloads ×

@@ -155,11 +155,13 @@ impl CoreCaches {
     }
 
     /// Grants write permission for a line already present (upgrade
-    /// completion).
-    pub fn grant_write(&mut self, line: LineAddr) {
-        if !self.l1d.set_state(line, CoherenceState::Modified) {
-            self.l2.set_state(line, CoherenceState::Modified);
-        }
+    /// completion). Returns false if the line is no longer cached — the
+    /// copy was invalidated between the upgrade request and its grant (a
+    /// concurrent writer won ownership first), so the grantee must refetch
+    /// the data instead.
+    pub fn grant_write(&mut self, line: LineAddr) -> bool {
+        self.l1d.set_state(line, CoherenceState::Modified)
+            || self.l2.set_state(line, CoherenceState::Modified)
     }
 
     /// Directory probe: reports whether the line is cached here and in what
@@ -285,9 +287,22 @@ mod tests {
         c.fill(line, CoherenceState::Shared);
         assert_eq!(c.coherence_need(line, false), None);
         assert_eq!(c.coherence_need(line, true), Some(CoherenceNeed::Upgrade));
-        c.grant_write(line);
+        assert!(c.grant_write(line));
         assert_eq!(c.coherence_need(line, true), None);
         assert_eq!(c.state_of(line), Some(CoherenceState::Modified));
+    }
+
+    #[test]
+    fn grant_write_reports_an_invalidated_line() {
+        let mut c = caches();
+        let line = LineAddr::new(8);
+        c.fill(line, CoherenceState::Shared);
+        // The copy is invalidated (a concurrent writer took ownership)
+        // before the upgrade grant arrives: the grant must report the miss
+        // so the grantee can refetch instead of losing the write.
+        c.probe(line, false, true);
+        assert!(!c.grant_write(line));
+        assert!(!c.contains(line));
     }
 
     #[test]

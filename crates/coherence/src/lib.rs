@@ -47,10 +47,12 @@ pub mod controller;
 pub mod policy;
 pub mod probe_filter;
 pub mod request;
+pub mod shard;
 pub mod sharers;
 
 pub use controller::{DirectoryController, DirectoryResponse, DirectoryStats, SystemAccess};
 pub use policy::AllocationPolicy;
 pub use probe_filter::{PfEntry, PfEviction, PfStats, ProbeFilter};
 pub use request::{CoherenceRequest, RequestKind};
+pub use shard::{CoherenceEvent, CoherenceOp, CoherenceReply, DirectoryShard};
 pub use sharers::SharerSet;

@@ -160,6 +160,26 @@ pub fn get_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> 
     }
 }
 
+/// Extracts and deserializes field `name` from a [`Value::Map`], falling
+/// back to `T::default()` when the field is absent.
+///
+/// Used by derived `Deserialize` impls for fields marked
+/// `#[serde(default)]`. A *present* field that fails to deserialize is
+/// still an error — only absence triggers the default.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the field is present but malformed.
+pub fn get_field_or_default<T: Deserialize + Default>(
+    value: &Value,
+    name: &str,
+) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| e.at(name)),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -9,9 +9,10 @@
 //! * enums whose variants are unit, newtype, or struct-like (externally
 //!   tagged, like real serde's default representation).
 //!
-//! Generics, field attributes (`#[serde(...)]`), and tuple structs with more
-//! than one field are rejected with a compile error rather than silently
-//! mis-handled.
+//! The only field attribute implemented is `#[serde(default)]` (an absent
+//! field deserializes to `Default::default()`). Generics, other
+//! `#[serde(...)]` attributes, and tuple structs with more than one field
+//! are rejected with a compile error rather than silently mis-handled.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -19,7 +20,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     NewtypeStruct {
         name: String,
@@ -30,14 +31,21 @@ enum Item {
     },
 }
 
+/// A named field and whether it carries `#[serde(default)]` (absent fields
+/// fall back to `Default::default()` instead of erroring).
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Variant {
     Unit(String),
     Newtype(String),
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -46,7 +54,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -138,14 +146,16 @@ fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
     }
 }
 
-/// Parses `field: Type, ...` field lists, returning the field names. Types
-/// are skipped wholesale; commas inside angle brackets (`Vec<(A, B)>`) do not
-/// split fields because `<`/`>` depth is tracked.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses `field: Type, ...` field lists, returning the field names and
+/// their `#[serde(default)]` markers. Types are skipped wholesale; commas
+/// inside angle brackets (`Vec<(A, B)>`) do not split fields because
+/// `<`/`>` depth is tracked.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
+        let default = take_field_attrs(&tokens, &mut i);
         skip_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
@@ -156,12 +166,45 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("derive(Serialize/Deserialize): expected `:` after field `{field}`, found {other:?}"),
         }
         skip_type(&tokens, &mut i);
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
     }
     fields
+}
+
+/// Consumes the attributes preceding a field, returning true if one of
+/// them is `#[serde(default)]`. Other `#[serde(...)]` contents are
+/// rejected (this shim would silently mis-handle them); non-serde
+/// attributes (doc comments etc.) are skipped.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) else {
+            return default;
+        };
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            let Some(TokenTree::Group(args)) = inner.get(1) else {
+                panic!("derive(Serialize/Deserialize): malformed #[serde(...)] attribute");
+            };
+            let args = args.stream().to_string();
+            if args.trim() == "default" {
+                default = true;
+            } else {
+                panic!(
+                    "derive(Serialize/Deserialize): unsupported serde attribute \
+                     `#[serde({args})]`; only `#[serde(default)]` is implemented"
+                );
+            }
+        }
+        *i += 2; // '#' and the [...] group
+    }
+    default
 }
 
 /// Advances `i` past one type, stopping at a top-level `,` or end of input.
@@ -250,6 +293,7 @@ fn gen_serialize(item: &Item) -> String {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "__fields.push((::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})));\n"
@@ -287,10 +331,15 @@ fn gen_serialize(item: &Item) -> String {
                               ::serde::Serialize::to_value(__inner))]),\n"
                     ),
                     Variant::Struct { name: v, fields } => {
-                        let bindings = fields.join(", ");
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let pushes: String = fields
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                      ::serde::Serialize::to_value({f})),"
@@ -316,13 +365,24 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// Renders one struct-field initializer for a derived `Deserialize` impl,
+/// routing `#[serde(default)]` fields through `get_field_or_default`.
+fn field_init(source: &'static str) -> impl Fn(&Field) -> String {
+    move |f: &Field| {
+        let getter = if f.default {
+            "get_field_or_default"
+        } else {
+            "get_field"
+        };
+        let name = &f.name;
+        format!("{name}: ::serde::{getter}({source}, \"{name}\")?,\n")
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::get_field(__value, \"{f}\")?,\n"))
-                .collect();
+            let inits: String = fields.iter().map(field_init("__value")).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(__value: &::serde::Value) -> \
@@ -370,8 +430,14 @@ fn gen_deserialize(item: &Item) -> String {
                         let inits: String = fields
                             .iter()
                             .map(|f| {
+                                let getter = if f.default {
+                                    "get_field_or_default"
+                                } else {
+                                    "get_field"
+                                };
+                                let f = &f.name;
                                 format!(
-                                    "{f}: ::serde::get_field(__inner, \"{f}\")\
+                                    "{f}: ::serde::{getter}(__inner, \"{f}\")\
                                          .map_err(|e| e.at(\"{v}\"))?,\n"
                                 )
                             })

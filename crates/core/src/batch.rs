@@ -12,6 +12,11 @@
 //! Workloads are materialized once per distinct `(spec, seed)` pair and
 //! shared between scenarios via [`Arc`], so a policy-comparison grid does
 //! not pay trace generation twice per benchmark.
+//!
+//! Results can stay in memory ([`VecSink`], [`JsonlSink`]) or stream to
+//! disk as they complete ([`JsonlFileSink`], [`CsvFileSink`]), so long
+//! sweeps persist partial results instead of losing everything on an
+//! interruption.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -91,17 +96,153 @@ impl JsonlSink {
 
 impl ResultSink for JsonlSink {
     fn record(&mut self, entry: &BatchEntry) {
-        use serde::{Serialize as _, Value};
-        let line = Value::Map(vec![
-            ("index".to_string(), Value::U64(entry.index as u64)),
-            (
-                "scenario".to_string(),
-                Value::Str(entry.scenario.name.clone()),
-            ),
-            ("report".to_string(), entry.report.to_value()),
-        ]);
-        self.out.push_str(&serde_json::to_string(&line));
+        self.out.push_str(&jsonl_line(entry));
         self.out.push('\n');
+    }
+}
+
+/// Renders one batch entry as the line format of [`JsonlSink`].
+fn jsonl_line(entry: &BatchEntry) -> String {
+    use serde::{Serialize as _, Value};
+    let line = Value::Map(vec![
+        ("index".to_string(), Value::U64(entry.index as u64)),
+        (
+            "scenario".to_string(),
+            Value::Str(entry.scenario.name.clone()),
+        ),
+        ("report".to_string(), entry.report.to_value()),
+    ]);
+    serde_json::to_string(&line)
+}
+
+/// Shared plumbing of the file-backed sinks: a flushed-per-record writer
+/// with deferred I/O errors. Errors are captured at the failing record and
+/// surfaced by `finish` (the [`ResultSink`] trait keeps `record` infallible
+/// so in-memory sinks stay trivial).
+#[derive(Debug)]
+struct FileWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    error: Option<std::io::Error>,
+}
+
+impl FileWriter {
+    fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(FileWriter {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+            error: None,
+        })
+    }
+
+    /// Writes one line and flushes, so partially completed sweeps survive
+    /// an interruption. After the first error, further writes are skipped.
+    fn write_line(&mut self, line: &str) {
+        use std::io::Write as _;
+        if self.error.is_some() {
+            return;
+        }
+        let result = writeln!(self.out, "{line}").and_then(|()| self.out.flush());
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => self.out.flush(),
+        }
+    }
+}
+
+/// A sink that streams each entry to a file as one JSON object per line
+/// (the [`JsonlSink`] format), flushing after every record. I/O errors are
+/// deferred and surfaced by [`JsonlFileSink::finish`].
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    out: FileWriter,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) the output file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the failed create.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlFileSink {
+            out: FileWriter::create(path)?,
+        })
+    }
+
+    /// Flushes and closes the sink, surfacing the first I/O error hit
+    /// while recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred write error, or the flush error.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.out.finish()
+    }
+}
+
+impl ResultSink for JsonlFileSink {
+    fn record(&mut self, entry: &BatchEntry) {
+        self.out.write_line(&jsonl_line(entry));
+    }
+}
+
+/// A sink that streams each entry to a CSV file (header plus one flat row
+/// per run), flushing after every record. The column set is
+/// [`SimReport::CSV_HEADER`]; the header is written at create time, so
+/// even an empty batch leaves a well-formed file. I/O errors are deferred
+/// and surfaced by [`CsvFileSink::finish`].
+#[derive(Debug)]
+pub struct CsvFileSink {
+    out: FileWriter,
+}
+
+impl CsvFileSink {
+    /// Creates (truncating) the output file and writes the header row.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the failed create.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let mut out = FileWriter::create(path)?;
+        out.write_line(&format!("index,scenario,{}", SimReport::CSV_HEADER));
+        Ok(CsvFileSink { out })
+    }
+
+    /// Flushes and closes the sink, surfacing the first I/O error hit
+    /// while recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred write error, or the flush error.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.out.finish()
+    }
+}
+
+impl ResultSink for CsvFileSink {
+    fn record(&mut self, entry: &BatchEntry) {
+        let row = format!(
+            "{},{},{}",
+            entry.index,
+            csv_escape(&entry.scenario.name),
+            entry.report.csv_row()
+        );
+        self.out.write_line(&row);
+    }
+}
+
+/// Quotes a CSV field if it contains a comma, quote or newline.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
     }
 }
 
@@ -253,7 +394,20 @@ impl BatchRunner {
             }
         }
 
-        let workers = self.num_threads.min(scenarios.len().max(1));
+        // Split the thread budget between scenario-level workers and the
+        // intra-run shards each simulation will spawn: a batch of scenarios
+        // that each shard 4-wide gets a quarter of the workers. Sizing by
+        // the batch *maximum* is deliberately conservative — it can starve
+        // a mixed batch's serial scenarios of workers, but never
+        // oversubscribes the host. Neither level of parallelism affects
+        // the results, only the wall clock.
+        let max_sim_threads = scenarios
+            .iter()
+            .map(|s| s.sim_threads.resolve())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let workers = (self.num_threads / max_sim_threads).clamp(1, scenarios.len().max(1));
         if workers <= 1 {
             for (index, scenario) in scenarios.iter().enumerate() {
                 let report = scenario
@@ -418,5 +572,79 @@ mod tests {
     fn thread_count_is_clamped() {
         assert_eq!(BatchRunner::with_threads(0).num_threads(), 1);
         assert!(BatchRunner::new().num_threads() >= 1);
+    }
+
+    #[test]
+    fn file_sinks_stream_ordered_results_to_disk() {
+        let scenarios = ScenarioGrid::new(
+            Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline).with_accesses(300),
+        )
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+        .expand();
+        let dir = std::env::temp_dir().join(format!("allarm-sink-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl_path = dir.join("results.jsonl");
+        let csv_path = dir.join("results.csv");
+
+        let mut jsonl = JsonlFileSink::create(&jsonl_path).unwrap();
+        BatchRunner::with_threads(2)
+            .run_with_sink(&scenarios, &mut jsonl)
+            .unwrap();
+        jsonl.finish().unwrap();
+
+        let mut csv = CsvFileSink::create(&csv_path).unwrap();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut csv)
+            .unwrap();
+        csv.finish().unwrap();
+
+        // The JSONL file matches the in-memory sink byte for byte.
+        let mut reference = JsonlSink::new();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut reference)
+            .unwrap();
+        let on_disk = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert_eq!(on_disk, reference.into_string());
+
+        // The CSV file has a header plus one row per scenario, with the
+        // scenario identity in the leading columns.
+        let csv_text = std::fs::read_to_string(&csv_path).unwrap();
+        let lines: Vec<&str> = csv_text.lines().collect();
+        assert_eq!(lines.len(), scenarios.len() + 1);
+        assert!(lines[0].starts_with("index,scenario,workload,policy,"));
+        assert!(lines[1].starts_with("0,barnes/baseline,barnes,baseline,"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and rows must have the same arity"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_budget_is_split_with_intra_run_threads() {
+        // A batch whose scenarios each shard 2-wide must still produce the
+        // same results (the split is a scheduling decision, not a semantic
+        // one).
+        let scenarios: Vec<Scenario> = tiny_grid()
+            .into_iter()
+            .map(|s| s.with_sim_threads(2))
+            .collect();
+        let wide = BatchRunner::with_threads(4).run(&scenarios).unwrap();
+        let narrow = BatchRunner::with_threads(1).run(&scenarios).unwrap();
+        let plain = BatchRunner::with_threads(4).run(&tiny_grid()).unwrap();
+        assert_eq!(wide.len(), narrow.len());
+        for ((w, n), p) in wide.entries.iter().zip(&narrow.entries).zip(&plain.entries) {
+            assert_eq!(w.report, n.report);
+            // sim_threads never changes the report itself.
+            assert_eq!(w.report, p.report);
+        }
+    }
+
+    #[test]
+    fn csv_escape_quotes_only_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 }

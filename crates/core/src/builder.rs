@@ -41,6 +41,7 @@ pub struct SimulationBuilder {
     policy: AllocationPolicy,
     numa_policy: NumaPolicy,
     energy_model: EnergyModel,
+    sim_threads: usize,
 }
 
 impl SimulationBuilder {
@@ -53,6 +54,7 @@ impl SimulationBuilder {
             policy: AllocationPolicy::default(),
             numa_policy: NumaPolicy::default(),
             energy_model: EnergyModel::default(),
+            sim_threads: 1,
         }
     }
 
@@ -69,6 +71,7 @@ impl SimulationBuilder {
             policy: scenario.policy,
             numa_policy: scenario.numa_policy,
             energy_model: EnergyModel::default(),
+            sim_threads: scenario.sim_threads.get(),
         })
     }
 
@@ -90,6 +93,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the number of worker threads one simulation run shards across
+    /// (`0`: one worker per available hardware thread). Reports are
+    /// byte-identical for every value — the sharded kernel merges
+    /// cross-shard coherence traffic in a deterministic order — so this is
+    /// purely a host-performance knob. Defaults to `1` (serial).
+    pub fn sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
+    }
+
     /// Validates the machine configuration and produces the simulator.
     ///
     /// # Errors
@@ -102,6 +115,7 @@ impl SimulationBuilder {
             self.policy,
             self.numa_policy,
             self.energy_model,
+            self.sim_threads,
         ))
     }
 }
@@ -126,10 +140,12 @@ mod tests {
             .policy(AllocationPolicy::Allarm)
             .numa_policy(NumaPolicy::Interleaved)
             .energy_model(EnergyModel::mcpat_32nm())
+            .sim_threads(4)
             .build()
             .unwrap();
         assert_eq!(sim.policy(), AllocationPolicy::Allarm);
         assert_eq!(sim.numa_policy(), NumaPolicy::Interleaved);
+        assert_eq!(sim.sim_threads(), 4);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct ExperimentConfig {
     pub accesses_per_thread: usize,
     /// Seed for workload generation.
     pub seed: u64,
+    /// Host worker threads each simulation shards across (`1`: serial,
+    /// `0`: all hardware threads). Never affects the reports, only the
+    /// wall clock.
+    pub sim_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -44,6 +48,7 @@ impl ExperimentConfig {
             threads: 16,
             accesses_per_thread: 250_000,
             seed: 2014,
+            sim_threads: 1,
         }
     }
 
@@ -55,6 +60,7 @@ impl ExperimentConfig {
             threads: 16,
             accesses_per_thread: 3_000,
             seed: 2014,
+            sim_threads: 1,
         }
     }
 
@@ -70,6 +76,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Returns a copy sharding each run across `sim_threads` worker
+    /// threads (`0`: one per available hardware thread).
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
+    }
+
     /// The multi-threaded scenario for one benchmark under one policy.
     pub fn scenario(&self, benchmark: Benchmark, policy: AllocationPolicy) -> Scenario {
         Scenario {
@@ -79,6 +92,7 @@ impl ExperimentConfig {
             numa_policy: NumaPolicy::FirstTouch,
             workload: WorkloadSpec::threads(benchmark, self.threads, self.accesses_per_thread),
             seed: self.seed,
+            sim_threads: crate::scenario::SimThreads(self.sim_threads),
         }
     }
 
@@ -101,6 +115,7 @@ impl ExperimentConfig {
                 self.accesses_per_thread,
             ),
             seed: self.seed,
+            sim_threads: crate::scenario::SimThreads(self.sim_threads),
         }
     }
 }
@@ -256,6 +271,7 @@ mod tests {
             threads: 16,
             accesses_per_thread: 800,
             seed: 7,
+            sim_threads: 1,
         }
     }
 

@@ -53,17 +53,21 @@ pub mod experiment;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+mod sharded;
 pub mod simulator;
 pub mod system;
 
-pub use batch::{BatchEntry, BatchResults, BatchRunner, JsonlSink, ResultSink, VecSink};
+pub use batch::{
+    BatchEntry, BatchResults, BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink,
+    VecSink,
+};
 pub use builder::SimulationBuilder;
 pub use experiment::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, run_workload,
     ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES,
 };
 pub use metrics::{Comparison, SimReport};
-pub use scenario::{Scenario, ScenarioGrid};
+pub use scenario::{Scenario, ScenarioGrid, SimThreads};
 pub use simulator::Simulator;
 
 // Re-export the vocabulary types callers need to drive the API without

@@ -59,6 +59,50 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// The columns of [`SimReport::csv_row`], in order (the
+    /// [`crate::batch::CsvFileSink`] header).
+    pub const CSV_HEADER: &'static str = "workload,policy,pf_coverage_bytes,runtime_ns,\
+         total_accesses,l1_hits,l2_hits,l2_misses,directory_requests,local_requests,\
+         remote_requests,pf_allocations,pf_evictions,eviction_messages,\
+         eviction_invalidations,allarm_allocation_skips,noc_bytes,noc_messages,\
+         dram_reads,dram_writes,local_probes,local_probe_hits,local_probes_hidden,\
+         noc_pj,probe_filter_pj";
+
+    /// Renders the report as one flat CSV row matching
+    /// [`SimReport::CSV_HEADER`]. Workload and policy names never contain
+    /// commas (they are benchmark/policy identifiers), so no quoting is
+    /// applied here.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.workload,
+            self.policy,
+            self.pf_coverage_bytes,
+            self.runtime.as_u64(),
+            self.total_accesses,
+            self.l1_hits,
+            self.l2_hits,
+            self.l2_misses,
+            self.directory_requests,
+            self.local_requests,
+            self.remote_requests,
+            self.pf_allocations,
+            self.pf_evictions,
+            self.eviction_messages,
+            self.eviction_invalidations,
+            self.allarm_allocation_skips,
+            self.noc_bytes,
+            self.noc_messages,
+            self.dram_reads,
+            self.dram_writes,
+            self.local_probes,
+            self.local_probe_hits,
+            self.local_probes_hidden,
+            self.energy.noc_pj,
+            self.energy.probe_filter_pj,
+        )
+    }
+
     /// Fraction of directory requests issued by the directory's local core
     /// (the quantity plotted per benchmark in Fig. 2).
     pub fn local_fraction(&self) -> f64 {

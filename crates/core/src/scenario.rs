@@ -57,6 +57,50 @@ pub struct Scenario {
     /// Seed for workload generation (and any other randomness); a scenario
     /// is a pure function of its fields, including this one.
     pub seed: u64,
+    /// Worker threads one run shards across ([`SimThreads`]; defaults to
+    /// serial). Reports are byte-identical for every value, so this knob
+    /// never makes a scenario a different experiment — it only changes how
+    /// fast the host executes it.
+    #[serde(default)]
+    pub sim_threads: SimThreads,
+}
+
+/// The intra-run parallelism knob of a [`Scenario`]: how many worker
+/// threads one simulation shards its home nodes across.
+///
+/// `1` (the default) runs serially; `0` means one worker per available
+/// hardware thread. The sharded kernel guarantees byte-identical reports
+/// for every value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimThreads(pub usize);
+
+impl SimThreads {
+    /// Serial execution (the default).
+    pub const SERIAL: SimThreads = SimThreads(1);
+
+    /// One worker per available hardware thread.
+    pub const AUTO: SimThreads = SimThreads(0);
+
+    /// The raw thread count (`0` means auto).
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// The concrete worker count this setting resolves to on this host.
+    pub fn resolve(self) -> usize {
+        match self.0 {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+impl Default for SimThreads {
+    fn default() -> Self {
+        SimThreads::SERIAL
+    }
 }
 
 impl Scenario {
@@ -70,6 +114,7 @@ impl Scenario {
             numa_policy: NumaPolicy::FirstTouch,
             workload: WorkloadSpec::threads(benchmark, 16, 250_000),
             seed: 2014,
+            sim_threads: SimThreads::default(),
         }
     }
 
@@ -118,6 +163,14 @@ impl Scenario {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy sharding each run across `sim_threads` worker
+    /// threads (`0`: one per available hardware thread). The report is
+    /// unaffected; only wall-clock time changes.
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = SimThreads(sim_threads);
         self
     }
 

@@ -1,0 +1,562 @@
+//! The deterministic sharded execution kernel behind [`crate::Simulator`].
+//!
+//! The machine is partitioned by home node ([`ShardPlan`]): each shard owns
+//! a contiguous block of nodes — their directory slices and probe filters
+//! ([`DirectoryShard`]), their DRAM channels, and the cores pinned to those
+//! nodes — and runs on its own OS thread. Execution proceeds in *rounds*,
+//! each a pair of barrier-separated phases:
+//!
+//! 1. **Core phase** (parallel, shard-local state only): every shard first
+//!    applies the directory replies its cores received last round (fills,
+//!    upgrade grants, clock advances, capacity-victim collection), then
+//!    replays each of its cores forward through private-cache hits until
+//!    the core blocks — on a coherence request, on a page fault (a touch
+//!    the NUMA allocator cannot resolve read-only), or on trace end.
+//!    Everything emitted crossing a shard boundary is a timestamped event.
+//! 2. **Directory phase** (parallel by home node): pending page faults are
+//!    applied to the allocator in deterministic `(time, core, seq)` order
+//!    by the lead shard; concurrently every shard drains the coherence
+//!    events bound for its home nodes — sorted by the same key — through
+//!    its directory slice, probing remote caches through per-core locks.
+//!
+//! **Why the result is independent of the shard count.** The core phase
+//! touches only state owned by the running shard (its cores' caches and
+//! cursors) plus read-only views, so its outcome per core is a pure
+//! function of round-start state. The directory phase orders each home
+//! node's events by a total order ([`MergeKey`]) that does not mention
+//! shards, and transactions of *different* homes never touch the same
+//! cache line (a line has exactly one home), so their line-local cache
+//! mutations and counter increments commute. Every merged statistic is a
+//! sum. Hence `sim_threads = N` produces byte-identical reports to
+//! `sim_threads = 1` — the batch-level guarantee of the runner, extended
+//! down into a single simulation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
+
+use allarm_cache::{AccessOutcome, CoherenceNeed, CoherenceState, CoreCaches};
+use allarm_coherence::{
+    AllocationPolicy, CoherenceEvent, CoherenceOp, CoherenceReply, CoherenceRequest,
+    DirectoryController, DirectoryShard, RequestKind,
+};
+use allarm_engine::{merge_events, CoreScheduler, Keyed, MergeKey, PhaseBarrier, ShardPlan};
+use allarm_mem::{NumaAllocator, NumaPolicy};
+use allarm_noc::NocStats;
+use allarm_types::addr::{LineAddr, VirtAddr};
+use allarm_types::config::MachineConfig;
+use allarm_types::ids::{CoreId, NodeId};
+use allarm_types::Nanos;
+use allarm_workloads::Workload;
+
+use crate::system::{shared_caches, ShardSystem};
+
+/// A touch the allocator could not resolve read-only: a first touch of a
+/// page, or a pending next-touch re-homing decision. Carried as a
+/// [`Keyed`] event and resolved centrally, in [`merge_events`] order,
+/// between the two phases of a round.
+#[derive(Debug, Clone, Copy)]
+struct PageFault {
+    vaddr: VirtAddr,
+    toucher: NodeId,
+}
+
+/// The cross-shard mailboxes, one slot per shard. Each slot is written by
+/// its owning shard in one phase and read by other shards in the next;
+/// the phase barriers guarantee the accesses never overlap, the mutexes
+/// make that safe in the type system.
+struct Exchange {
+    events: Vec<Mutex<Vec<CoherenceEvent>>>,
+    replies: Vec<Mutex<Vec<CoherenceReply>>>,
+    faults: Vec<Mutex<Vec<Keyed<PageFault>>>>,
+}
+
+impl Exchange {
+    fn new(num_shards: usize) -> Self {
+        Exchange {
+            events: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            replies: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            faults: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// An in-flight coherence transaction of one core: issued in the core
+/// phase, resolved by a [`CoherenceReply`] next round.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    line: LineAddr,
+    private_latency: Nanos,
+}
+
+/// One workload slot (a software thread pinned to a core) as a shard sees
+/// it.
+#[derive(Debug)]
+struct Slot {
+    /// Index into `workload.threads`.
+    thread: usize,
+    core: CoreId,
+    node: NodeId,
+    cursor: usize,
+    /// Monotone event counter; the final tie-breaker of this core's
+    /// [`MergeKey`]s.
+    seq: u32,
+    pending: Option<Pending>,
+    faulted: bool,
+}
+
+impl Slot {
+    fn next_key(&mut self, time: Nanos) -> MergeKey {
+        let key = MergeKey::new(time, u32::from(self.core.raw()), self.seq);
+        self.seq += 1;
+        key
+    }
+}
+
+/// Everything one shard accumulates that the final report needs.
+struct ShardOutput {
+    controllers: Vec<DirectoryController>,
+    noc: NocStats,
+    dram_reads: u64,
+    dram_writes: u64,
+    clocks: Vec<Nanos>,
+    accesses: u64,
+}
+
+/// The merged outcome of a run, consumed by the report builder.
+pub(crate) struct KernelOutput {
+    pub(crate) controllers: Vec<DirectoryController>,
+    pub(crate) caches: Vec<CoreCaches>,
+    pub(crate) noc: NocStats,
+    pub(crate) dram_reads: u64,
+    pub(crate) dram_writes: u64,
+    pub(crate) makespan: Nanos,
+    pub(crate) total_accesses: u64,
+}
+
+/// Runs `workload` on the machine with `num_shards` worker threads and
+/// returns the merged state. The output is byte-identical for every
+/// `num_shards` value.
+pub(crate) fn execute(
+    config: &MachineConfig,
+    policy: AllocationPolicy,
+    numa_policy: NumaPolicy,
+    workload: &Workload,
+    num_shards: usize,
+) -> KernelOutput {
+    let num_nodes = config.num_nodes() as usize;
+    let plan = ShardPlan::new(num_nodes, num_shards);
+    let num_shards = plan.num_shards();
+
+    let caches = shared_caches(config);
+    let allocator = RwLock::new(NumaAllocator::new(num_nodes, config.dram, numa_policy));
+    let exchange = Exchange::new(num_shards);
+    let barrier = PhaseBarrier::new(num_shards);
+    let live_slots = AtomicUsize::new(workload.threads.len());
+
+    let mut outputs: Vec<Option<ShardOutput>> = Vec::new();
+    outputs.resize_with(num_shards, || None);
+    let outputs = Mutex::new(outputs);
+
+    std::thread::scope(|scope| {
+        let run_shard = |shard_id: usize| {
+            let mut worker = ShardWorker::new(
+                shard_id,
+                &plan,
+                config,
+                policy,
+                workload,
+                &caches,
+                &allocator,
+                &exchange,
+                &barrier,
+                &live_slots,
+            );
+            worker.run();
+            outputs.lock().expect("output collection poisoned")[shard_id] =
+                Some(worker.into_output());
+        };
+        // Shard 0 (the fault leader) runs on the calling thread; a serial
+        // run (`num_shards == 1`) therefore spawns nothing.
+        let handles: Vec<_> = (1..num_shards)
+            .map(|shard_id| scope.spawn(move || run_shard(shard_id)))
+            .collect();
+        run_shard(0);
+        for handle in handles {
+            handle.join().expect("a shard worker panicked");
+        }
+    });
+
+    merge(caches, outputs.into_inner().expect("outputs poisoned"))
+}
+
+/// Folds the per-shard outputs (in shard order, which is node order) into
+/// the single-machine view. Every field is a commutative sum or a max, so
+/// the merge order is immaterial to the values — it is fixed anyway.
+fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> KernelOutput {
+    let mut controllers = Vec::new();
+    let mut noc = NocStats::new();
+    let mut dram_reads = 0;
+    let mut dram_writes = 0;
+    let mut makespan = Nanos::ZERO;
+    let mut total_accesses = 0;
+    for output in outputs {
+        let output = output.expect("every shard reports an output");
+        controllers.extend(output.controllers);
+        noc.merge(&output.noc);
+        dram_reads += output.dram_reads;
+        dram_writes += output.dram_writes;
+        makespan = makespan.max(output.clocks.iter().copied().max().unwrap_or(Nanos::ZERO));
+        total_accesses += output.accesses;
+    }
+    KernelOutput {
+        controllers,
+        caches: caches
+            .into_iter()
+            .map(|c| c.into_inner().expect("cache lock poisoned"))
+            .collect(),
+        noc,
+        dram_reads,
+        dram_writes,
+        makespan,
+        total_accesses,
+    }
+}
+
+/// One shard's execution state for the duration of a run.
+struct ShardWorker<'a> {
+    shard_id: usize,
+    scheduler: CoreScheduler,
+    slots: Vec<Slot>,
+    /// Global core index -> local slot index, for reply delivery.
+    slot_of_core: Vec<Option<usize>>,
+    dir: DirectoryShard,
+    sys: ShardSystem<'a>,
+    workload: &'a Workload,
+    caches: &'a [Mutex<CoreCaches>],
+    allocator: &'a RwLock<NumaAllocator>,
+    exchange: &'a Exchange,
+    barrier: &'a PhaseBarrier,
+    /// Count of slots that have not yet exhausted their traces, across all
+    /// shards; the shared termination condition.
+    live_slots: &'a AtomicUsize,
+    l1_latency: Nanos,
+    l2_latency: Nanos,
+    accesses: u64,
+}
+
+impl<'a> ShardWorker<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        shard_id: usize,
+        plan: &ShardPlan,
+        config: &MachineConfig,
+        policy: AllocationPolicy,
+        workload: &'a Workload,
+        caches: &'a [Mutex<CoreCaches>],
+        allocator: &'a RwLock<NumaAllocator>,
+        exchange: &'a Exchange,
+        barrier: &'a PhaseBarrier,
+        live_slots: &'a AtomicUsize,
+    ) -> Self {
+        let nodes = plan.nodes_of_shard(shard_id);
+        // One core per affinity domain: a slot belongs to the shard owning
+        // the node its core is pinned to.
+        let slots: Vec<Slot> = workload
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| nodes.contains(&t.core.index()))
+            .map(|(thread, t)| Slot {
+                thread,
+                core: t.core,
+                node: NodeId::new(t.core.raw()),
+                cursor: 0,
+                seq: 0,
+                pending: None,
+                faulted: false,
+            })
+            .collect();
+        let mut slot_of_core = vec![None; config.num_cores as usize];
+        for (local, slot) in slots.iter().enumerate() {
+            assert!(
+                slot_of_core[slot.core.index()].replace(local).is_none(),
+                "workload pins two threads to core {}",
+                slot.core.index()
+            );
+        }
+        ShardWorker {
+            shard_id,
+            scheduler: CoreScheduler::new(slots.len()),
+            slots,
+            slot_of_core,
+            dir: DirectoryShard::new(nodes, &config.probe_filter, policy),
+            sys: ShardSystem::new(caches, config),
+            workload,
+            caches,
+            allocator,
+            exchange,
+            barrier,
+            live_slots,
+            l1_latency: config.l1d.access_latency,
+            l2_latency: config.l2.access_latency,
+            accesses: 0,
+        }
+    }
+
+    /// The round loop. Both phases of a round end on the shared barrier;
+    /// the termination condition is read between rounds, when it is stable
+    /// and identical for every shard.
+    fn run(&mut self) {
+        loop {
+            self.core_phase();
+            self.barrier.wait();
+            if self.shard_id == 0 {
+                self.apply_faults();
+            }
+            self.directory_phase();
+            // The termination flag must be read while it is frozen: between
+            // the barriers only directory phases run, and only core phases
+            // retire slots. Reading *after* the end-of-round barrier would
+            // race with faster shards already decrementing it in their next
+            // core phase, leaving shards disagreeing on whether to exit.
+            let done = self.live_slots.load(Ordering::Acquire) == 0;
+            self.barrier.wait();
+            if done {
+                return;
+            }
+        }
+    }
+
+    /// Phase 1: deliver last round's replies to this shard's cores, then
+    /// replay each runnable core forward until it blocks.
+    fn core_phase(&mut self) {
+        let mut outbox: Vec<CoherenceEvent> = Vec::new();
+        let mut faults: Vec<Keyed<PageFault>> = Vec::new();
+        {
+            let allocator = self.allocator.read().expect("allocator lock poisoned");
+            self.deliver_replies(&allocator, &mut outbox);
+            while let Some(local) = self.scheduler.next_actor() {
+                self.run_slot(local, &allocator, &mut outbox, &mut faults);
+            }
+        }
+        *self.exchange.events[self.shard_id]
+            .lock()
+            .expect("event mailbox poisoned") = outbox;
+        *self.exchange.faults[self.shard_id]
+            .lock()
+            .expect("fault mailbox poisoned") = faults;
+    }
+
+    /// Applies every reply addressed to one of this shard's cores: install
+    /// the data, surface capacity victims as eviction notices, advance the
+    /// core's clock by the full access latency, and make it runnable again.
+    fn deliver_replies(
+        &mut self,
+        allocator: &RwLockReadGuard<'_, NumaAllocator>,
+        outbox: &mut Vec<CoherenceEvent>,
+    ) {
+        for mailbox in &self.exchange.replies {
+            for reply in mailbox.lock().expect("reply mailbox poisoned").iter() {
+                let Some(local) = self.slot_of_core[reply.core.index()] else {
+                    continue;
+                };
+                let slot = &mut self.slots[local];
+                let pending = slot
+                    .pending
+                    .take()
+                    .expect("a reply implies an in-flight transaction");
+                let total = pending.private_latency + reply.latency;
+                self.scheduler.advance(local, total);
+                self.scheduler.unpark(local);
+                let completed = self.scheduler.time_of(local);
+
+                let mut caches = self.caches[slot.core.index()]
+                    .lock()
+                    .expect("cache lock poisoned");
+                if reply.carries_data {
+                    caches.fill(pending.line, reply.fill_state);
+                } else if !caches.grant_write(pending.line) {
+                    // The Shared copy was invalidated while the upgrade was
+                    // parked (an earlier-keyed writer won ownership of the
+                    // line this round). The directory has already recorded
+                    // this core as the new owner, so install the line
+                    // Modified — the refetched data a real upgrade-miss
+                    // reply would carry — keeping cache state and directory
+                    // bookkeeping consistent.
+                    caches.fill(pending.line, CoherenceState::Modified);
+                }
+                // Lines displaced entirely out of this core's hierarchy:
+                // dirty (exclusively-owned) victims are written back, which
+                // also notifies the home directory and frees its entry — the
+                // baseline's eviction-notification optimisation. Clean
+                // victims are dropped silently, as in the deployed Hammer
+                // protocol, so their directory entries go stale until the
+                // probe filter's own replacement recycles them. That stale
+                // occupancy is precisely the pressure ALLARM removes for
+                // thread-local data.
+                for victim in caches.take_capacity_victims() {
+                    if victim.state.is_dirty() {
+                        outbox.push(CoherenceEvent {
+                            home: allocator.home_of_line(victim.addr),
+                            key: slot.next_key(completed),
+                            op: CoherenceOp::EvictNotice {
+                                line: victim.addr,
+                                core: slot.core,
+                                dirty: true,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays one core until it blocks: on a coherence request, on a page
+    /// fault, or on the end of its trace.
+    fn run_slot(
+        &mut self,
+        local: usize,
+        allocator: &RwLockReadGuard<'_, NumaAllocator>,
+        outbox: &mut Vec<CoherenceEvent>,
+        faults: &mut Vec<Keyed<PageFault>>,
+    ) {
+        let slot = &mut self.slots[local];
+        slot.faulted = false;
+        let trace = &self.workload.threads[slot.thread];
+        let mut caches = self.caches[slot.core.index()]
+            .lock()
+            .expect("cache lock poisoned");
+        // Hit latencies accumulate locally and commit to the scheduler in
+        // one `advance` when the core blocks, so a long hit-run costs one
+        // heap entry instead of one per access.
+        let mut elapsed = Nanos::ZERO;
+        loop {
+            let Some(access) = trace.accesses.get(slot.cursor) else {
+                self.scheduler.finish(local);
+                self.scheduler.advance(local, elapsed);
+                self.live_slots.fetch_sub(1, Ordering::AcqRel);
+                return;
+            };
+
+            // Virtual-to-physical translation; an unmapped (or policy-
+            // pending) page blocks the core until the fault is resolved in
+            // the deterministic merge step.
+            let Some(frame) = allocator.lookup(access.vaddr) else {
+                faults.push(Keyed::new(
+                    slot.next_key(self.scheduler.time_of(local) + elapsed),
+                    PageFault {
+                        vaddr: access.vaddr,
+                        toucher: slot.node,
+                    },
+                ));
+                slot.faulted = true;
+                self.scheduler.park(local);
+                self.scheduler.advance(local, elapsed);
+                return;
+            };
+            let line = frame.line(access.vaddr);
+
+            // Walk the private hierarchy.
+            let need = caches.coherence_need(line, access.write);
+            let outcome = caches.access(line, access.write);
+            slot.cursor += 1;
+            self.accesses += 1;
+            let mut latency = self.l1_latency;
+            if outcome != AccessOutcome::L1Hit {
+                latency += self.l2_latency;
+            }
+
+            let Some(need) = need else {
+                elapsed += latency;
+                continue;
+            };
+            let kind = match need {
+                CoherenceNeed::ReadMiss => RequestKind::GetS,
+                CoherenceNeed::WriteMiss => RequestKind::GetX,
+                CoherenceNeed::Upgrade => RequestKind::Upgrade,
+            };
+            let arrival = self.scheduler.time_of(local) + elapsed + latency;
+            outbox.push(CoherenceEvent {
+                home: frame.home,
+                key: slot.next_key(arrival),
+                op: CoherenceOp::Request {
+                    request: CoherenceRequest::new(line, kind, slot.core, slot.node),
+                    arrival,
+                },
+            });
+            slot.pending = Some(Pending {
+                line,
+                private_latency: latency,
+            });
+            self.scheduler.park(local);
+            self.scheduler.advance(local, elapsed);
+            return;
+        }
+    }
+
+    /// The lead shard resolves every page fault of the round, in merged
+    /// `(time, core, seq)` order, against the allocator. This is the only
+    /// serial section of a round; faults are rare after the working set is
+    /// mapped.
+    fn apply_faults(&mut self) {
+        let faults = merge_events(self.exchange.faults.iter().map(|mailbox| {
+            mailbox
+                .lock()
+                .expect("fault mailbox poisoned")
+                .iter()
+                .cloned()
+                .collect()
+        }));
+        if faults.is_empty() {
+            return;
+        }
+        let mut allocator = self.allocator.write().expect("allocator lock poisoned");
+        for fault in faults {
+            // The first fault in key order performs the allocation (or the
+            // next-touch re-homing); later faults on the same page are
+            // plain re-touches.
+            allocator.translate(fault.payload.vaddr, fault.payload.toucher);
+        }
+    }
+
+    /// Phase 2: drain the coherence events bound for this shard's home
+    /// nodes through its directory slice, and unpark the cores that
+    /// faulted (the lead shard has resolved their mappings by now... by
+    /// the end-of-round barrier, which is what the next core phase waits
+    /// on).
+    fn directory_phase(&mut self) {
+        let mut inbox: Vec<CoherenceEvent> = Vec::new();
+        for mailbox in &self.exchange.events {
+            inbox.extend(
+                mailbox
+                    .lock()
+                    .expect("event mailbox poisoned")
+                    .iter()
+                    .filter(|e| self.dir.owns(e.home)),
+            );
+        }
+        let replies = self.dir.process(inbox, &mut self.sys);
+        *self.exchange.replies[self.shard_id]
+            .lock()
+            .expect("reply mailbox poisoned") = replies;
+
+        for local in 0..self.slots.len() {
+            if self.slots[local].faulted {
+                self.scheduler.unpark(local);
+            }
+        }
+    }
+
+    /// Tears the worker down into the statistics the report needs.
+    fn into_output(self) -> ShardOutput {
+        let (noc, dram_reads, dram_writes) = self.sys.into_stats();
+        ShardOutput {
+            controllers: self.dir.into_controllers(),
+            noc,
+            dram_reads,
+            dram_writes,
+            clocks: self.scheduler.clocks().to_vec(),
+            accesses: self.accesses,
+        }
+    }
+}

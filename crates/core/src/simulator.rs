@@ -1,24 +1,13 @@
 //! The trace-driven, cycle-approximate multicore simulator.
 
 use crate::metrics::SimReport;
-use crate::system::Machine;
-use allarm_cache::{AccessOutcome, CoherenceNeed};
-use allarm_coherence::{
-    AllocationPolicy, CoherenceRequest, DirectoryController, DirectoryStats, PfStats, RequestKind,
-};
+use crate::sharded::{self, KernelOutput};
+use allarm_coherence::{AllocationPolicy, DirectoryStats, PfStats};
 use allarm_energy::EnergyModel;
-use allarm_engine::CoreScheduler;
-use allarm_mem::{NumaAllocator, NumaPolicy};
+use allarm_mem::NumaPolicy;
 use allarm_types::config::MachineConfig;
-use allarm_types::ids::NodeId;
 use allarm_types::Nanos;
 use allarm_workloads::Workload;
-
-/// Time a directory controller is occupied by one coherence transaction
-/// (tag pipeline, protocol state machine and response scheduling), excluding
-/// the per-message work of probe-filter eviction processing which is charged
-/// separately.
-const DIRECTORY_SERVICE_TIME: Nanos = Nanos(12);
 
 /// A configured simulator, ready to replay one workload.
 ///
@@ -26,14 +15,19 @@ const DIRECTORY_SERVICE_TIME: Nanos = Nanos(12);
 /// [`crate::Scenario`] (declarative); both validate the configuration
 /// before a simulator exists.
 ///
-/// The simulation model: each thread's trace is replayed on its core; the
-/// scheduler always advances the core whose local clock is furthest behind,
-/// which approximates the interleaving of the real parallel execution. Every
-/// reference walks the private hierarchy; misses become coherence requests
-/// to the home directory of the line (determined by first-touch NUMA
-/// placement), which executes the full baseline or ALLARM protocol flow
-/// against the other cores' caches, the mesh and DRAM. The simulated
-/// execution time is the largest per-core accumulated latency.
+/// The simulation model: each thread's trace is replayed on its core,
+/// interleaved in deterministic local-clock order. Every reference walks
+/// the private hierarchy; misses become coherence requests to the home
+/// directory of the line (determined by first-touch NUMA placement), which
+/// executes the full baseline or ALLARM protocol flow against the other
+/// cores' caches, the mesh and DRAM. The simulated execution time is the
+/// largest per-core accumulated latency.
+///
+/// Execution runs on the sharded kernel of [`crate::sharded`]: the machine
+/// is partitioned by home node across `sim_threads` worker threads, and
+/// cross-shard coherence traffic is merged in a deterministic order — so
+/// the report is **byte-identical for every thread count**. `sim_threads`
+/// is purely a host-performance knob.
 ///
 /// # Examples
 ///
@@ -68,6 +62,7 @@ pub struct Simulator {
     policy: AllocationPolicy,
     numa_policy: NumaPolicy,
     energy_model: EnergyModel,
+    sim_threads: usize,
 }
 
 impl Simulator {
@@ -79,12 +74,14 @@ impl Simulator {
         policy: AllocationPolicy,
         numa_policy: NumaPolicy,
         energy_model: EnergyModel,
+        sim_threads: usize,
     ) -> Self {
         Simulator {
             config,
             policy,
             numa_policy,
             energy_model,
+            sim_threads,
         }
     }
 
@@ -103,6 +100,12 @@ impl Simulator {
         self.numa_policy
     }
 
+    /// The intra-run worker-thread count (`0` means one worker per
+    /// available hardware thread). The report does not depend on it.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
+    }
+
     /// Replays `workload` and returns the full metric report.
     ///
     /// # Panics
@@ -116,132 +119,25 @@ impl Simulator {
             workload.cores_required(),
             self.config.num_cores
         );
+        self.config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
 
-        let mut machine = Machine::new(&self.config);
-        let mut directories: Vec<DirectoryController> = (0..self.config.num_nodes() as u16)
-            .map(|n| {
-                DirectoryController::new(NodeId::new(n), &self.config.probe_filter, self.policy)
-            })
-            .collect();
-        let mut allocator = NumaAllocator::new(
-            self.config.num_nodes() as usize,
-            self.config.dram,
+        let shards = crate::scenario::SimThreads(self.sim_threads).resolve();
+        let output = sharded::execute(
+            &self.config,
+            self.policy,
             self.numa_policy,
+            workload,
+            shards,
         );
-
-        let mut scheduler = CoreScheduler::new(workload.threads.len());
-        let mut cursors = vec![0usize; workload.threads.len()];
-        let mut total_accesses = 0u64;
-
-        // Directory-controller occupancy: each controller is a serial
-        // resource, so a request arriving while the controller is still
-        // working on earlier transactions (including the back-invalidation
-        // work caused by probe-filter evictions) queues behind them. This is
-        // where the baseline's extra directory activity turns into extra
-        // latency beyond the individual misses themselves.
-        let mut dir_busy_until = vec![Nanos::ZERO; self.config.num_nodes() as usize];
-
-        while let Some(slot) = scheduler.next_actor() {
-            let trace = &workload.threads[slot];
-            let Some(access) = trace.accesses.get(cursors[slot]) else {
-                scheduler.finish(slot);
-                continue;
-            };
-            cursors[slot] += 1;
-            total_accesses += 1;
-
-            let core = trace.core;
-            let node = machine.node_of(core);
-
-            // Virtual-to-physical translation; the first touch homes the
-            // page on this core's node (or spills if that node is full).
-            let frame = allocator.translate(access.vaddr, node);
-            let line = frame.line(access.vaddr);
-            let home = frame.home;
-
-            // Walk the private hierarchy.
-            let need = machine.caches(core).coherence_need(line, access.write);
-            let outcome = machine.caches_mut(core).access(line, access.write);
-            let mut latency = machine.l1_latency();
-            if outcome != AccessOutcome::L1Hit {
-                latency += machine.l2_latency();
-            }
-
-            if let Some(need) = need {
-                let kind = match need {
-                    CoherenceNeed::ReadMiss => RequestKind::GetS,
-                    CoherenceNeed::WriteMiss => RequestKind::GetX,
-                    CoherenceNeed::Upgrade => RequestKind::Upgrade,
-                };
-                let request = CoherenceRequest::new(line, kind, core, node);
-                let evictions_before = directories[home.index()].stats().pf_evictions.get();
-                let messages_before = directories[home.index()].stats().eviction_messages.get();
-                let response = directories[home.index()].handle_request(request, &mut machine);
-
-                // Queue behind whatever the home controller is still doing,
-                // then occupy it for this transaction's service time. The
-                // back-invalidation work of a probe-filter eviction keeps the
-                // controller busy for every message it has to send and
-                // collect, which is how eviction pressure degrades every
-                // later request to the same directory.
-                let arrival = scheduler.time_of(slot) + latency;
-                let queue_delay = dir_busy_until[home.index()].saturating_sub(arrival);
-                let eviction_work = Nanos::new(
-                    4 * (directories[home.index()].stats().eviction_messages.get()
-                        - messages_before),
-                ) + Nanos::new(
-                    8 * (directories[home.index()].stats().pf_evictions.get() - evictions_before),
-                );
-                let service = DIRECTORY_SERVICE_TIME + eviction_work;
-                dir_busy_until[home.index()] = arrival + queue_delay + service;
-
-                latency += queue_delay + response.latency;
-
-                if kind.needs_data() {
-                    machine.caches_mut(core).fill(line, response.fill_state);
-                } else {
-                    machine.caches_mut(core).grant_write(line);
-                }
-
-                // Lines displaced entirely out of this core's hierarchy:
-                // dirty (exclusively-owned) victims are written back, which
-                // also notifies the home directory and frees its entry — the
-                // baseline's eviction-notification optimisation. Clean
-                // victims are dropped silently, as in the deployed Hammer
-                // protocol, so their directory entries go stale until the
-                // probe filter's own replacement recycles them. That stale
-                // occupancy is precisely the pressure ALLARM removes for
-                // thread-local data.
-                for victim in machine.caches_mut(core).take_capacity_victims() {
-                    if victim.state.is_dirty() {
-                        let victim_home = allocator.home_of_line(victim.addr);
-                        directories[victim_home.index()].note_cache_eviction(
-                            victim.addr,
-                            core,
-                            true,
-                            &mut machine,
-                        );
-                    }
-                }
-            }
-
-            scheduler.advance(slot, latency);
-        }
-
-        self.build_report(workload, &machine, &directories, scheduler, total_accesses)
+        self.build_report(workload, output)
     }
 
-    fn build_report(
-        &self,
-        workload: &Workload,
-        machine: &Machine,
-        directories: &[DirectoryController],
-        scheduler: CoreScheduler,
-        total_accesses: u64,
-    ) -> SimReport {
+    fn build_report(&self, workload: &Workload, output: KernelOutput) -> SimReport {
         let mut dir_stats = DirectoryStats::default();
         let mut pf_stats = PfStats::default();
-        for dir in directories {
+        for dir in &output.controllers {
             dir_stats.merge(dir.stats());
             let pf = dir.probe_filter().stats();
             pf_stats.hits += pf.hits;
@@ -255,26 +151,24 @@ impl Simulator {
         let mut l1_hits = 0u64;
         let mut l2_hits = 0u64;
         let mut l2_misses = 0u64;
-        for core in 0..machine.num_cores() {
-            let caches = machine.caches(allarm_types::ids::CoreId::new(core as u16));
+        for caches in &output.caches {
             l1_hits += caches.l1_stats().hits.get();
             l2_hits += caches.l2_stats().hits.get();
             l2_misses += caches.l2_stats().misses.get();
         }
 
-        let noc = machine.network().stats();
-        let energy = self.energy_model.dynamic_energy(noc, &pf_stats);
+        let energy = self.energy_model.dynamic_energy(&output.noc, &pf_stats);
 
         SimReport {
             workload: workload.name.clone(),
             policy: self.policy.name().to_string(),
             pf_coverage_bytes: self.config.probe_filter.coverage_bytes,
-            runtime: if scheduler.makespan() == Nanos::ZERO {
+            runtime: if output.makespan == Nanos::ZERO {
                 Nanos::new(1)
             } else {
-                scheduler.makespan()
+                output.makespan
             },
-            total_accesses,
+            total_accesses: output.total_accesses,
             l1_hits,
             l2_hits,
             l2_misses,
@@ -286,10 +180,10 @@ impl Simulator {
             eviction_messages: dir_stats.eviction_messages.get(),
             eviction_invalidations: dir_stats.eviction_invalidations.get(),
             allarm_allocation_skips: dir_stats.allarm_allocation_skips.get(),
-            noc_bytes: noc.total_bytes(),
-            noc_messages: noc.total_messages(),
-            dram_reads: machine.dram().total_reads(),
-            dram_writes: machine.dram().total_writes(),
+            noc_bytes: output.noc.total_bytes(),
+            noc_messages: output.noc.total_messages(),
+            dram_reads: output.dram_reads,
+            dram_writes: output.dram_writes,
             local_probes: dir_stats.local_probes.get(),
             local_probe_hits: dir_stats.local_probe_hits.get(),
             local_probes_hidden: dir_stats.local_probes_hidden.get(),
@@ -363,11 +257,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_runs_match_serial_byte_for_byte() {
+        let workload = small_workload();
+        for policy in AllocationPolicy::ALL {
+            let serial = simulator(policy).run(&workload);
+            for threads in [2, 4, 0] {
+                let sharded = SimulationBuilder::new(MachineConfig::small_test())
+                    .policy(policy)
+                    .sim_threads(threads)
+                    .build()
+                    .expect("small_test is valid")
+                    .run(&workload);
+                assert_eq!(serial, sharded, "{policy}: sim_threads={threads} diverged");
+            }
+        }
+    }
+
+    #[test]
     fn policy_and_config_accessors() {
         let sim = simulator(AllocationPolicy::Allarm);
         assert_eq!(sim.policy(), AllocationPolicy::Allarm);
         assert_eq!(sim.numa_policy(), NumaPolicy::FirstTouch);
         assert_eq!(sim.config().num_cores, 4);
+        assert_eq!(sim.sim_threads(), 1);
     }
 
     #[test]
@@ -388,5 +300,23 @@ mod tests {
             .run(&workload);
         // Interleaving destroys locality: the local fraction drops.
         assert!(interleaved.local_fraction() < first_touch.local_fraction());
+    }
+
+    #[test]
+    fn next_touch_policy_runs_identically_across_shard_counts() {
+        // Next-touch exercises the fault path hardest: every page faults
+        // twice (allocation, then the re-homing decision).
+        let workload = small_workload();
+        let build = |threads| {
+            SimulationBuilder::new(MachineConfig::small_test())
+                .numa_policy(NumaPolicy::NextTouch)
+                .sim_threads(threads)
+                .build()
+                .expect("valid configuration")
+                .run(&workload)
+        };
+        let serial = build(1);
+        assert_eq!(serial, build(2));
+        assert_eq!(serial, build(4));
     }
 }

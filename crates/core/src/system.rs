@@ -1,14 +1,23 @@
 //! The assembled machine: caches, network, DRAM and the address map.
 //!
-//! [`Machine`] owns every hardware component *except* the directory
-//! controllers, and implements [`SystemAccess`] so the controllers (held
-//! separately by the [`crate::Simulator`]) can probe caches, send messages
-//! and touch DRAM without borrow conflicts.
+//! Two assemblies live here:
+//!
+//! * [`Machine`] — the single-threaded wiring of every hardware component
+//!   except the directory controllers. It implements [`SystemAccess`] so a
+//!   controller under unit test can probe caches, send messages and touch
+//!   DRAM without borrow conflicts.
+//! * [`ShardSystem`] — one shard's view of the machine in the parallel
+//!   kernel: shared per-core caches behind locks, plus shard-private
+//!   network-traffic and DRAM accounting. Every counter a shard accumulates
+//!   is a commutative sum, so merging the shard views (in any fixed order)
+//!   reconstructs exactly what a single-shard run would have counted.
+
+use std::sync::Mutex;
 
 use allarm_cache::{CoreCaches, ProbeOutcome};
 use allarm_coherence::SystemAccess;
 use allarm_mem::DramModel;
-use allarm_noc::{MessageClass, Network};
+use allarm_noc::{MessageClass, Network, NocStats};
 use allarm_types::addr::LineAddr;
 use allarm_types::config::MachineConfig;
 use allarm_types::ids::{CoreId, NodeId};
@@ -138,6 +147,104 @@ impl SystemAccess for Machine {
     }
 }
 
+/// Builds the lock-guarded per-core cache hierarchies the shards of one
+/// simulation share.
+pub(crate) fn shared_caches(config: &MachineConfig) -> Vec<Mutex<CoreCaches>> {
+    (0..config.num_cores)
+        .map(|_| Mutex::new(CoreCaches::new(&config.l1d, &config.l2)))
+        .collect()
+}
+
+/// One shard's machine access in the parallel kernel.
+///
+/// The per-core caches are shared across shards (a directory transaction
+/// probes whichever cores hold its line, wherever they live), so they sit
+/// behind per-core locks. The network and DRAM accounting is shard-private:
+/// message latencies are pure functions of the immutable topology, traffic
+/// counters are summed across shards at report time, and each DRAM channel
+/// is only ever touched by the shard owning its home node.
+///
+/// Cross-shard determinism rests on the disjointness argument spelled out
+/// in [`allarm_coherence::shard`]: concurrent shards touch the same *cache*
+/// but never the same *line*, and the cache's probe-path mutations are
+/// line-local, so their effects commute.
+#[derive(Debug)]
+pub(crate) struct ShardSystem<'a> {
+    caches: &'a [Mutex<CoreCaches>],
+    network: Network,
+    dram: DramModel,
+    cache_latency: Nanos,
+}
+
+impl<'a> ShardSystem<'a> {
+    /// Creates one shard's view over the shared caches.
+    pub(crate) fn new(caches: &'a [Mutex<CoreCaches>], config: &MachineConfig) -> Self {
+        ShardSystem {
+            caches,
+            network: Network::new(config.noc),
+            dram: DramModel::new(config.num_nodes() as usize, config.dram),
+            cache_latency: config.l1d.access_latency,
+        }
+    }
+
+    /// Tears the view down into its accumulated statistics:
+    /// `(network traffic, DRAM reads, DRAM writes)`.
+    pub(crate) fn into_stats(self) -> (NocStats, u64, u64) {
+        (
+            self.network.stats().clone(),
+            self.dram.total_reads(),
+            self.dram.total_writes(),
+        )
+    }
+}
+
+impl SystemAccess for ShardSystem<'_> {
+    fn probe_cache(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        downgrade: bool,
+        invalidate: bool,
+    ) -> ProbeOutcome {
+        self.caches[core.index()]
+            .lock()
+            .expect("a cache lock holder panicked")
+            .probe(line, downgrade, invalidate)
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, class: MessageClass) -> Nanos {
+        self.network.send(src, dst, class)
+    }
+
+    fn message_latency(&self, src: NodeId, dst: NodeId, class: MessageClass) -> Nanos {
+        self.network.latency(src, dst, class)
+    }
+
+    fn dram_read(&mut self, node: NodeId) -> Nanos {
+        self.dram.read(node)
+    }
+
+    fn dram_write(&mut self, node: NodeId) -> Nanos {
+        self.dram.write(node)
+    }
+
+    fn node_of_core(&self, core: CoreId) -> NodeId {
+        NodeId::new(core.raw())
+    }
+
+    fn local_core_of(&self, node: NodeId) -> CoreId {
+        CoreId::new(node.raw())
+    }
+
+    fn num_cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    fn cache_access_latency(&self) -> Nanos {
+        self.cache_latency
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +300,34 @@ mod tests {
         let mut cfg = MachineConfig::date2014();
         cfg.num_cores = 3;
         Machine::new(&cfg);
+    }
+
+    #[test]
+    fn shard_system_reaches_shared_caches_and_private_accounting() {
+        let cfg = MachineConfig::small_test();
+        let caches = shared_caches(&cfg);
+        let mut sys = ShardSystem::new(&caches, &cfg);
+        let line = LineAddr::new(42);
+        assert_eq!(
+            sys.probe_cache(CoreId::new(2), line, false, false),
+            ProbeOutcome::Miss
+        );
+        caches[2]
+            .lock()
+            .unwrap()
+            .fill(line, CoherenceState::Modified);
+        assert!(matches!(
+            sys.probe_cache(CoreId::new(2), line, false, false),
+            ProbeOutcome::Hit { dirty: true, .. }
+        ));
+        sys.send(NodeId::new(0), NodeId::new(3), MessageClass::Data);
+        sys.dram_read(NodeId::new(1));
+        assert_eq!(sys.node_of_core(CoreId::new(3)), NodeId::new(3));
+        assert_eq!(sys.local_core_of(NodeId::new(1)), CoreId::new(1));
+        assert_eq!(SystemAccess::num_cores(&sys), 4);
+        assert_eq!(sys.cache_access_latency(), Nanos::new(1));
+        let (noc, reads, writes) = sys.into_stats();
+        assert_eq!(noc.total_messages(), 1);
+        assert_eq!((reads, writes), (1, 0));
     }
 }

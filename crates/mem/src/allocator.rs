@@ -143,6 +143,30 @@ impl NumaAllocator {
         }
     }
 
+    /// Read-only translation: the frame backing `vaddr` if the page is
+    /// mapped *and* no policy action is pending, `None` otherwise.
+    ///
+    /// `None` means the touch must go through [`NumaAllocator::translate`]
+    /// (which needs `&mut self`): either the page is unmapped (a first-touch
+    /// allocation), or the next-touch policy is still armed on it (the
+    /// second touch may re-home the page). The sharded simulation kernel
+    /// relies on this split — cores translate concurrently through `lookup`
+    /// and route the rare mutating touches ("page faults") through a
+    /// deterministic serial merge step.
+    pub fn lookup(&self, vaddr: VirtAddr) -> Option<Frame> {
+        let mapping = self.page_table.get(&vaddr.page())?;
+        if self.policy == NumaPolicy::NextTouch && mapping.touches == 1 {
+            // The second touch decides whether the page is re-homed, so it
+            // must be a mutating touch no matter which node makes it.
+            return None;
+        }
+        Some(Frame {
+            phys_page: mapping.phys_page,
+            home: mapping.home,
+            newly_allocated: false,
+        })
+    }
+
     /// Returns the current mapping of a virtual page, if it has been touched.
     pub fn mapping_of(&self, vpage: PageAddr) -> Option<(PageAddr, NodeId)> {
         self.page_table.get(&vpage).map(|m| (m.phys_page, m.home))
@@ -368,6 +392,36 @@ mod tests {
         let pa = f.phys_addr(vaddr);
         assert_eq!(pa.raw() % PAGE_BYTES, 321);
         assert_eq!(pa.page(), f.phys_page);
+    }
+
+    #[test]
+    fn lookup_is_read_only_and_matches_translate() {
+        let mut numa = NumaAllocator::new(2, small_dram(), NumaPolicy::FirstTouch);
+        let vaddr = VirtAddr::new(0x5000);
+        // Unmapped: lookup refuses, translate allocates.
+        assert_eq!(numa.lookup(vaddr), None);
+        let f = numa.translate(vaddr, NodeId::new(1));
+        // Mapped: lookup agrees with translate (minus the allocation flag).
+        let l = numa.lookup(vaddr).expect("mapped page resolves");
+        assert_eq!(l.phys_page, f.phys_page);
+        assert_eq!(l.home, f.home);
+        assert!(!l.newly_allocated);
+        assert_eq!(numa.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn lookup_defers_armed_next_touch_pages_to_translate() {
+        let mut numa = NumaAllocator::new(4, small_dram(), NumaPolicy::NextTouch);
+        let vaddr = VirtAddr::new(0x9000);
+        numa.translate(vaddr, NodeId::new(0));
+        // One touch so far: the re-home decision is still pending, so the
+        // read-only path must refuse no matter who asks.
+        assert_eq!(numa.lookup(vaddr), None);
+        // The second (mutating) touch re-homes and disarms...
+        let g = numa.translate(vaddr, NodeId::new(2));
+        assert_eq!(g.home, NodeId::new(2));
+        // ...after which lookup resolves.
+        assert_eq!(numa.lookup(vaddr).map(|f| f.home), Some(NodeId::new(2)));
     }
 
     #[test]

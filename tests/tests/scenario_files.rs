@@ -2,7 +2,7 @@
 //! the constructors in `allarm_bench` (regenerate with
 //! `cargo run -p allarm-bench --bin export_scenarios`).
 
-use allarm_bench::{fig3_grid, fig3h_grid, fig4_grid};
+use allarm_bench::{fig3_grid, fig3h_grid, fig4_grid, streamcluster_grid};
 use allarm_core::{ExperimentConfig, ScenarioGrid};
 use std::path::Path;
 
@@ -21,6 +21,10 @@ fn checked_in_grids_match_the_constructors() {
     assert_eq!(load("fig3_comparison.toml"), fig3_grid(&cfg));
     assert_eq!(load("fig3h_pf_sweep.toml"), fig3h_grid(&cfg));
     assert_eq!(load("fig4_multiprocess.toml"), fig4_grid(&cfg));
+    assert_eq!(
+        load("streamcluster_comparison.toml"),
+        streamcluster_grid(&cfg)
+    );
 }
 
 #[test]
@@ -38,4 +42,12 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
     assert_eq!(fig4.len(), 40); // 4 benchmarks x 5 coverages x 2 policies
     assert_eq!(fig4.base.workload.cores_required(), 9);
     fig4.validate().unwrap();
+
+    let streamcluster = load("streamcluster_comparison.toml");
+    assert_eq!(streamcluster.len(), 2); // 1 benchmark x 2 policies
+    assert_eq!(
+        streamcluster.base.workload.benchmark().name(),
+        "streamcluster"
+    );
+    streamcluster.validate().unwrap();
 }

@@ -1,0 +1,84 @@
+//! The acceptance criterion of the intra-run parallelism work: for every
+//! checked-in scenario grid, sharding a simulation across worker threads
+//! (`sim_threads` ∈ {1, 2, 4}) produces reports **byte-identical** to the
+//! serial run — the same guarantee the batch runner gives across
+//! scenario-level workers, extended down into a single simulation.
+//!
+//! The grids are scaled down (shorter traces), and the two large sweep
+//! grids are subsampled (every 4th point — all benchmarks and both
+//! policies still appear), so the sweep stays fast; determinism is a
+//! structural property of the kernel, not of the trace length. The CI
+//! determinism gate complements this by diffing `scenario_run
+//! --sim-threads 4` output on the *full* fig3 grid.
+
+use allarm_bench::{fig3_grid, fig3h_grid, fig4_grid, streamcluster_grid};
+use allarm_core::{BatchRunner, ExperimentConfig, JsonlSink, Scenario};
+
+/// The checked-in grids, scaled down to test length (large grids
+/// subsampled with stride 4).
+fn scaled_grids() -> Vec<(&'static str, Vec<Scenario>)> {
+    let cfg = ExperimentConfig::paper().with_accesses_per_thread(700);
+    let stride4 = |v: Vec<Scenario>| -> Vec<Scenario> { v.into_iter().step_by(4).collect() };
+    vec![
+        ("fig3_comparison", fig3_grid(&cfg).expand()),
+        ("fig3h_pf_sweep", stride4(fig3h_grid(&cfg).expand())),
+        ("fig4_multiprocess", stride4(fig4_grid(&cfg).expand())),
+        (
+            "streamcluster_comparison",
+            streamcluster_grid(&cfg).expand(),
+        ),
+    ]
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_across_every_checked_in_grid() {
+    for (name, scenarios) in scaled_grids() {
+        let serial: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| s.clone().with_sim_threads(1))
+            .collect();
+        let reference = BatchRunner::with_threads(1)
+            .run(&serial)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for sim_threads in [2usize, 4] {
+            let sharded: Vec<Scenario> = scenarios
+                .iter()
+                .map(|s| s.clone().with_sim_threads(sim_threads))
+                .collect();
+            let result = BatchRunner::with_threads(1)
+                .run(&sharded)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            for (a, b) in reference.entries.iter().zip(&result.entries) {
+                assert_eq!(
+                    a.report, b.report,
+                    "{name}/{}: sim_threads={sim_threads} diverged from serial",
+                    a.scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// The JSONL a sweep writes must not depend on the shard count either —
+/// this is the exact comparison the CI determinism gate performs with
+/// `scenario_run --sim-threads 4`.
+#[test]
+fn rendered_jsonl_is_identical_across_shard_counts() {
+    let cfg = ExperimentConfig::paper().with_accesses_per_thread(500);
+    let scenarios = streamcluster_grid(&cfg).expand();
+
+    let mut renderings = Vec::new();
+    for sim_threads in [1usize, 4] {
+        let set: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| s.clone().with_sim_threads(sim_threads))
+            .collect();
+        let mut sink = JsonlSink::new();
+        BatchRunner::with_threads(2)
+            .run_with_sink(&set, &mut sink)
+            .expect("grid is valid");
+        renderings.push(sink.into_string());
+    }
+    assert_eq!(renderings[0], renderings[1]);
+    assert_eq!(renderings[0].lines().count(), scenarios.len());
+}
