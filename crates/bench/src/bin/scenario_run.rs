@@ -2,33 +2,42 @@
 //! API. Accepts a single `Scenario` or a `ScenarioGrid` in TOML or JSON,
 //! expands it, executes the set in parallel, and prints one summary row per
 //! run (or full JSONL reports with `--json`). `--output` streams results to
-//! disk as they complete — JSONL, or CSV when the path ends in `.csv` — and
-//! `--sim-threads` shards every run across worker threads (byte-identical
-//! results; see the README's parallelism section).
+//! disk as they complete — JSONL, or CSV when the path ends in `.csv` —
+//! `--resume` continues an interrupted `--output` sweep by skipping the
+//! grid indices already recorded in the file, `--sim-threads` shards every
+//! run across worker threads (byte-identical results; see the README's
+//! parallelism section), and `--accesses` overrides the per-thread trace
+//! length (for smoke runs of checked-in grids).
 //!
 //! ```text
 //! cargo run --release -p allarm-bench --bin scenario_run -- scenarios/fig3_comparison.toml
 //! cargo run --release -p allarm-bench --bin scenario_run -- --json my_scenario.toml
 //! cargo run --release -p allarm-bench --bin scenario_run -- \
 //!     --sim-threads 4 --output results.csv scenarios/fig3_comparison.toml
+//! cargo run --release -p allarm-bench --bin scenario_run -- \
+//!     --resume --output results.jsonl scenarios/scale64_pf_sweep.toml
 //! ```
 
 use allarm_bench::parse_scenario_doc;
 use allarm_core::{BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink};
+use std::collections::HashSet;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: scenario_run [--json] [--output <path>] [--sim-threads <n>] \
-     <scenario.toml|scenario.json>";
+const USAGE: &str = "usage: scenario_run [--json] [--output <path>] [--resume] \
+     [--sim-threads <n>] [--accesses <n>] <scenario.toml|scenario.json>";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut output: Option<String> = None;
+    let mut resume = false;
     let mut sim_threads: Option<usize> = None;
+    let mut accesses: Option<usize> = None;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--resume" => resume = true,
             "--output" => match args.next() {
                 Some(p) => output = Some(p),
                 None => {
@@ -40,6 +49,13 @@ fn main() -> ExitCode {
                 Some(n) => sim_threads = Some(n),
                 None => {
                     eprintln!("--sim-threads needs a number (0 = all hardware threads)\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--accesses" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => accesses = Some(n),
+                None => {
+                    eprintln!("--accesses needs a per-thread access count\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -58,6 +74,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if resume && output.is_none() {
+        eprintln!("--resume needs --output (the file to continue)\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
 
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
@@ -81,6 +101,11 @@ fn main() -> ExitCode {
             scenario.sim_threads = allarm_core::SimThreads(n);
         }
     }
+    if let Some(n) = accesses {
+        for scenario in &mut scenarios {
+            scenario.workload = scenario.workload.with_accesses(n);
+        }
+    }
     let runner = BatchRunner::new();
     eprintln!(
         "[scenario_run] {} scenario(s) on {} threads{}",
@@ -93,7 +118,7 @@ fn main() -> ExitCode {
     );
 
     if let Some(output) = output {
-        return run_to_file(&runner, &scenarios, &path, &output);
+        return run_to_file(&runner, &scenarios, &path, &output, resume);
     }
 
     if json {
@@ -132,31 +157,47 @@ fn main() -> ExitCode {
 }
 
 /// Streams the batch into a file-backed sink: CSV when the path ends in
-/// `.csv`, JSONL otherwise.
+/// `.csv`, JSONL otherwise. With `resume`, indices already recorded in the
+/// output file are skipped and new rows append after them.
 fn run_to_file(
     runner: &BatchRunner,
     scenarios: &[allarm_core::Scenario],
     doc_path: &str,
     output: &str,
+    resume: bool,
 ) -> ExitCode {
     fn run_into<S: ResultSink>(
-        created: std::io::Result<S>,
+        created: std::io::Result<(S, HashSet<usize>)>,
         finish: impl FnOnce(S) -> std::io::Result<()>,
         runner: &BatchRunner,
         scenarios: &[allarm_core::Scenario],
         doc_path: &str,
         output: &str,
     ) -> Result<(), String> {
-        let mut sink = created.map_err(|e| format!("cannot create {output}: {e}"))?;
+        let (mut sink, completed) = created.map_err(|e| format!("cannot open {output}: {e}"))?;
+        if !completed.is_empty() {
+            eprintln!(
+                "[scenario_run] resuming {output}: {} of {} row(s) already recorded",
+                completed.len(),
+                scenarios.len()
+            );
+        }
         runner
-            .run_with_sink(scenarios, &mut sink)
+            .run_with_sink_resuming(scenarios, &mut sink, &completed)
             .map_err(|e| format!("{doc_path}: {e}"))?;
         finish(sink).map_err(|e| format!("writing {output}: {e}"))
     }
 
+    fn fresh<S>(created: std::io::Result<S>) -> std::io::Result<(S, HashSet<usize>)> {
+        created.map(|s| (s, HashSet::new()))
+    }
     let result = if output.ends_with(".csv") {
         run_into(
-            CsvFileSink::create(output),
+            if resume {
+                CsvFileSink::resume(output)
+            } else {
+                fresh(CsvFileSink::create(output))
+            },
             CsvFileSink::finish,
             runner,
             scenarios,
@@ -165,7 +206,11 @@ fn run_to_file(
         )
     } else {
         run_into(
-            JsonlFileSink::create(output),
+            if resume {
+                JsonlFileSink::resume(output)
+            } else {
+                fresh(JsonlFileSink::create(output))
+            },
             JsonlFileSink::finish,
             runner,
             scenarios,

@@ -63,6 +63,32 @@ pub fn streamcluster_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
         .policies(AllocationPolicy::ALL.to_vec())
 }
 
+/// The scaled-machine comparison grid: the 64-core machine (16 NUMA nodes
+/// × 4 cores) running a sharing-heavy trio — the scaled `raytrace`
+/// profile plus two SPLASH2 stalwarts — under both policies. Built from
+/// [`ExperimentConfig::scale64`] and also checked in as
+/// `scenarios/scale64_comparison.toml`.
+pub fn scale64_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    ScenarioGrid::new(cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Baseline))
+        .benchmarks(vec![
+            Benchmark::Barnes,
+            Benchmark::OceanContiguous,
+            Benchmark::Raytrace,
+        ])
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
+/// The scaled-machine directory-pressure sweep: `raytrace` on the 64-core
+/// machine across descending per-node probe-filter coverages
+/// ([`allarm_core::SCALE64_COVERAGES`]) under both policies — four cores
+/// contending for each node's directory is exactly where sparse-directory
+/// pressure grows. Also checked in as `scenarios/scale64_pf_sweep.toml`.
+pub fn scale64_pf_sweep_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    ScenarioGrid::new(cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Baseline))
+        .pf_coverages(allarm_core::SCALE64_COVERAGES.to_vec())
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
 /// The grid behind Fig. 4: the SPLASH2 subset as two-process workloads ×
 /// five probe-filter coverages × both policies. Also checked in as
 /// `scenarios/fig4_multiprocess.toml`.
@@ -159,6 +185,22 @@ mod tests {
         assert_eq!(fig3h_grid(&cfg).len(), 48); // x 3 coverages
         assert_eq!(fig4_grid(&cfg).len(), 40); // 4 benchmarks x 5 coverages x 2
         fig3_grid(&cfg).validate().unwrap();
+    }
+
+    #[test]
+    fn scale64_grids_run_the_multicore_node_machine() {
+        let cfg = ExperimentConfig::scale64();
+        let grid = scale64_grid(&cfg);
+        assert_eq!(grid.len(), 6); // 3 benchmarks x 2 policies
+        grid.validate().unwrap();
+        assert_eq!(grid.base.machine.num_cores, 64);
+        assert_eq!(grid.base.machine.cores_per_node.get(), 4);
+        assert_eq!(grid.base.workload.cores_required(), 64);
+
+        let sweep = scale64_pf_sweep_grid(&cfg);
+        assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
+        sweep.validate().unwrap();
+        assert_eq!(sweep.pf_coverages, allarm_core::SCALE64_COVERAGES.to_vec());
     }
 
     #[test]

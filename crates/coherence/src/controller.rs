@@ -55,9 +55,10 @@ pub trait SystemAccess {
     /// The affinity domain a core belongs to.
     fn node_of_core(&self, core: CoreId) -> NodeId;
 
-    /// The single core that is local to a node's directory (Section II-E of
-    /// the paper: ALLARM is enabled for one core — or one shared last-level
-    /// cache — per affinity domain).
+    /// The node's *designated* core — the one core per affinity domain the
+    /// ALLARM policy is enabled for (Section II-E of the paper: one core,
+    /// or one shared last-level cache, per domain). On one-core nodes this
+    /// is simply the node's core.
     fn local_core_of(&self, node: NodeId) -> CoreId;
 
     /// Total number of cores in the machine (used for Hammer-style
@@ -165,11 +166,32 @@ pub struct DirectoryController {
 }
 
 impl DirectoryController {
-    /// Creates a controller for the directory homed on `home`.
+    /// Creates a controller for the directory homed on `home`, on a
+    /// one-core-per-node machine.
     pub fn new(home: NodeId, config: &ProbeFilterConfig, policy: AllocationPolicy) -> Self {
+        DirectoryController::hierarchical(home, config, policy, 1)
+    }
+
+    /// Creates a controller for a machine hosting `cores_per_node` cores on
+    /// each NUMA node. The probe filter becomes two-level (node-presence
+    /// vector over the exact core map — see
+    /// [`ProbeFilter::hierarchical`]), and probes / back-invalidations are
+    /// steered at node granularity: one invalidation message and one
+    /// combined ack per *node*, with the node's member caches probed there
+    /// in parallel. With `cores_per_node == 1` this is exactly [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_node` is zero.
+    pub fn hierarchical(
+        home: NodeId,
+        config: &ProbeFilterConfig,
+        policy: AllocationPolicy,
+        cores_per_node: u32,
+    ) -> Self {
         DirectoryController {
             home,
-            probe_filter: ProbeFilter::new(config),
+            probe_filter: ProbeFilter::hierarchical(config, cores_per_node),
             policy,
             sharer_tracking: config.sharer_tracking,
             pf_latency: config.access_latency,
@@ -355,6 +377,36 @@ impl DirectoryController {
         }
     }
 
+    /// The caches that must lose their copy for `requester` to take
+    /// ownership, grouped by NUMA node in ascending core order. Grouping is
+    /// what makes tracking hierarchical on multi-core nodes: the directory
+    /// sends one invalidation (and collects one combined ack) per *node*,
+    /// and the node fans it out to its member caches locally. With one core
+    /// per node every group is a singleton and the flow is the classic
+    /// per-core one.
+    fn invalidation_targets(
+        &self,
+        sharers: Vec<CoreId>,
+        exclude: CoreId,
+        sys: &dyn SystemAccess,
+    ) -> Vec<(NodeId, Vec<CoreId>)> {
+        let targets: Box<dyn Iterator<Item = CoreId>> = match self.sharer_tracking {
+            SharerTracking::SharerVector => Box::new(sharers.into_iter()),
+            SharerTracking::HammerBroadcast => {
+                Box::new((0..sys.num_cores() as u16).map(CoreId::new))
+            }
+        };
+        let mut groups: Vec<(NodeId, Vec<CoreId>)> = Vec::new();
+        for core in targets.filter(|c| *c != exclude) {
+            let node = sys.node_of_core(core);
+            match groups.last_mut() {
+                Some((n, cores)) if *n == node => cores.push(core),
+                _ => groups.push((node, vec![core])),
+            }
+        }
+        groups
+    }
+
     /// Invalidates every copy other than the requester's and (for GetX)
     /// delivers the data. Used for both probe-filter hits on writes and the
     /// write-miss allocation path.
@@ -364,28 +416,26 @@ impl DirectoryController {
         sharers: Vec<CoreId>,
         sys: &mut dyn SystemAccess,
     ) -> DirectoryResponse {
-        let targets: Vec<CoreId> = match self.sharer_tracking {
-            SharerTracking::SharerVector => sharers
-                .into_iter()
-                .filter(|c| *c != req.requester)
-                .collect(),
-            SharerTracking::HammerBroadcast => (0..sys.num_cores() as u16)
-                .map(CoreId::new)
-                .filter(|c| *c != req.requester)
-                .collect(),
-        };
+        let groups = self.invalidation_targets(sharers, req.requester, sys);
 
         // All invalidations proceed in parallel; the critical path is the
-        // slowest round trip.
+        // slowest round trip. Within a node the member caches are probed in
+        // parallel off one message, so the node costs a single array
+        // latency however many cores it hosts.
         let mut inval_path = Nanos::ZERO;
         let mut dirty_source: Option<NodeId> = None;
-        for target in targets {
-            let target_node = sys.node_of_core(target);
+        for (target_node, cores) in groups {
             let inv = sys.send(self.home, target_node, MessageClass::Invalidate);
-            let outcome = sys.probe_cache(target, req.line, false, true);
+            let mut node_had_dirty = false;
+            for target in cores {
+                let outcome = sys.probe_cache(target, req.line, false, true);
+                self.stats.ownership_invalidations.incr();
+                if let ProbeOutcome::Hit { dirty: true, .. } = outcome {
+                    node_had_dirty = true;
+                }
+            }
             let ack = sys.send(target_node, self.home, MessageClass::InvalidateAck);
-            self.stats.ownership_invalidations.incr();
-            if let ProbeOutcome::Hit { dirty: true, .. } = outcome {
+            if node_had_dirty {
                 dirty_source = Some(target_node);
             }
             inval_path = inval_path.max(inv + sys.cache_access_latency() + ack);
@@ -419,7 +469,14 @@ impl DirectoryController {
         req: CoherenceRequest,
         sys: &mut dyn SystemAccess,
     ) -> DirectoryResponse {
-        let allocate = self.policy.should_allocate(req.requester_node, self.home);
+        // ALLARM is enabled for *one* core per affinity domain (Section
+        // II-E): only the node's designated core may hold untracked lines,
+        // because the remote-miss flow probes exactly that core. Misses
+        // from a multi-core node's other local cores take the baseline
+        // allocate path. With one core per node the designated core is the
+        // only local core and this reduces to the node-level policy check.
+        let allocate = self.policy.should_allocate(req.requester_node, self.home)
+            || req.requester != sys.local_core_of(self.home);
 
         if !allocate {
             // ALLARM, local requester: no probe-filter entry, no coherence
@@ -553,28 +610,35 @@ impl DirectoryController {
     fn process_pf_eviction(&mut self, eviction: PfEviction, sys: &mut dyn SystemAccess) {
         self.stats.pf_evictions.incr();
         let line = eviction.entry.line;
-        let targets: Vec<CoreId> = match self.sharer_tracking {
-            SharerTracking::SharerVector => eviction.entry.sharers.iter().collect(),
-            SharerTracking::HammerBroadcast => {
-                (0..sys.num_cores() as u16).map(CoreId::new).collect()
-            }
-        };
-        for target in targets {
-            let target_node = sys.node_of_core(target);
+        let sharers: Vec<CoreId> = eviction.entry.sharers.iter().collect();
+        // No core is exempt from a back-invalidation, so exclude a core id
+        // that cannot occur.
+        let nobody = CoreId::new(u16::MAX);
+        for (target_node, cores) in self.invalidation_targets(sharers, nobody, sys) {
+            // One invalidation reaches the node; its member caches are
+            // probed there; one combined ack returns. On one-core nodes
+            // this is the classic two-messages-per-sharer cost of Fig. 3d;
+            // hierarchical tracking amortizes it across the node's cores.
             sys.send(self.home, target_node, MessageClass::Invalidate);
             self.stats.eviction_messages.incr();
-            let outcome = sys.probe_cache(target, line, false, true);
+            let mut writebacks = 0u64;
+            for target in cores {
+                let outcome = sys.probe_cache(target, line, false, true);
+                if let ProbeOutcome::Hit { dirty, .. } = outcome {
+                    self.stats.eviction_invalidations.incr();
+                    if dirty {
+                        writebacks += 1;
+                    }
+                }
+            }
             sys.send(target_node, self.home, MessageClass::InvalidateAck);
             self.stats.eviction_messages.incr();
-            if let ProbeOutcome::Hit { dirty, .. } = outcome {
-                self.stats.eviction_invalidations.incr();
-                if dirty {
-                    // The victim's dirty data must be written back to memory.
-                    sys.send(target_node, self.home, MessageClass::WriteBack);
-                    self.stats.eviction_messages.incr();
-                    self.stats.eviction_writebacks.incr();
-                    sys.dram_write(self.home);
-                }
+            for _ in 0..writebacks {
+                // The victim's dirty data must be written back to memory.
+                sys.send(target_node, self.home, MessageClass::WriteBack);
+                self.stats.eviction_messages.incr();
+                self.stats.eviction_writebacks.incr();
+                sys.dram_write(self.home);
             }
         }
     }
@@ -588,9 +652,12 @@ mod tests {
     use allarm_types::config::{MachineConfig, NocConfig};
 
     /// A miniature 4-core machine for exercising the controller directly.
+    /// With `cores_per_node > 1` the four cores fold onto fewer nodes
+    /// (blocked assignment), exercising the hierarchical flows.
     struct MiniSystem {
         caches: Vec<CoreCaches>,
         network: Network,
+        cores_per_node: u16,
         dram_latency: Nanos,
         dram_reads: u64,
         dram_writes: u64,
@@ -598,10 +665,16 @@ mod tests {
 
     impl MiniSystem {
         fn new() -> Self {
+            MiniSystem::with_cores_per_node(1)
+        }
+
+        fn with_cores_per_node(cores_per_node: u16) -> Self {
             let cfg = MachineConfig::small_test();
+            let mesh = 2 / cores_per_node.min(2) as u32;
             MiniSystem {
                 caches: (0..4).map(|_| CoreCaches::new(&cfg.l1d, &cfg.l2)).collect(),
-                network: Network::new(NocConfig::mesh(2, 2)),
+                network: Network::new(NocConfig::mesh(mesh.max(1), 2)),
+                cores_per_node,
                 dram_latency: Nanos::new(60),
                 dram_reads: 0,
                 dram_writes: 0,
@@ -641,11 +714,11 @@ mod tests {
         }
 
         fn node_of_core(&self, core: CoreId) -> NodeId {
-            NodeId::new(core.raw())
+            NodeId::new(core.raw() / self.cores_per_node)
         }
 
         fn local_core_of(&self, node: NodeId) -> CoreId {
-            CoreId::new(node.raw())
+            CoreId::new(node.raw() * self.cores_per_node)
         }
 
         fn num_cores(&self) -> usize {
@@ -939,5 +1012,73 @@ mod tests {
         assert_eq!(dir.home(), NodeId::new(0));
         assert_eq!(dir.policy(), AllocationPolicy::Allarm);
         assert_eq!(dir.stats().requests.get(), 0);
+    }
+
+    /// A request on the 2-node x 2-core machine; the requester node is
+    /// derived from the hierarchical mapping.
+    fn gets2(line: u64, core: u16) -> CoherenceRequest {
+        CoherenceRequest::new(
+            LineAddr::new(line),
+            RequestKind::GetS,
+            CoreId::new(core),
+            NodeId::new(core / 2),
+        )
+    }
+
+    #[test]
+    fn allarm_skips_allocation_only_for_the_designated_core() {
+        // 2 nodes x 2 cores: node 0 hosts cores 0 (designated) and 1.
+        let mut sys = MiniSystem::with_cores_per_node(2);
+        let mut dir = DirectoryController::hierarchical(
+            NodeId::new(0),
+            &ProbeFilterConfig::new(4096, 4),
+            AllocationPolicy::Allarm,
+            2,
+        );
+        // The designated core's local miss stays untracked...
+        dir.handle_request(gets2(100, 0), &mut sys);
+        assert!(dir.probe_filter().peek(LineAddr::new(100)).is_none());
+        assert_eq!(dir.stats().allarm_allocation_skips.get(), 1);
+        // ...but the same node's other core allocates like the baseline:
+        // the remote-miss flow only ever probes the designated core, so
+        // lines cached elsewhere on the node must be tracked.
+        dir.handle_request(gets2(101, 1), &mut sys);
+        assert!(dir.probe_filter().peek(LineAddr::new(101)).is_some());
+        assert_eq!(dir.stats().allarm_allocation_skips.get(), 1);
+    }
+
+    #[test]
+    fn hierarchical_eviction_amortizes_messages_across_a_node() {
+        // 2 nodes x 2 cores, a 2-entry probe filter homed on node 0. Cores
+        // 2 and 3 (both node 1) share line 0; evicting its entry must cost
+        // one invalidation + one ack for the *node*, not per core.
+        let mut sys = MiniSystem::with_cores_per_node(2);
+        let mut cfg = ProbeFilterConfig::new(2 * 64, 2);
+        cfg.replacement = allarm_types::config::PfReplacement::Lru;
+        let mut dir =
+            DirectoryController::hierarchical(NodeId::new(0), &cfg, AllocationPolicy::Baseline, 2);
+        let r = dir.handle_request(gets2(0, 2), &mut sys);
+        sys.caches[2].fill(LineAddr::new(0), r.fill_state);
+        let r = dir.handle_request(gets2(0, 3), &mut sys);
+        sys.caches[3].fill(LineAddr::new(0), r.fill_state);
+        assert_eq!(
+            dir.probe_filter()
+                .peek(LineAddr::new(0))
+                .unwrap()
+                .sharers
+                .count(),
+            2
+        );
+        // Fill the set (lines 0 and 2 map to set 0) and displace line 0.
+        dir.handle_request(gets2(2, 0), &mut sys);
+        dir.handle_request(gets2(4, 0), &mut sys);
+        assert_eq!(dir.stats().pf_evictions.get(), 1);
+        // Two sharers, one node: 1 invalidate + 1 ack.
+        assert_eq!(dir.stats().eviction_messages.get(), 2);
+        assert_eq!(dir.stats().eviction_invalidations.get(), 2);
+        assert_eq!(sys.caches[2].state_of(LineAddr::new(0)), None);
+        assert_eq!(sys.caches[3].state_of(LineAddr::new(0)), None);
+        // The two-level filter recorded its node-vector activity.
+        assert!(dir.probe_filter().stats().node_vector_accesses.get() > 0);
     }
 }

@@ -55,4 +55,4 @@ pub use policy::AllocationPolicy;
 pub use probe_filter::{PfEntry, PfEviction, PfStats, ProbeFilter};
 pub use request::{CoherenceRequest, RequestKind};
 pub use shard::{CoherenceEvent, CoherenceOp, CoherenceReply, DirectoryShard};
-pub use sharers::SharerSet;
+pub use sharers::{NodeSet, SharerSet};

@@ -1,21 +1,31 @@
 //! The sparse directory ("probe filter") array.
 //!
 //! Each node's memory controller owns a probe filter: a set-associative
-//! array of directory entries, sized to cover a multiple of one core's cache
-//! capacity (2x the L2 in the paper, matching deployed AMD Hammer systems).
-//! An entry records the owner of a line and the set of cores that may hold a
-//! copy. When a set is full, allocating a new entry evicts a victim, and the
-//! eviction must back-invalidate the line from every cache that may hold it
-//! — the expensive side effect ALLARM avoids for thread-local data.
+//! array of directory entries, sized to cover a multiple of the node's
+//! cache capacity (2x the L2 in the paper's one-core-per-node machine,
+//! matching deployed AMD Hammer systems). An entry records the owner of a
+//! line and the set of cores that may hold a copy. When a set is full,
+//! allocating a new entry evicts a victim, and the eviction must
+//! back-invalidate the line from every cache that may hold it — the
+//! expensive side effect ALLARM avoids for thread-local data.
+//!
+//! On machines with several cores per NUMA node the filter is **two-level**
+//! ([`ProbeFilter::hierarchical`]): each entry's exact core set is fronted
+//! by a node-presence vector ([`PfEntry::node_presence`]), consulted first
+//! on every array access so probes and back-invalidations are steered at
+//! node granularity. The level-1 vector is a separate, narrower SRAM read,
+//! tracked by its own activity counter
+//! ([`PfStats::node_vector_accesses`]) so the energy model can charge it
+//! independently of the full entry read.
 
-use crate::sharers::SharerSet;
+use crate::sharers::{NodeSet, SharerSet};
 use allarm_types::addr::LineAddr;
 use allarm_types::config::{PfReplacement, ProbeFilterConfig};
 use allarm_types::ids::CoreId;
 use allarm_types::stats::Counter;
 
 /// One directory entry: the tracked line, its owner, and its sharers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PfEntry {
     /// The tracked cache line.
     pub line: LineAddr,
@@ -35,6 +45,14 @@ impl PfEntry {
             sharers: SharerSet::only(owner),
         }
     }
+
+    /// The level-1 (node-granularity) view of this entry's sharers under a
+    /// blocked assignment of `cores_per_node` cores per node — the
+    /// presence vector a hierarchical directory consults before expanding
+    /// to individual cores.
+    pub fn node_presence(&self, cores_per_node: u32) -> NodeSet {
+        self.sharers.node_set(cores_per_node)
+    }
 }
 
 /// A victim entry displaced by an allocation.
@@ -42,7 +60,7 @@ impl PfEntry {
 /// The directory controller must back-invalidate `line` from every core in
 /// `sharers` (or broadcast, under Hammer-style tracking) before the entry
 /// can be reused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PfEviction {
     /// The evicted entry.
     pub entry: PfEntry,
@@ -64,6 +82,10 @@ pub struct PfStats {
     pub deallocations: Counter,
     /// Entry reads+writes, the activity count for the dynamic-energy model.
     pub array_accesses: Counter,
+    /// Level-1 node-presence-vector reads of a hierarchical (two-level)
+    /// filter, charged separately by the energy model. Always zero on
+    /// one-core-per-node topologies, which have no level-1 vector.
+    pub node_vector_accesses: Counter,
 }
 
 impl PfStats {
@@ -78,7 +100,7 @@ impl PfStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Slot {
     entry: PfEntry,
     last_touch: u64,
@@ -105,40 +127,73 @@ pub struct ProbeFilter {
     sets: Vec<Vec<Slot>>,
     ways: usize,
     replacement: PfReplacement,
+    /// Cores per NUMA node; `1` means a flat (single-level) filter, larger
+    /// values enable the level-1 node-presence vector.
+    cores_per_node: u32,
     tick: u64,
     stats: PfStats,
 }
 
 impl ProbeFilter {
-    /// Creates a probe filter with the geometry of `config` and LRU
-    /// replacement.
+    /// Creates a flat (one core per node) probe filter with the geometry of
+    /// `config`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration has zero sets or ways.
     pub fn new(config: &ProbeFilterConfig) -> Self {
+        ProbeFilter::hierarchical(config, 1)
+    }
+
+    /// Creates a probe filter for a machine with `cores_per_node` cores per
+    /// NUMA node. With more than one core per node the filter is two-level:
+    /// every array access first reads the entry's node-presence vector
+    /// (counted in [`PfStats::node_vector_accesses`]) before the exact
+    /// per-core sharer map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets or ways, or if
+    /// `cores_per_node` is zero.
+    pub fn hierarchical(config: &ProbeFilterConfig, cores_per_node: u32) -> Self {
         let num_sets = config.num_sets() as usize;
         let ways = config.ways as usize;
         assert!(num_sets > 0, "probe filter must have at least one set");
         assert!(ways > 0, "probe filter must have at least one way");
+        assert!(cores_per_node > 0, "a node hosts at least one core");
         ProbeFilter {
             sets: vec![Vec::with_capacity(ways); num_sets],
             ways,
             replacement: config.replacement,
+            cores_per_node,
             tick: 0,
             stats: PfStats::default(),
         }
+    }
+
+    /// Cores per NUMA node this filter tracks (1 = flat).
+    pub fn cores_per_node(&self) -> u32 {
+        self.cores_per_node
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
         (line.raw() % self.sets.len() as u64) as usize
     }
 
+    /// Charges one full array access; on a hierarchical filter the level-1
+    /// node vector is read first, charged separately.
+    fn touch_array(&mut self) {
+        self.stats.array_accesses.incr();
+        if self.cores_per_node > 1 {
+            self.stats.node_vector_accesses.incr();
+        }
+    }
+
     /// Looks up the entry for `line`, updating recency and hit/miss counts.
     pub fn lookup(&mut self, line: LineAddr) -> Option<PfEntry> {
         self.tick += 1;
         let tick = self.tick;
-        self.stats.array_accesses.incr();
+        self.touch_array();
         let set = self.set_index(line);
         if let Some(slot) = self.sets[set]
             .iter_mut()
@@ -146,7 +201,7 @@ impl ProbeFilter {
         {
             slot.last_touch = tick;
             self.stats.hits.incr();
-            Some(slot.entry)
+            Some(slot.entry.clone())
         } else {
             self.stats.misses.incr();
             None
@@ -159,7 +214,14 @@ impl ProbeFilter {
         self.sets[set]
             .iter()
             .find(|s| s.valid && s.entry.line == line)
-            .map(|s| s.entry)
+            .map(|s| s.entry.clone())
+    }
+
+    /// The level-1 view of `line`'s entry, if present: the nodes holding at
+    /// least one copy. Statistics-free, like [`ProbeFilter::peek`].
+    pub fn node_presence(&self, line: LineAddr) -> Option<NodeSet> {
+        self.peek(line)
+            .map(|entry| entry.node_presence(self.cores_per_node))
     }
 
     /// Allocates an entry for `line` owned by `owner`, evicting the LRU
@@ -171,7 +233,7 @@ impl ProbeFilter {
     pub fn allocate(&mut self, line: LineAddr, owner: CoreId) -> Option<PfEviction> {
         self.tick += 1;
         let tick = self.tick;
-        self.stats.array_accesses.incr();
+        self.touch_array();
         let set_idx = self.set_index(line);
         let ways = self.ways;
 
@@ -203,7 +265,7 @@ impl ProbeFilter {
         // Set full: evict a victim. The eviction costs an extra array read
         // (victim read-out) plus the write of the replacement, which the
         // energy model charges via `array_accesses`.
-        self.stats.array_accesses.incr();
+        self.touch_array();
         let victim_idx = match self.replacement {
             PfReplacement::Lru => self.sets[set_idx]
                 .iter()
@@ -220,8 +282,7 @@ impl ProbeFilter {
                 ((z ^ (z >> 31)) % self.sets[set_idx].len() as u64) as usize
             }
         };
-        let victim = self.sets[set_idx][victim_idx].entry;
-        self.sets[set_idx][victim_idx] = new_slot;
+        let victim = std::mem::replace(&mut self.sets[set_idx][victim_idx], new_slot).entry;
         self.stats.evictions.incr();
         Some(PfEviction { entry: victim })
     }
@@ -275,9 +336,12 @@ impl ProbeFilter {
             .find(|s| s.valid && s.entry.line == line)
         {
             slot.entry.sharers.remove(core);
-            self.stats.array_accesses.incr();
-            if slot.entry.sharers.is_empty() {
+            let emptied = slot.entry.sharers.is_empty();
+            if emptied {
                 slot.valid = false;
+            }
+            self.touch_array();
+            if emptied {
                 self.stats.deallocations.incr();
                 return true;
             }
@@ -464,6 +528,44 @@ mod tests {
         assert_eq!(va, vb, "same history must evict the same victim");
         assert!(va.entry.line == LineAddr::new(0) || va.entry.line == LineAddr::new(2));
         assert!(a.peek(LineAddr::new(4)).is_some());
+    }
+
+    #[test]
+    fn hierarchical_filter_counts_node_vector_reads() {
+        // Flat filter: no level-1 vector, no level-1 accesses.
+        let mut flat = tiny();
+        flat.allocate(LineAddr::new(0), CoreId::new(0));
+        flat.lookup(LineAddr::new(0));
+        assert_eq!(flat.cores_per_node(), 1);
+        assert_eq!(flat.stats().node_vector_accesses.get(), 0);
+
+        // Two-level filter: every array access reads the node vector first.
+        let mut cfg = ProbeFilterConfig::new(4 * 64, 2);
+        cfg.replacement = allarm_types::config::PfReplacement::Lru;
+        let mut hier = ProbeFilter::hierarchical(&cfg, 4);
+        hier.allocate(LineAddr::new(0), CoreId::new(0));
+        hier.lookup(LineAddr::new(0));
+        assert_eq!(hier.cores_per_node(), 4);
+        assert_eq!(
+            hier.stats().node_vector_accesses.get(),
+            hier.stats().array_accesses.get()
+        );
+    }
+
+    #[test]
+    fn node_presence_projects_sharers_onto_nodes() {
+        let mut pf = ProbeFilter::hierarchical(&ProbeFilterConfig::new(4096, 4), 2);
+        let line = LineAddr::new(9);
+        assert!(pf.node_presence(line).is_none());
+        pf.allocate(line, CoreId::new(0));
+        pf.add_sharer(line, CoreId::new(1)); // same node as core 0
+        pf.add_sharer(line, CoreId::new(5)); // node 2
+        let nodes = pf.node_presence(line).unwrap();
+        assert_eq!(nodes.count(), 2);
+        assert!(nodes.contains(allarm_types::ids::NodeId::new(0)));
+        assert!(nodes.contains(allarm_types::ids::NodeId::new(2)));
+        // The exact core set is still tracked underneath.
+        assert_eq!(pf.peek(line).unwrap().sharers.count(), 3);
     }
 
     #[test]

@@ -125,13 +125,37 @@ pub struct DirectoryShard {
 
 impl DirectoryShard {
     /// Creates the directory slice for home nodes `nodes`, all using the
-    /// same probe-filter configuration and allocation policy.
+    /// same probe-filter configuration and allocation policy, on a
+    /// one-core-per-node machine.
     pub fn new(nodes: Range<usize>, config: &ProbeFilterConfig, policy: AllocationPolicy) -> Self {
+        DirectoryShard::hierarchical(nodes, config, policy, 1)
+    }
+
+    /// Creates the directory slice for a machine hosting `cores_per_node`
+    /// cores on each NUMA node (two-level probe filters; see
+    /// [`DirectoryController::hierarchical`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_node` is zero.
+    pub fn hierarchical(
+        nodes: Range<usize>,
+        config: &ProbeFilterConfig,
+        policy: AllocationPolicy,
+        cores_per_node: u32,
+    ) -> Self {
         DirectoryShard {
             first_node: nodes.start,
             controllers: nodes
                 .clone()
-                .map(|n| DirectoryController::new(NodeId::new(n as u16), config, policy))
+                .map(|n| {
+                    DirectoryController::hierarchical(
+                        NodeId::new(n as u16),
+                        config,
+                        policy,
+                        cores_per_node,
+                    )
+                })
                 .collect(),
             busy_until: vec![Nanos::ZERO; nodes.len()],
         }

@@ -1,12 +1,130 @@
-//! Compact sharer sets for directory entries.
+//! Compact, width-generic sharer sets for directory entries.
+//!
+//! A directory entry must know which caches may hold a line. Machines up to
+//! 64 cores fit an inline bit mask with no allocation; larger machines
+//! promote transparently to a multi-word vector, so the representation
+//! imposes no ceiling on the core count. On top of the exact per-core set,
+//! [`SharerSet::node_set`] projects the hierarchical (level-1) view — which
+//! *NUMA nodes* have a copy — that multi-core-node directories and probe
+//! filters track first.
 
-use allarm_types::ids::CoreId;
+use allarm_types::ids::{CoreId, NodeId};
 use std::fmt;
 
-/// A set of cores that may hold a copy of a line, stored as a 64-bit mask.
+/// Bits per word of the inline / wide representations.
+const WORD_BITS: usize = 64;
+
+/// A width-generic bit set: one inline word up to 64 members, a word vector
+/// beyond. Kept canonical (a set whose members all fit one word is always
+/// `Inline`) so the derived equality and hash match set equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Bits {
+    Inline(u64),
+    Wide(Vec<u64>),
+}
+
+impl Bits {
+    const fn empty() -> Self {
+        Bits::Inline(0)
+    }
+
+    fn set(&mut self, index: usize) {
+        match self {
+            Bits::Inline(word) if index < WORD_BITS => *word |= 1 << index,
+            Bits::Inline(word) => {
+                let mut words = vec![0u64; index / WORD_BITS + 1];
+                words[0] = *word;
+                words[index / WORD_BITS] |= 1 << (index % WORD_BITS);
+                *self = Bits::Wide(words);
+            }
+            Bits::Wide(words) => {
+                if index / WORD_BITS >= words.len() {
+                    words.resize(index / WORD_BITS + 1, 0);
+                }
+                words[index / WORD_BITS] |= 1 << (index % WORD_BITS);
+            }
+        }
+    }
+
+    fn clear(&mut self, index: usize) {
+        match self {
+            Bits::Inline(word) => {
+                if index < WORD_BITS {
+                    *word &= !(1 << index);
+                }
+            }
+            Bits::Wide(words) => {
+                if let Some(word) = words.get_mut(index / WORD_BITS) {
+                    *word &= !(1 << (index % WORD_BITS));
+                }
+                self.normalize();
+            }
+        }
+    }
+
+    fn get(&self, index: usize) -> bool {
+        match self {
+            Bits::Inline(word) => index < WORD_BITS && (word >> index) & 1 == 1,
+            Bits::Wide(words) => words
+                .get(index / WORD_BITS)
+                .is_some_and(|w| (w >> (index % WORD_BITS)) & 1 == 1),
+        }
+    }
+
+    fn count(&self) -> u32 {
+        match self {
+            Bits::Inline(word) => word.count_ones(),
+            Bits::Wide(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Bits::Inline(word) => *word == 0,
+            Bits::Wide(words) => words.iter().all(|w| *w == 0),
+        }
+    }
+
+    /// Restores the canonical form after removals: trailing zero words are
+    /// dropped and a single-word set collapses back to `Inline`, so two
+    /// sets with the same members always compare (and hash) equal
+    /// regardless of how they were built.
+    fn normalize(&mut self) {
+        if let Bits::Wide(words) = self {
+            while words.len() > 1 && *words.last().expect("non-empty") == 0 {
+                words.pop();
+            }
+            if words.len() == 1 {
+                *self = Bits::Inline(words[0]);
+            }
+        }
+    }
+
+    fn iter_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let words: &[u64] = match self {
+            Bits::Inline(word) => std::slice::from_ref(word),
+            Bits::Wide(words) => words,
+        };
+        words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..WORD_BITS)
+                .filter(move |bit| (word >> bit) & 1 == 1)
+                .map(move |bit| wi * WORD_BITS + bit)
+        })
+    }
+
+    fn low_word(&self) -> u64 {
+        match self {
+            Bits::Inline(word) => *word,
+            Bits::Wide(words) => words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// The exact set of cores that may hold a copy of a line.
 ///
-/// Sixty-four cores is ample for the paper's 16-core machine and for the
-/// scaled configurations the benchmarks sweep.
+/// Stored inline (one 64-bit mask) for machines up to 64 cores — the common
+/// case, and allocation-free — and as a word vector beyond, so directory
+/// entries scale with the machine instead of capping it.
 ///
 /// # Examples
 ///
@@ -16,86 +134,90 @@ use std::fmt;
 ///
 /// let mut sharers = SharerSet::empty();
 /// sharers.insert(CoreId::new(3));
-/// sharers.insert(CoreId::new(7));
+/// sharers.insert(CoreId::new(200)); // > 64 cores: promotes transparently
 /// assert_eq!(sharers.count(), 2);
-/// assert!(sharers.contains(CoreId::new(3)));
-/// sharers.remove(CoreId::new(3));
-/// assert_eq!(sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(7)]);
+/// assert!(sharers.contains(CoreId::new(200)));
+/// sharers.remove(CoreId::new(200));
+/// assert_eq!(sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(3)]);
+///
+/// // The hierarchical level-1 view: which nodes have a copy, at 4 cores
+/// // per node.
+/// sharers.insert(CoreId::new(5));
+/// let nodes = sharers.node_set(4);
+/// assert_eq!(nodes.count(), 2); // cores 3 and 5 live on nodes 0 and 1
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct SharerSet(u64);
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SharerSet(Bits);
 
 impl SharerSet {
-    /// Maximum number of cores representable.
-    pub const MAX_CORES: usize = 64;
+    /// Number of cores representable without leaving the inline (single
+    /// machine word, allocation-free) representation.
+    pub const MAX_INLINE_CORES: usize = WORD_BITS;
 
     /// The empty set.
     pub const fn empty() -> Self {
-        SharerSet(0)
+        SharerSet(Bits::empty())
     }
 
     /// A set containing a single core.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the core index is 64 or larger.
     pub fn only(core: CoreId) -> Self {
         let mut s = SharerSet::empty();
         s.insert(core);
         s
     }
 
-    /// Adds a core to the set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the core index is 64 or larger.
+    /// Adds a core to the set, growing the representation if the core index
+    /// is beyond the inline width.
     pub fn insert(&mut self, core: CoreId) {
-        assert!(
-            core.index() < Self::MAX_CORES,
-            "core index {} exceeds SharerSet capacity",
-            core.index()
-        );
-        self.0 |= 1 << core.index();
+        self.0.set(core.index());
     }
 
     /// Removes a core from the set (no-op if absent).
     pub fn remove(&mut self, core: CoreId) {
-        if core.index() < Self::MAX_CORES {
-            self.0 &= !(1 << core.index());
-        }
+        self.0.clear(core.index());
     }
 
     /// True if the core is in the set.
     pub fn contains(&self, core: CoreId) -> bool {
-        core.index() < Self::MAX_CORES && (self.0 >> core.index()) & 1 == 1
+        self.0.get(core.index())
     }
 
     /// Number of cores in the set.
     pub fn count(&self) -> u32 {
-        self.0.count_ones()
+        self.0.count()
     }
 
     /// True if the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.0 == 0
+        self.0.is_empty()
     }
 
     /// Iterates over the cores in ascending index order.
     pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
-        let bits = self.0;
-        (0..Self::MAX_CORES as u16).filter_map(move |i| {
-            if (bits >> i) & 1 == 1 {
-                Some(CoreId::new(i))
-            } else {
-                None
-            }
-        })
+        self.0.iter_indices().map(|i| CoreId::new(i as u16))
     }
 
-    /// The raw bit mask.
+    /// The low 64 bits of the mask (the whole mask for machines up to 64
+    /// cores).
     pub fn bits(&self) -> u64 {
-        self.0
+        self.0.low_word()
+    }
+
+    /// Projects the level-1 (node-granularity) view of this set: the NUMA
+    /// nodes on which at least one member core lives, under a blocked
+    /// core-to-node assignment of `cores_per_node` cores each. With
+    /// `cores_per_node == 1` the node set mirrors the core set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_node` is zero.
+    pub fn node_set(&self, cores_per_node: u32) -> NodeSet {
+        assert!(cores_per_node > 0, "a node hosts at least one core");
+        let mut nodes = Bits::empty();
+        for index in self.0.iter_indices() {
+            nodes.set(index / cores_per_node as usize);
+        }
+        NodeSet(nodes)
     }
 }
 
@@ -114,6 +236,12 @@ impl fmt::Display for SharerSet {
     }
 }
 
+impl Default for SharerSet {
+    fn default() -> Self {
+        SharerSet::empty()
+    }
+}
+
 impl FromIterator<CoreId> for SharerSet {
     fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
         let mut set = SharerSet::empty();
@@ -121,6 +249,40 @@ impl FromIterator<CoreId> for SharerSet {
             set.insert(core);
         }
         set
+    }
+}
+
+/// The level-1 view of a [`SharerSet`]: the NUMA nodes holding at least one
+/// copy. This is what a hierarchical (two-level) directory tracks first —
+/// one probe or back-invalidation message per *node*, expanded to the
+/// node's member cores on arrival.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet(Bits);
+
+impl NodeSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        NodeSet(Bits::empty())
+    }
+
+    /// True if the node is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.0.get(node.index())
+    }
+
+    /// Number of nodes in the set.
+    pub fn count(&self) -> u32 {
+        self.0.count()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the nodes in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.0.iter_indices().map(|i| NodeId::new(i as u16))
     }
 }
 
@@ -163,10 +325,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds SharerSet capacity")]
-    fn oversized_core_panics() {
+    fn wide_sets_hold_cores_beyond_the_inline_width() {
         let mut s = SharerSet::empty();
+        s.insert(CoreId::new(3));
         s.insert(CoreId::new(64));
+        s.insert(CoreId::new(255));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(CoreId::new(64)));
+        assert!(s.contains(CoreId::new(255)));
+        assert!(!s.contains(CoreId::new(254)));
+        let cores: Vec<u16> = s.iter().map(|c| c.raw()).collect();
+        assert_eq!(cores, vec![3, 64, 255]);
+        assert_eq!(s.to_string(), "{3,64,255}");
+    }
+
+    #[test]
+    fn removal_collapses_back_to_canonical_form() {
+        // A set that grew wide and shrank back must equal (and hash like)
+        // one that never left the inline representation.
+        let mut grew = SharerSet::empty();
+        grew.insert(CoreId::new(7));
+        grew.insert(CoreId::new(200));
+        grew.remove(CoreId::new(200));
+        let inline = SharerSet::only(CoreId::new(7));
+        assert_eq!(grew, inline);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |s: &SharerSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&grew), hash(&inline));
     }
 
     #[test]
@@ -180,5 +370,33 @@ mod tests {
     fn bits_roundtrip() {
         let s = SharerSet::only(CoreId::new(3));
         assert_eq!(s.bits(), 0b1000);
+        // Wide sets still expose their low word.
+        let mut s = s;
+        s.insert(CoreId::new(100));
+        assert_eq!(s.bits(), 0b1000);
+    }
+
+    #[test]
+    fn node_set_projects_cores_onto_nodes() {
+        let s: SharerSet = [CoreId::new(0), CoreId::new(3), CoreId::new(9)]
+            .into_iter()
+            .collect();
+        let nodes = s.node_set(4);
+        assert_eq!(nodes.count(), 2);
+        assert!(nodes.contains(NodeId::new(0))); // cores 0 and 3
+        assert!(nodes.contains(NodeId::new(2))); // core 9
+        assert!(!nodes.contains(NodeId::new(1)));
+        let listed: Vec<u16> = nodes.iter().map(|n| n.raw()).collect();
+        assert_eq!(listed, vec![0, 2]);
+    }
+
+    #[test]
+    fn flat_node_set_mirrors_the_core_set() {
+        let s: SharerSet = [CoreId::new(1), CoreId::new(90)].into_iter().collect();
+        let nodes = s.node_set(1);
+        assert_eq!(nodes.count(), s.count());
+        assert!(nodes.contains(NodeId::new(1)));
+        assert!(nodes.contains(NodeId::new(90)));
+        assert!(NodeSet::empty().is_empty());
     }
 }

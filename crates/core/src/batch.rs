@@ -18,6 +18,7 @@
 //! sweeps persist partial results instead of losing everything on an
 //! interruption.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -101,6 +102,30 @@ impl ResultSink for JsonlSink {
     }
 }
 
+/// The lines of a partially-written output file that are certainly
+/// complete. Every record is written as `line + '\n'` and flushed
+/// sequentially, so a file not ending in a newline was cut mid-record —
+/// its final line must be dropped even when the truncation happens to
+/// leave parseable content (e.g. a CSV row chopped inside its last
+/// numeric field).
+fn complete_lines(text: &str) -> std::vec::IntoIter<&str> {
+    let mut lines: Vec<&str> = text.lines().collect();
+    if !text.is_empty() && !text.ends_with('\n') {
+        lines.pop();
+    }
+    lines.into_iter()
+}
+
+/// Extracts the scenario index from one [`JsonlSink`]-format line, if the
+/// line is complete and well-formed.
+fn jsonl_index(line: &str) -> Option<usize> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    match value.get("index")? {
+        serde::Value::U64(index) => Some(*index as usize),
+        _ => None,
+    }
+}
+
 /// Renders one batch entry as the line format of [`JsonlSink`].
 fn jsonl_line(entry: &BatchEntry) -> String {
     use serde::{Serialize as _, Value};
@@ -131,6 +156,21 @@ impl FileWriter {
             out: std::io::BufWriter::new(std::fs::File::create(path)?),
             error: None,
         })
+    }
+
+    /// Reopens `path` for a resumed sweep: the still-parseable prefix
+    /// `keep` (everything up to the first line an interruption may have
+    /// truncated) is rewritten in one buffered pass with a single flush —
+    /// the per-record flush discipline only matters for records written
+    /// *after* this point — and subsequent records append after it.
+    fn reopen(path: impl AsRef<std::path::Path>, keep: &[&str]) -> std::io::Result<Self> {
+        use std::io::Write as _;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for line in keep {
+            writeln!(out, "{line}")?;
+        }
+        out.flush()?;
+        Ok(FileWriter { out, error: None })
     }
 
     /// Writes one line and flushes, so partially completed sweeps survive
@@ -175,6 +215,41 @@ impl JsonlFileSink {
         })
     }
 
+    /// Reopens a partially-written output file for a resumed sweep.
+    ///
+    /// Complete lines are kept (a truncated final line from the
+    /// interruption is dropped) and the set of scenario indices they
+    /// record is returned, so the runner can skip those grid points and
+    /// the sweep continues instead of restarting. A missing file resumes
+    /// as an empty one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a failed read or reopen.
+    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<(Self, HashSet<usize>)> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut keep = Vec::new();
+        let mut completed = HashSet::new();
+        for line in complete_lines(&text) {
+            let Some(index) = jsonl_index(line) else {
+                // The first malformed line is where the interruption hit;
+                // everything after it is untrustworthy.
+                break;
+            };
+            keep.push(line);
+            completed.insert(index);
+        }
+        let sink = JsonlFileSink {
+            out: FileWriter::reopen(path, &keep)?,
+        };
+        Ok((sink, completed))
+    }
+
     /// Flushes and closes the sink, surfacing the first I/O error hit
     /// while recording.
     ///
@@ -210,8 +285,57 @@ impl CsvFileSink {
     /// Returns the error of the failed create.
     pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let mut out = FileWriter::create(path)?;
-        out.write_line(&format!("index,scenario,{}", SimReport::CSV_HEADER));
+        out.write_line(&Self::header());
         Ok(CsvFileSink { out })
+    }
+
+    fn header() -> String {
+        format!("index,scenario,{}", SimReport::CSV_HEADER)
+    }
+
+    /// Reopens a partially-written CSV file for a resumed sweep: the
+    /// header and every complete row are kept, the recorded scenario
+    /// indices are returned, and new rows append after them. A missing or
+    /// headerless file resumes as a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a failed read or reopen.
+    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<(Self, HashSet<usize>)> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut lines = complete_lines(&text);
+        let mut keep = vec![Self::header()];
+        let mut completed = HashSet::new();
+        if lines.next() == Some(Self::header().as_str()) {
+            let columns = Self::header().split(',').count();
+            for line in lines {
+                // A complete row parses a leading index and has the full
+                // column count (commas inside quoted fields — escaped
+                // scenario names — don't split); the first row that
+                // doesn't marks the interruption point.
+                let Some(index) = line.split(',').next().and_then(|f| f.parse().ok()) else {
+                    break;
+                };
+                let Some(fields) = csv_field_count(line) else {
+                    break; // truncated inside a quoted field
+                };
+                if fields != columns {
+                    break;
+                }
+                keep.push(line.to_string());
+                completed.insert(index);
+            }
+        }
+        let keep: Vec<&str> = keep.iter().map(String::as_str).collect();
+        let sink = CsvFileSink {
+            out: FileWriter::reopen(path, &keep)?,
+        };
+        Ok((sink, completed))
     }
 
     /// Flushes and closes the sink, surfacing the first I/O error hit
@@ -234,6 +358,27 @@ impl ResultSink for CsvFileSink {
             entry.report.csv_row()
         );
         self.out.write_line(&row);
+    }
+}
+
+/// Counts the fields of one CSV row, honouring [`csv_escape`]-style
+/// quoting (a comma inside a quoted field does not split; `""` is an
+/// escaped quote). Returns `None` if the row ends inside a quoted field —
+/// i.e. it was truncated mid-write.
+fn csv_field_count(line: &str) -> Option<usize> {
+    let mut fields = 1;
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields += 1,
+            _ => {}
+        }
+    }
+    if in_quotes {
+        None
+    } else {
+        Some(fields)
     }
 }
 
@@ -377,20 +522,69 @@ impl BatchRunner {
         scenarios: &[Scenario],
         sink: &mut dyn ResultSink,
     ) -> Result<(), ConfigError> {
+        self.run_with_sink_resuming(scenarios, sink, &HashSet::new())
+    }
+
+    /// Like [`BatchRunner::run_with_sink`], but skips the scenarios whose
+    /// indices are in `completed` — the resume path of an interrupted
+    /// sweep. Skipped indices are neither executed nor re-recorded; the
+    /// remaining entries still reach the sink in ascending index order.
+    /// Pair with [`JsonlFileSink::resume`] / [`CsvFileSink::resume`],
+    /// which recover the completed set from a partially-written output
+    /// file.
+    ///
+    /// Completion is matched **by index**: a resumed run must use the same
+    /// scenario set, in the same order, as the interrupted one (reordering
+    /// the grid between runs silently pairs old rows with new scenarios).
+    /// An index beyond the batch is rejected, which catches the common
+    /// mistake of resuming against the wrong output file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] across the batch (every scenario
+    /// is validated, including completed ones — a resumed sweep must be
+    /// the same sweep), or an error if `completed` names an index the
+    /// batch does not have; the sink is not touched unless validation
+    /// passes.
+    pub fn run_with_sink_resuming(
+        &self,
+        scenarios: &[Scenario],
+        sink: &mut dyn ResultSink,
+        completed: &HashSet<usize>,
+    ) -> Result<(), ConfigError> {
         for scenario in scenarios {
             scenario.validate()?;
         }
+        if let Some(stray) = completed.iter().find(|&&i| i >= scenarios.len()) {
+            return Err(ConfigError::new(
+                "resume",
+                format!(
+                    "output file records scenario index {stray} but the batch has only {} \
+                     scenario(s) — resuming against the wrong file?",
+                    scenarios.len()
+                ),
+            ));
+        }
 
         // Materialize each distinct (spec, seed) workload exactly once, in
-        // scenario order, and share it across the batch.
-        let mut workloads: Vec<Arc<Workload>> = Vec::with_capacity(scenarios.len());
-        for scenario in scenarios {
-            let existing = scenarios[..workloads.len()]
-                .iter()
-                .position(|s| s.workload == scenario.workload && s.seed == scenario.seed);
+        // scenario order, and share it across the batch. Scenarios already
+        // completed by a resumed sweep never materialize (None) — unless a
+        // still-pending sibling shares the workload, in which case that
+        // sibling generates it.
+        let mut workloads: Vec<Option<Arc<Workload>>> = Vec::with_capacity(scenarios.len());
+        for (index, scenario) in scenarios.iter().enumerate() {
+            if completed.contains(&index) {
+                workloads.push(None);
+                continue;
+            }
+            let existing = (0..index).find(|&i| {
+                workloads[i].is_some()
+                    && scenarios[i].workload == scenario.workload
+                    && scenarios[i].seed == scenario.seed
+            });
             match existing {
-                Some(i) => workloads.push(Arc::clone(&workloads[i])),
-                None => workloads.push(Arc::new(scenario.workload())),
+                Some(i) => workloads.push(workloads[i].clone()),
+                None => workloads.push(Some(Arc::new(scenario.workload()))),
             }
         }
 
@@ -410,10 +604,10 @@ impl BatchRunner {
         let workers = (self.num_threads / max_sim_threads).clamp(1, scenarios.len().max(1));
         if workers <= 1 {
             for (index, scenario) in scenarios.iter().enumerate() {
-                let report = scenario
-                    .build()
-                    .expect("validated above")
-                    .run(&workloads[index]);
+                let Some(workload) = &workloads[index] else {
+                    continue; // already completed by the resumed sweep
+                };
+                let report = scenario.build().expect("validated above").run(workload);
                 sink.record(&BatchEntry {
                     index,
                     scenario: scenario.clone(),
@@ -435,10 +629,13 @@ impl BatchRunner {
                     if index >= scenarios.len() {
                         return;
                     }
+                    let Some(workload) = &workloads[index] else {
+                        continue; // already completed by the resumed sweep
+                    };
                     let report = scenarios[index]
                         .build()
                         .expect("validated above")
-                        .run(&workloads[index]);
+                        .run(workload);
                     // The receiver outlives the scope; a send failure means
                     // the main thread panicked, so just stop.
                     if tx.send((index, report)).is_err() {
@@ -449,12 +646,17 @@ impl BatchRunner {
             drop(tx);
 
             // Buffer completions and flush the ready prefix in order, so the
-            // sink sees the same sequence as a serial run.
+            // sink sees the same sequence as a serial run; resumed indices
+            // flush as no-ops.
             let mut pending: Vec<Option<SimReport>> = vec![None; scenarios.len()];
             let mut next_to_flush = 0;
             for (index, report) in rx {
                 pending[index] = Some(report);
                 while next_to_flush < pending.len() {
+                    if completed.contains(&next_to_flush) {
+                        next_to_flush += 1;
+                        continue;
+                    }
                     let Some(report) = pending[next_to_flush].take() else {
                         break;
                     };
@@ -642,9 +844,189 @@ mod tests {
     }
 
     #[test]
+    fn resumed_jsonl_sweep_skips_recorded_indices_and_matches_a_full_run() {
+        let scenarios = tiny_grid();
+        let dir = std::env::temp_dir().join(format!("allarm-resume-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+
+        // The reference: the full sweep in one go.
+        let mut reference = JsonlSink::new();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut reference)
+            .unwrap();
+        let reference = reference.into_string();
+
+        // An "interrupted" sweep: the first three complete lines plus a
+        // truncated fourth, as a crash mid-write would leave.
+        let prefix: String = reference
+            .lines()
+            .take(3)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let truncated = &reference.lines().nth(3).unwrap()[..20];
+        std::fs::write(&path, format!("{prefix}{truncated}")).unwrap();
+
+        let (mut sink, completed) = JsonlFileSink::resume(&path).unwrap();
+        assert_eq!(completed, HashSet::from([0, 1, 2]));
+        BatchRunner::with_threads(2)
+            .run_with_sink_resuming(&scenarios, &mut sink, &completed)
+            .unwrap();
+        sink.finish().unwrap();
+
+        // The resumed file is byte-identical to the uninterrupted sweep:
+        // the truncated line is gone, indices 0-2 were not re-run, 3-7
+        // were appended in order.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resumed_csv_sweep_completes_the_remaining_rows() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(4).collect();
+        let dir = std::env::temp_dir().join(format!("allarm-resume-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.csv");
+
+        let mut full = CsvFileSink::create(&path).unwrap();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut full)
+            .unwrap();
+        full.finish().unwrap();
+        let reference = std::fs::read_to_string(&path).unwrap();
+
+        // Keep the header and two rows; chop the third row mid-field.
+        let keep: Vec<&str> = reference.lines().take(3).collect();
+        let broken = &reference.lines().nth(3).unwrap()[..5];
+        std::fs::write(&path, format!("{}\n{broken}", keep.join("\n"))).unwrap();
+
+        let (mut sink, completed) = CsvFileSink::resume(&path).unwrap();
+        assert_eq!(completed, HashSet::from([0, 1]));
+        BatchRunner::with_threads(1)
+            .run_with_sink_resuming(&scenarios, &mut sink, &completed)
+            .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_missing_or_fresh_files_starts_from_scratch() {
+        let dir = std::env::temp_dir().join(format!("allarm-resume-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (jsonl, completed) = JsonlFileSink::resume(dir.join("missing.jsonl")).unwrap();
+        assert!(completed.is_empty());
+        jsonl.finish().unwrap();
+        let (csv, completed) = CsvFileSink::resume(dir.join("missing.csv")).unwrap();
+        assert!(completed.is_empty());
+        csv.finish().unwrap();
+        // The fresh CSV still gets its header.
+        let text = std::fs::read_to_string(dir.join("missing.csv")).unwrap();
+        assert!(text.starts_with("index,scenario,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn csv_escape_quotes_only_when_needed() {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_field_count_honours_quoting() {
+        assert_eq!(csv_field_count("a,b,c"), Some(3));
+        assert_eq!(csv_field_count("0,\"a,b\",c"), Some(3));
+        assert_eq!(csv_field_count("0,\"say \"\"hi\"\",now\",c"), Some(3));
+        // Truncated inside a quoted field.
+        assert_eq!(csv_field_count("0,\"a,b"), None);
+        assert_eq!(csv_field_count(""), Some(1));
+    }
+
+    #[test]
+    fn csv_resume_handles_comma_bearing_scenario_names() {
+        let mut scenarios: Vec<Scenario> = tiny_grid().into_iter().take(3).collect();
+        for (i, s) in scenarios.iter_mut().enumerate() {
+            s.name = format!("swept, point {i}");
+        }
+        let dir = std::env::temp_dir().join(format!("allarm-resume-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quoted.csv");
+
+        let mut full = CsvFileSink::create(&path).unwrap();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut full)
+            .unwrap();
+        full.finish().unwrap();
+        let reference = std::fs::read_to_string(&path).unwrap();
+
+        // Truncate the second row inside its quoted name field.
+        let keep: Vec<&str> = reference.lines().take(2).collect();
+        std::fs::write(&path, format!("{}\n1,\"swept", keep.join("\n"))).unwrap();
+        let (mut sink, completed) = CsvFileSink::resume(&path).unwrap();
+        assert_eq!(completed, HashSet::from([0]));
+        BatchRunner::with_threads(1)
+            .run_with_sink_resuming(&scenarios, &mut sink, &completed)
+            .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rows_truncated_inside_the_final_field_are_dropped() {
+        // A crash mid-write of the last numeric column loses no comma, so
+        // column counting alone cannot see it — the missing trailing
+        // newline is what gives it away.
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(2).collect();
+        let dir = std::env::temp_dir().join(format!("allarm-resume-t-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.csv");
+
+        let mut full = CsvFileSink::create(&path).unwrap();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut full)
+            .unwrap();
+        full.finish().unwrap();
+        let reference = std::fs::read_to_string(&path).unwrap();
+
+        // Chop the final row three characters short, keeping every comma.
+        let chopped = &reference[..reference.len() - 3];
+        assert_eq!(chopped.lines().count(), reference.lines().count());
+        std::fs::write(&path, chopped).unwrap();
+
+        let (mut sink, completed) = CsvFileSink::resume(&path).unwrap();
+        assert_eq!(completed, HashSet::from([0]));
+        BatchRunner::with_threads(1)
+            .run_with_sink_resuming(&scenarios, &mut sink, &completed)
+            .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), reference);
+
+        // Same property for JSONL.
+        let jsonl_path = dir.join("tail.jsonl");
+        let mut full = JsonlFileSink::create(&jsonl_path).unwrap();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut full)
+            .unwrap();
+        full.finish().unwrap();
+        let reference = std::fs::read_to_string(&jsonl_path).unwrap();
+        std::fs::write(&jsonl_path, &reference[..reference.len() - 2]).unwrap();
+        let (sink, completed) = JsonlFileSink::resume(&jsonl_path).unwrap();
+        assert_eq!(completed, HashSet::from([0]));
+        sink.finish().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resuming_against_the_wrong_file_is_rejected() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(2).collect();
+        let completed = HashSet::from([0usize, 7]);
+        let mut sink = VecSink::new();
+        let err = BatchRunner::with_threads(1)
+            .run_with_sink_resuming(&scenarios, &mut sink, &completed)
+            .unwrap_err();
+        assert_eq!(err.field(), "resume");
+        assert!(sink.into_entries().is_empty());
     }
 }

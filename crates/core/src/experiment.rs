@@ -52,6 +52,21 @@ impl ExperimentConfig {
         }
     }
 
+    /// The scaled 64-core experiment: the [`MachineConfig::scale64`]
+    /// machine (16 NUMA nodes × 4 cores on the Table I substrate) with one
+    /// thread per core. The trace length is shorter than the paper runs —
+    /// four times as many threads issue requests, so every directory still
+    /// sees thousands of transactions.
+    pub fn scale64() -> Self {
+        ExperimentConfig {
+            machine: MachineConfig::scale64(),
+            threads: 64,
+            accesses_per_thread: 50_000,
+            seed: 2014,
+            sim_threads: 1,
+        }
+    }
+
     /// A scaled-down configuration for unit and integration tests: the 16
     /// core machine but with short traces.
     pub fn quick_test() -> Self {
@@ -261,6 +276,12 @@ pub const FIG3H_COVERAGES: [u64; 3] = [512 * 1024, 256 * 1024, 128 * 1024];
 /// The probe-filter coverages of Fig. 4 (512 kB down to 32 kB).
 pub const FIG4_COVERAGES: [u64; 5] = [512 * 1024, 256 * 1024, 128 * 1024, 64 * 1024, 32 * 1024];
 
+/// The per-node probe-filter coverages of the scaled (64-core) directory-
+/// pressure sweep: from the full 2x coverage of a node's aggregate L2 down
+/// to a quarter of it, the regime where four cores contending for one
+/// node's directory makes sparse-directory pressure visible.
+pub const SCALE64_COVERAGES: [u64; 4] = [2 * 1024 * 1024, 1024 * 1024, 512 * 1024, 256 * 1024];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +367,21 @@ mod tests {
         assert_eq!(FIG3H_COVERAGES, [524288, 262144, 131072]);
         assert_eq!(FIG4_COVERAGES.len(), 5);
         assert_eq!(FIG4_COVERAGES[4], 32 * 1024);
+    }
+
+    #[test]
+    fn scale64_config_runs_one_thread_per_core() {
+        let cfg = ExperimentConfig::scale64();
+        assert_eq!(cfg.threads, cfg.machine.num_cores as usize);
+        assert_eq!(cfg.machine.num_nodes(), 16);
+        let s = cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Allarm);
+        s.validate().unwrap();
+        assert_eq!(s.name, "raytrace/allarm");
+        // The sweep coverages descend from the node's full 2x L2 coverage.
+        assert_eq!(
+            SCALE64_COVERAGES[0],
+            cfg.machine.probe_filter.coverage_bytes
+        );
+        assert!(SCALE64_COVERAGES.windows(2).all(|w| w[0] > w[1]));
     }
 }

@@ -64,7 +64,7 @@ pub use batch::{
 pub use builder::SimulationBuilder;
 pub use experiment::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, run_workload,
-    ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES,
+    ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES, SCALE64_COVERAGES,
 };
 pub use metrics::{Comparison, SimReport};
 pub use scenario::{Scenario, ScenarioGrid, SimThreads};

@@ -3,8 +3,11 @@
 //! The machine is partitioned by home node ([`ShardPlan`]): each shard owns
 //! a contiguous block of nodes — their directory slices and probe filters
 //! ([`DirectoryShard`]), their DRAM channels, and the cores pinned to those
-//! nodes — and runs on its own OS thread. Execution proceeds in *rounds*,
-//! each a pair of barrier-separated phases:
+//! nodes (a node's whole core block, on multi-core-node topologies) — and
+//! runs on its own OS thread. Cross-shard events travel through
+//! per-destination mailboxes ([`Exchange`]), so each consumer drains
+//! exactly what it owns. Execution proceeds in *rounds*, each a pair of
+//! barrier-separated phases:
 //!
 //! 1. **Core phase** (parallel, shard-local state only): every shard first
 //!    applies the directory replies its cores received last round (fills,
@@ -45,6 +48,7 @@ use allarm_noc::NocStats;
 use allarm_types::addr::{LineAddr, VirtAddr};
 use allarm_types::config::MachineConfig;
 use allarm_types::ids::{CoreId, NodeId};
+use allarm_types::topology::Topology;
 use allarm_types::Nanos;
 use allarm_workloads::Workload;
 
@@ -60,21 +64,35 @@ struct PageFault {
     toucher: NodeId,
 }
 
-/// The cross-shard mailboxes, one slot per shard. Each slot is written by
-/// its owning shard in one phase and read by other shards in the next;
-/// the phase barriers guarantee the accesses never overlap, the mutexes
-/// make that safe in the type system.
+/// The cross-shard mailboxes. Events and replies are routed **per
+/// destination**: `events[dst][src]` holds what shard `src` produced for
+/// shard `dst` this round, so a consumer drains exactly its own column —
+/// O(events) per round — instead of scanning every shard's outbox for the
+/// pieces it owns (O(shards × events), the scheme this replaced). Page
+/// faults keep a single slot per source because they have a single
+/// consumer (the lead shard).
+///
+/// Each mailbox is written by its source shard in one phase and read by
+/// its destination shard in the next; the phase barriers guarantee the
+/// accesses never overlap, the mutexes make that safe in the type system.
 struct Exchange {
-    events: Vec<Mutex<Vec<CoherenceEvent>>>,
-    replies: Vec<Mutex<Vec<CoherenceReply>>>,
+    /// `events[dst][src]`: coherence events homed on shard `dst`'s nodes.
+    events: Vec<Vec<Mutex<Vec<CoherenceEvent>>>>,
+    /// `replies[dst][src]`: directory replies for cores pinned to `dst`.
+    replies: Vec<Vec<Mutex<Vec<CoherenceReply>>>>,
     faults: Vec<Mutex<Vec<Keyed<PageFault>>>>,
 }
 
 impl Exchange {
     fn new(num_shards: usize) -> Self {
+        fn matrix<T>(n: usize) -> Vec<Vec<Mutex<Vec<T>>>> {
+            (0..n)
+                .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+                .collect()
+        }
         Exchange {
-            events: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
-            replies: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            events: matrix(num_shards),
+            replies: matrix(num_shards),
             faults: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
@@ -225,6 +243,10 @@ fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> K
 /// One shard's execution state for the duration of a run.
 struct ShardWorker<'a> {
     shard_id: usize,
+    num_shards: usize,
+    topology: Topology,
+    /// Node index -> owning shard, for per-destination event routing.
+    shard_of_node: Vec<usize>,
     scheduler: CoreScheduler,
     slots: Vec<Slot>,
     /// Global core index -> local slot index, for reply delivery.
@@ -258,18 +280,20 @@ impl<'a> ShardWorker<'a> {
         barrier: &'a PhaseBarrier,
         live_slots: &'a AtomicUsize,
     ) -> Self {
+        let topology = config.topology();
         let nodes = plan.nodes_of_shard(shard_id);
-        // One core per affinity domain: a slot belongs to the shard owning
-        // the node its core is pinned to.
+        // A slot belongs to the shard owning the node its core is pinned
+        // to; with several cores per node, a node's whole core block moves
+        // together, so the determinism argument is untouched.
         let slots: Vec<Slot> = workload
             .threads
             .iter()
             .enumerate()
-            .filter(|(_, t)| nodes.contains(&t.core.index()))
+            .filter(|(_, t)| nodes.contains(&topology.node_of_core(t.core).index()))
             .map(|(thread, t)| Slot {
                 thread,
                 core: t.core,
-                node: NodeId::new(t.core.raw()),
+                node: topology.node_of_core(t.core),
                 cursor: 0,
                 seq: 0,
                 pending: None,
@@ -284,12 +308,23 @@ impl<'a> ShardWorker<'a> {
                 slot.core.index()
             );
         }
+        let shard_of_node = (0..plan.num_nodes())
+            .map(|n| plan.shard_of_node(n))
+            .collect();
         ShardWorker {
             shard_id,
+            num_shards: plan.num_shards(),
+            topology,
+            shard_of_node,
             scheduler: CoreScheduler::new(slots.len()),
             slots,
             slot_of_core,
-            dir: DirectoryShard::new(nodes, &config.probe_filter, policy),
+            dir: DirectoryShard::hierarchical(
+                nodes,
+                &config.probe_filter,
+                policy,
+                topology.cores_per_node(),
+            ),
             sys: ShardSystem::new(caches, config),
             workload,
             caches,
@@ -328,20 +363,23 @@ impl<'a> ShardWorker<'a> {
     }
 
     /// Phase 1: deliver last round's replies to this shard's cores, then
-    /// replay each runnable core forward until it blocks.
+    /// replay each runnable core forward until it blocks. Every emitted
+    /// event goes straight into its destination shard's mailbox.
     fn core_phase(&mut self) {
-        let mut outbox: Vec<CoherenceEvent> = Vec::new();
+        let mut outboxes: Vec<Vec<CoherenceEvent>> = vec![Vec::new(); self.num_shards];
         let mut faults: Vec<Keyed<PageFault>> = Vec::new();
         {
             let allocator = self.allocator.read().expect("allocator lock poisoned");
-            self.deliver_replies(&allocator, &mut outbox);
+            self.deliver_replies(&allocator, &mut outboxes);
             while let Some(local) = self.scheduler.next_actor() {
-                self.run_slot(local, &allocator, &mut outbox, &mut faults);
+                self.run_slot(local, &allocator, &mut outboxes, &mut faults);
             }
         }
-        *self.exchange.events[self.shard_id]
-            .lock()
-            .expect("event mailbox poisoned") = outbox;
+        for (dst, outbox) in outboxes.into_iter().enumerate() {
+            *self.exchange.events[dst][self.shard_id]
+                .lock()
+                .expect("event mailbox poisoned") = outbox;
+        }
         *self.exchange.faults[self.shard_id]
             .lock()
             .expect("fault mailbox poisoned") = faults;
@@ -353,13 +391,12 @@ impl<'a> ShardWorker<'a> {
     fn deliver_replies(
         &mut self,
         allocator: &RwLockReadGuard<'_, NumaAllocator>,
-        outbox: &mut Vec<CoherenceEvent>,
+        outboxes: &mut [Vec<CoherenceEvent>],
     ) {
-        for mailbox in &self.exchange.replies {
+        for mailbox in &self.exchange.replies[self.shard_id] {
             for reply in mailbox.lock().expect("reply mailbox poisoned").iter() {
-                let Some(local) = self.slot_of_core[reply.core.index()] else {
-                    continue;
-                };
+                let local = self.slot_of_core[reply.core.index()]
+                    .expect("replies are routed to the shard owning the core");
                 let slot = &mut self.slots[local];
                 let pending = slot
                     .pending
@@ -396,15 +433,17 @@ impl<'a> ShardWorker<'a> {
                 // thread-local data.
                 for victim in caches.take_capacity_victims() {
                     if victim.state.is_dirty() {
-                        outbox.push(CoherenceEvent {
-                            home: allocator.home_of_line(victim.addr),
+                        let home = allocator.home_of_line(victim.addr);
+                        let event = CoherenceEvent {
+                            home,
                             key: slot.next_key(completed),
                             op: CoherenceOp::EvictNotice {
                                 line: victim.addr,
                                 core: slot.core,
                                 dirty: true,
                             },
-                        });
+                        };
+                        outboxes[self.shard_of_node[home.index()]].push(event);
                     }
                 }
             }
@@ -417,7 +456,7 @@ impl<'a> ShardWorker<'a> {
         &mut self,
         local: usize,
         allocator: &RwLockReadGuard<'_, NumaAllocator>,
-        outbox: &mut Vec<CoherenceEvent>,
+        outboxes: &mut [Vec<CoherenceEvent>],
         faults: &mut Vec<Keyed<PageFault>>,
     ) {
         let slot = &mut self.slots[local];
@@ -476,14 +515,15 @@ impl<'a> ShardWorker<'a> {
                 CoherenceNeed::Upgrade => RequestKind::Upgrade,
             };
             let arrival = self.scheduler.time_of(local) + elapsed + latency;
-            outbox.push(CoherenceEvent {
+            let event = CoherenceEvent {
                 home: frame.home,
                 key: slot.next_key(arrival),
                 op: CoherenceOp::Request {
                     request: CoherenceRequest::new(line, kind, slot.core, slot.node),
                     arrival,
                 },
-            });
+            };
+            outboxes[self.shard_of_node[frame.home.index()]].push(event);
             slot.pending = Some(Pending {
                 line,
                 private_latency: latency,
@@ -520,25 +560,29 @@ impl<'a> ShardWorker<'a> {
     }
 
     /// Phase 2: drain the coherence events bound for this shard's home
-    /// nodes through its directory slice, and unpark the cores that
-    /// faulted (the lead shard has resolved their mappings by now... by
-    /// the end-of-round barrier, which is what the next core phase waits
-    /// on).
+    /// nodes through its directory slice, route each reply to the shard
+    /// owning the requesting core, and unpark the cores that faulted (the
+    /// lead shard has resolved their mappings by now... by the
+    /// end-of-round barrier, which is what the next core phase waits on).
     fn directory_phase(&mut self) {
+        // Drain this shard's own mailbox column: every event here is
+        // already known to be ours, so the round costs O(own events), not
+        // a scan of every shard's outbox.
         let mut inbox: Vec<CoherenceEvent> = Vec::new();
-        for mailbox in &self.exchange.events {
-            inbox.extend(
-                mailbox
-                    .lock()
-                    .expect("event mailbox poisoned")
-                    .iter()
-                    .filter(|e| self.dir.owns(e.home)),
-            );
+        for mailbox in &self.exchange.events[self.shard_id] {
+            inbox.append(&mut mailbox.lock().expect("event mailbox poisoned"));
         }
         let replies = self.dir.process(inbox, &mut self.sys);
-        *self.exchange.replies[self.shard_id]
-            .lock()
-            .expect("reply mailbox poisoned") = replies;
+        let mut routed: Vec<Vec<CoherenceReply>> = vec![Vec::new(); self.num_shards];
+        for reply in replies {
+            let node = self.topology.node_of_core(reply.core);
+            routed[self.shard_of_node[node.index()]].push(reply);
+        }
+        for (dst, replies) in routed.into_iter().enumerate() {
+            *self.exchange.replies[dst][self.shard_id]
+                .lock()
+                .expect("reply mailbox poisoned") = replies;
+        }
 
         for local in 0..self.slots.len() {
             if self.slots[local].faulted {

@@ -146,6 +146,7 @@ impl Simulator {
             pf_stats.evictions += pf.evictions;
             pf_stats.deallocations += pf.deallocations;
             pf_stats.array_accesses += pf.array_accesses;
+            pf_stats.node_vector_accesses += pf.node_vector_accesses;
         }
 
         let mut l1_hits = 0u64;

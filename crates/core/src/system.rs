@@ -21,6 +21,7 @@ use allarm_noc::{MessageClass, Network, NocStats};
 use allarm_types::addr::LineAddr;
 use allarm_types::config::MachineConfig;
 use allarm_types::ids::{CoreId, NodeId};
+use allarm_types::topology::Topology;
 use allarm_types::Nanos;
 
 /// Every per-core and per-node hardware component other than the directory
@@ -30,6 +31,7 @@ pub struct Machine {
     caches: Vec<CoreCaches>,
     network: Network,
     dram: DramModel,
+    topology: Topology,
     cache_latency: Nanos,
     l2_latency: Nanos,
 }
@@ -51,6 +53,7 @@ impl Machine {
                 .collect(),
             network: Network::new(config.noc),
             dram: DramModel::new(config.num_nodes() as usize, config.dram),
+            topology: config.topology(),
             cache_latency: config.l1d.access_latency,
             l2_latency: config.l2.access_latency,
         }
@@ -91,15 +94,23 @@ impl Machine {
         self.l2_latency
     }
 
-    /// The affinity domain of a core. With one core per node (the paper's
-    /// configuration) this is the identity mapping.
-    pub fn node_of(&self, core: CoreId) -> NodeId {
-        NodeId::new(core.raw())
+    /// The core ↔ node topology of this machine.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
-    /// The single local core of a node (the inverse of [`Machine::node_of`]).
+    /// The affinity domain of a core. With one core per node (the paper's
+    /// configuration) this is the identity mapping; scaled machines map
+    /// contiguous blocks of cores onto each node.
+    pub fn node_of(&self, core: CoreId) -> NodeId {
+        self.topology.node_of_core(core)
+    }
+
+    /// A node's designated core — the one core per affinity domain the
+    /// ALLARM policy is enabled for. With one core per node it is simply
+    /// the inverse of [`Machine::node_of`].
     pub fn core_of(&self, node: NodeId) -> CoreId {
-        CoreId::new(node.raw())
+        self.topology.local_core_of(node)
     }
 }
 
@@ -173,6 +184,7 @@ pub(crate) struct ShardSystem<'a> {
     caches: &'a [Mutex<CoreCaches>],
     network: Network,
     dram: DramModel,
+    topology: Topology,
     cache_latency: Nanos,
 }
 
@@ -183,6 +195,7 @@ impl<'a> ShardSystem<'a> {
             caches,
             network: Network::new(config.noc),
             dram: DramModel::new(config.num_nodes() as usize, config.dram),
+            topology: config.topology(),
             cache_latency: config.l1d.access_latency,
         }
     }
@@ -229,11 +242,11 @@ impl SystemAccess for ShardSystem<'_> {
     }
 
     fn node_of_core(&self, core: CoreId) -> NodeId {
-        NodeId::new(core.raw())
+        self.topology.node_of_core(core)
     }
 
     fn local_core_of(&self, node: NodeId) -> CoreId {
-        CoreId::new(node.raw())
+        self.topology.local_core_of(node)
     }
 
     fn num_cores(&self) -> usize {
@@ -259,7 +272,7 @@ mod tests {
     }
 
     #[test]
-    fn core_node_mapping_is_identity() {
+    fn core_node_mapping_is_identity_on_flat_machines() {
         let machine = Machine::new(&MachineConfig::small_test());
         for i in 0..4u16 {
             assert_eq!(machine.node_of(CoreId::new(i)), NodeId::new(i));
@@ -267,6 +280,23 @@ mod tests {
             assert_eq!(machine.node_of_core(CoreId::new(i)), NodeId::new(i));
             assert_eq!(machine.local_core_of(NodeId::new(i)), CoreId::new(i));
         }
+    }
+
+    #[test]
+    fn multicore_nodes_fold_cores_onto_shared_resources() {
+        // The small_test machine with both cores on one node: a 1x2 mesh.
+        let mut cfg = MachineConfig::small_test();
+        cfg.cores_per_node = allarm_types::config::CoresPerNode(2);
+        cfg.noc = allarm_types::config::NocConfig::mesh(1, 2);
+        let machine = Machine::new(&cfg);
+        assert_eq!(machine.num_cores(), 4);
+        assert_eq!(machine.network().topology().num_nodes(), 2);
+        assert_eq!(machine.node_of(CoreId::new(0)), NodeId::new(0));
+        assert_eq!(machine.node_of(CoreId::new(1)), NodeId::new(0));
+        assert_eq!(machine.node_of(CoreId::new(3)), NodeId::new(1));
+        // The designated core of each node is its first.
+        assert_eq!(machine.core_of(NodeId::new(1)), CoreId::new(2));
+        assert_eq!(machine.topology().cores_per_node(), 2);
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct EnergyModel {
     /// Additional energy per probe-filter eviction (victim read-out plus
     /// replacement write), pJ.
     pub pf_eviction_pj: f64,
+    /// Energy per level-1 node-presence-vector read of a hierarchical
+    /// (multi-core-node) probe filter, pJ. The vector is one bit per node
+    /// — far narrower than the full entry — so this is a fraction of
+    /// [`EnergyModel::pf_access_pj`]. Flat filters never charge it.
+    pub pf_node_vector_pj: f64,
     /// Energy per flit per router traversal, pJ.
     pub router_flit_pj: f64,
     /// Energy per flit per link traversal, pJ.
@@ -49,6 +54,7 @@ impl EnergyModel {
         EnergyModel {
             pf_access_pj: 6.0,
             pf_eviction_pj: 12.0,
+            pf_node_vector_pj: 1.5,
             router_flit_pj: 1.2,
             link_flit_pj: 0.8,
         }
@@ -61,12 +67,15 @@ impl EnergyModel {
     /// (the downstream router); probe-filter energy is per-array-access plus
     /// an extra charge per eviction (the read-out of the victim's tag and
     /// data followed by the write of the replacement, as described in
-    /// Section II-B of the paper).
+    /// Section II-B of the paper). On hierarchical filters the level-1
+    /// node-vector reads are charged on top; flat filters report zero such
+    /// accesses, so the term vanishes on the paper's machine.
     pub fn dynamic_energy(&self, noc: &NocStats, pf: &PfStats) -> DynamicEnergy {
         let flit_hops = noc.total_flit_hops() as f64;
         let noc_pj = flit_hops * (self.router_flit_pj + self.link_flit_pj);
         let pf_pj = pf.array_accesses.get() as f64 * self.pf_access_pj
-            + pf.evictions.get() as f64 * self.pf_eviction_pj;
+            + pf.evictions.get() as f64 * self.pf_eviction_pj
+            + pf.node_vector_accesses.get() as f64 * self.pf_node_vector_pj;
         DynamicEnergy {
             noc_pj,
             probe_filter_pj: pf_pj,
@@ -114,6 +123,21 @@ mod tests {
         let expected = 10.0 * model.pf_access_pj + 2.0 * model.pf_eviction_pj;
         assert!((e.probe_filter_pj - expected).abs() < 1e-9);
         assert!(e.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn hierarchical_node_vector_reads_are_charged_separately() {
+        let model = EnergyModel::mcpat_32nm();
+        let mut flat = PfStats::default();
+        flat.array_accesses.add(10);
+        let mut hier = flat;
+        hier.node_vector_accesses.add(10);
+        let e_flat = model.dynamic_energy(&NocStats::new(), &flat);
+        let e_hier = model.dynamic_energy(&NocStats::new(), &hier);
+        let delta = e_hier.probe_filter_pj - e_flat.probe_filter_pj;
+        assert!((delta - 10.0 * model.pf_node_vector_pj).abs() < 1e-9);
+        // The level-1 vector is narrower than the full entry.
+        assert!(model.pf_node_vector_pj < model.pf_access_pj);
     }
 
     #[test]

@@ -75,9 +75,12 @@ pub fn merge_events<T>(batches: impl IntoIterator<Item = Vec<Keyed<T>>>) -> Vec<
 /// The static assignment of nodes (and their pinned cores) to shards.
 ///
 /// Nodes are split into `num_shards` contiguous blocks of (almost) equal
-/// size. The plan is pure data: with one core per affinity domain — the
-/// paper's configuration — core *i* lives on node *i*, so the node
-/// partition is also the core partition.
+/// size. The plan is pure data over *nodes*: a node moves to a shard with
+/// everything it hosts — its directory slice, DRAM channel, and **all** of
+/// its cores. With one core per affinity domain (the paper's machine) the
+/// node partition is also the core partition; on multi-core-node
+/// topologies a node's whole core block stays together, which is what
+/// keeps the sharded kernel's determinism argument intact.
 ///
 /// # Examples
 ///

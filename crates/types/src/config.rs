@@ -1,14 +1,17 @@
 //! Machine configuration: the typed equivalent of Table I in the paper.
 //!
 //! A [`MachineConfig`] describes the simulated hardware: number of cores,
-//! cache geometry, probe-filter geometry, DRAM, and the on-chip network. The
-//! [`MachineConfig::date2014`] constructor reproduces Table I exactly; the
-//! individual fields are public so experiments can sweep them (e.g. the
-//! probe-filter-size sweeps of Fig. 3h and Fig. 4).
+//! how many cores share each NUMA node, cache geometry, probe-filter
+//! geometry, DRAM, and the on-chip network. The [`MachineConfig::date2014`]
+//! constructor reproduces Table I exactly (one core per node); the
+//! [`MachineConfig::scale64`] constructor is the scaled 16-node × 4-core
+//! machine. The individual fields are public so experiments can sweep them
+//! (e.g. the probe-filter-size sweeps of Fig. 3h and Fig. 4).
 
 use crate::addr::LINE_BYTES;
 use crate::error::ConfigError;
 use crate::time::Nanos;
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of a set-associative cache.
@@ -309,12 +312,37 @@ impl NocConfig {
     }
 }
 
+/// Number of cores sharing one NUMA node (affinity domain).
+///
+/// A newtype so scenario documents written before the multi-core-node
+/// refactor — which do not carry the field — deserialize to the historical
+/// one-core-per-node machine ([`CoresPerNode::default`] is 1, not 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoresPerNode(pub u32);
+
+impl CoresPerNode {
+    /// The raw count.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for CoresPerNode {
+    fn default() -> Self {
+        CoresPerNode(1)
+    }
+}
+
 /// Full machine description: Table I of the paper as a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineConfig {
-    /// Number of cores (each core is its own affinity domain / node in the
-    /// paper's configuration).
+    /// Number of cores. Must be an exact multiple of `cores_per_node`.
     pub num_cores: u32,
+    /// Cores per NUMA node / affinity domain. The paper's Table I machine
+    /// has one core per node; scaled configurations host several cores on
+    /// each node, sharing its router, directory and DRAM channel.
+    #[serde(default)]
+    pub cores_per_node: CoresPerNode,
     /// Core frequency in GHz (only used for reporting; the model works in
     /// nanoseconds).
     pub frequency_ghz: u32,
@@ -350,6 +378,7 @@ impl MachineConfig {
     pub fn date2014() -> Self {
         MachineConfig {
             num_cores: 16,
+            cores_per_node: CoresPerNode::default(),
             frequency_ghz: 2,
             l1i: CacheConfig::new(32 * 1024, 4, 1),
             l1d: CacheConfig::new(32 * 1024, 4, 1),
@@ -360,11 +389,36 @@ impl MachineConfig {
         }
     }
 
+    /// The scaled machine the >16-core experiments use: 64 cores on the
+    /// Table I substrate, four cores per NUMA node, so the mesh stays 4x4
+    /// (one router, directory and DRAM channel per node, shared by the
+    /// node's four cores). The probe filter keeps the paper's 2x coverage
+    /// ratio against the node's now-4x aggregate L2 capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use allarm_types::config::MachineConfig;
+    /// let m = MachineConfig::scale64();
+    /// assert_eq!(m.num_cores, 64);
+    /// assert_eq!(m.num_nodes(), 16);
+    /// m.validate().unwrap();
+    /// ```
+    pub fn scale64() -> Self {
+        MachineConfig {
+            num_cores: 64,
+            cores_per_node: CoresPerNode(4),
+            probe_filter: ProbeFilterConfig::new(2 * 1024 * 1024, 8),
+            ..MachineConfig::date2014()
+        }
+    }
+
     /// A scaled-down configuration useful for fast unit and integration
     /// tests: 4 cores in a 2x2 mesh with small caches.
     pub fn small_test() -> Self {
         MachineConfig {
             num_cores: 4,
+            cores_per_node: CoresPerNode::default(),
             frequency_ghz: 2,
             l1i: CacheConfig::new(4 * 1024, 2, 1),
             l1d: CacheConfig::new(4 * 1024, 2, 1),
@@ -382,9 +436,19 @@ impl MachineConfig {
         self
     }
 
-    /// Number of NUMA nodes (one per core in this model).
+    /// Number of NUMA nodes (`num_cores / cores_per_node`).
     pub fn num_nodes(&self) -> u32 {
-        self.num_cores
+        self.num_cores / self.cores_per_node.get().max(1)
+    }
+
+    /// The core ↔ node topology of this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-core or zero-cores-per-node configuration; validate
+    /// explicitly with [`MachineConfig::validate`] to get an error instead.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.num_nodes(), self.cores_per_node.get())
     }
 
     /// Validates every component of the configuration.
@@ -392,10 +456,23 @@ impl MachineConfig {
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] found, or an error if the mesh does
-    /// not have exactly one router per core.
+    /// not have exactly one router per NUMA node.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_cores == 0 {
             return Err(ConfigError::new("num_cores", "must be non-zero"));
+        }
+        if self.cores_per_node.get() == 0 {
+            return Err(ConfigError::new("cores_per_node", "must be non-zero"));
+        }
+        if !self.num_cores.is_multiple_of(self.cores_per_node.get()) {
+            return Err(ConfigError::new(
+                "cores_per_node",
+                format!(
+                    "{} cores do not divide into nodes of {}",
+                    self.num_cores,
+                    self.cores_per_node.get()
+                ),
+            ));
         }
         self.l1i.validate("l1i")?;
         self.l1d.validate("l1d")?;
@@ -403,13 +480,16 @@ impl MachineConfig {
         self.probe_filter.validate()?;
         self.dram.validate()?;
         self.noc.validate()?;
-        if self.noc.num_nodes() != self.num_cores {
+        if self.noc.num_nodes() != self.num_nodes() {
             return Err(ConfigError::new(
                 "noc.mesh",
                 format!(
-                    "mesh has {} routers but the machine has {} cores",
+                    "mesh has {} routers but the machine has {} nodes \
+                     ({} cores / {} per node)",
                     self.noc.num_nodes(),
-                    self.num_cores
+                    self.num_nodes(),
+                    self.num_cores,
+                    self.cores_per_node.get()
                 ),
             ));
         }
@@ -465,6 +545,49 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         MachineConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn scale64_is_16_nodes_of_4_cores() {
+        let m = MachineConfig::scale64();
+        m.validate().unwrap();
+        assert_eq!(m.num_cores, 64);
+        assert_eq!(m.cores_per_node.get(), 4);
+        assert_eq!(m.num_nodes(), 16);
+        assert_eq!(m.noc.num_nodes(), 16);
+        // 2x coverage of the node's aggregate (4 x 256 kB) L2 capacity.
+        assert_eq!(m.probe_filter.coverage_bytes, 2 * 4 * m.l2.size_bytes);
+        let topo = m.topology();
+        assert_eq!(topo.cores_per_node(), 4);
+        assert_eq!(topo.num_cores(), 64);
+    }
+
+    #[test]
+    fn cores_per_node_must_divide_num_cores() {
+        let mut m = MachineConfig::date2014();
+        m.cores_per_node = CoresPerNode(3);
+        let err = m.validate().unwrap_err();
+        assert_eq!(err.field(), "cores_per_node");
+        m.cores_per_node = CoresPerNode(0);
+        assert_eq!(m.validate().unwrap_err().field(), "cores_per_node");
+    }
+
+    #[test]
+    fn multicore_nodes_shrink_the_mesh_requirement() {
+        // 16 cores at 4 per node need a 4-router mesh, not 16.
+        let mut m = MachineConfig::date2014();
+        m.cores_per_node = CoresPerNode(4);
+        assert_eq!(m.validate().unwrap_err().field(), "noc.mesh");
+        m.noc = NocConfig::mesh(2, 2);
+        m.validate().unwrap();
+        assert_eq!(m.num_nodes(), 4);
+    }
+
+    #[test]
+    fn cores_per_node_defaults_to_one() {
+        assert_eq!(CoresPerNode::default().get(), 1);
+        assert_eq!(MachineConfig::date2014().cores_per_node, CoresPerNode(1));
+        assert_eq!(MachineConfig::date2014().num_nodes(), 16);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! access ([`CoreId`]), the NUMA node / affinity domain that homes a physical
 //! page and hosts a directory controller ([`NodeId`]), and the software thread
 //! issuing accesses ([`ThreadId`]). In the paper's 16-core configuration each
-//! core is its own affinity domain, but the types stay distinct so that
-//! configurations with multiple cores per node remain expressible.
+//! core is its own affinity domain; scaled machines host several cores per
+//! node, with the mapping owned by [`crate::topology::Topology`].
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

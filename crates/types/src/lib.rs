@@ -26,12 +26,14 @@ pub mod error;
 pub mod ids;
 pub mod stats;
 pub mod time;
+pub mod topology;
 
 pub use addr::{LineAddr, PageAddr, PhysAddr, VirtAddr};
 pub use config::{
-    CacheConfig, DramConfig, MachineConfig, NocConfig, PfReplacement, ProbeFilterConfig,
-    SharerTracking,
+    CacheConfig, CoresPerNode, DramConfig, MachineConfig, NocConfig, PfReplacement,
+    ProbeFilterConfig, SharerTracking,
 };
 pub use error::ConfigError;
 pub use ids::{CoreId, NodeId, ThreadId};
 pub use time::Nanos;
+pub use topology::Topology;

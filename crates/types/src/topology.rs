@@ -1,0 +1,187 @@
+//! The core ↔ node topology of the machine.
+//!
+//! Historically the model hard-wired "one core per NoC node": core *i* was
+//! node *i* at every layer. [`Topology`] makes the mapping explicit — a
+//! machine is `num_nodes × cores_per_node` cores, with cores assigned to
+//! nodes in contiguous blocks (cores `n*k .. (n+1)*k` live on node `n` for
+//! `cores_per_node = k`). With `cores_per_node = 1` every mapping below
+//! degenerates to the identity, so the paper's Table I machine behaves
+//! exactly as before.
+//!
+//! Each node hosts one memory controller, one DRAM slice, one directory
+//! (probe filter) and one mesh router, shared by all of the node's cores;
+//! messages between a core and its own node's directory traverse zero mesh
+//! links.
+
+use crate::ids::{CoreId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The static core-to-node assignment of a machine.
+///
+/// # Examples
+///
+/// ```
+/// use allarm_types::topology::Topology;
+/// use allarm_types::ids::{CoreId, NodeId};
+///
+/// // 16 nodes x 4 cores: a 64-core machine on a 4x4 mesh.
+/// let topo = Topology::new(16, 4);
+/// assert_eq!(topo.num_cores(), 64);
+/// assert_eq!(topo.node_of_core(CoreId::new(5)), NodeId::new(1));
+/// assert_eq!(topo.local_core_of(NodeId::new(3)), CoreId::new(12));
+/// let cores: Vec<CoreId> = topo.cores_of_node(NodeId::new(1)).collect();
+/// assert_eq!(cores, vec![CoreId::new(4), CoreId::new(5), CoreId::new(6), CoreId::new(7)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    num_nodes: u32,
+    cores_per_node: u32,
+}
+
+impl Topology {
+    /// Creates a topology of `num_nodes` affinity domains with
+    /// `cores_per_node` cores each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(num_nodes: u32, cores_per_node: u32) -> Self {
+        assert!(num_nodes > 0, "a machine needs at least one node");
+        assert!(cores_per_node > 0, "a node hosts at least one core");
+        Topology {
+            num_nodes,
+            cores_per_node,
+        }
+    }
+
+    /// The historical one-core-per-node topology (the paper's machine).
+    pub fn flat(num_nodes: u32) -> Self {
+        Topology::new(num_nodes, 1)
+    }
+
+    /// Number of NUMA nodes (affinity domains).
+    pub fn num_nodes(self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Cores hosted by each node.
+    pub fn cores_per_node(self) -> u32 {
+        self.cores_per_node
+    }
+
+    /// Total number of cores.
+    pub fn num_cores(self) -> u32 {
+        self.num_nodes * self.cores_per_node
+    }
+
+    /// True if nodes host more than one core, i.e. sharer tracking and
+    /// probe filtering are meaningfully two-level.
+    pub fn is_hierarchical(self) -> bool {
+        self.cores_per_node > 1
+    }
+
+    /// The affinity domain hosting `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is outside the machine.
+    pub fn node_of_core(self, core: CoreId) -> NodeId {
+        let node = core.index() as u32 / self.cores_per_node;
+        assert!(
+            node < self.num_nodes,
+            "{core} outside the {}-core machine",
+            self.num_cores()
+        );
+        NodeId::new(node as u16)
+    }
+
+    /// The cores hosted by `node`, in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the machine.
+    pub fn cores_of_node(self, node: NodeId) -> impl Iterator<Item = CoreId> {
+        assert!(
+            (node.index() as u32) < self.num_nodes,
+            "{node} outside the {}-node machine",
+            self.num_nodes
+        );
+        let first = node.index() as u32 * self.cores_per_node;
+        (first..first + self.cores_per_node).map(|i| CoreId::new(i as u16))
+    }
+
+    /// The node's *designated* core: the one core per affinity domain the
+    /// ALLARM policy is enabled for (Section II-E of the paper — one core,
+    /// or one shared last-level cache, per domain). By convention it is the
+    /// node's lowest-numbered core; with one core per node it is simply
+    /// *the* core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the machine.
+    pub fn local_core_of(self, node: NodeId) -> CoreId {
+        assert!(
+            (node.index() as u32) < self.num_nodes,
+            "{node} outside the {}-node machine",
+            self.num_nodes
+        );
+        CoreId::new((node.index() as u32 * self.cores_per_node) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_topology_is_the_identity() {
+        let topo = Topology::flat(16);
+        assert_eq!(topo.num_cores(), 16);
+        assert!(!topo.is_hierarchical());
+        for i in 0..16u16 {
+            assert_eq!(topo.node_of_core(CoreId::new(i)), NodeId::new(i));
+            assert_eq!(topo.local_core_of(NodeId::new(i)), CoreId::new(i));
+            let cores: Vec<CoreId> = topo.cores_of_node(NodeId::new(i)).collect();
+            assert_eq!(cores, vec![CoreId::new(i)]);
+        }
+    }
+
+    #[test]
+    fn blocked_assignment_partitions_cores() {
+        let topo = Topology::new(4, 4);
+        assert!(topo.is_hierarchical());
+        let mut seen = Vec::new();
+        for n in 0..4u16 {
+            for core in topo.cores_of_node(NodeId::new(n)) {
+                assert_eq!(topo.node_of_core(core), NodeId::new(n));
+                seen.push(core);
+            }
+        }
+        let expected: Vec<CoreId> = (0..16u16).map(CoreId::new).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn designated_core_is_the_first_of_the_block() {
+        let topo = Topology::new(8, 2);
+        assert_eq!(topo.local_core_of(NodeId::new(0)), CoreId::new(0));
+        assert_eq!(topo.local_core_of(NodeId::new(5)), CoreId::new(10));
+        // The designated core maps back to its node.
+        for n in 0..8u16 {
+            let node = NodeId::new(n);
+            assert_eq!(topo.node_of_core(topo.local_core_of(node)), node);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_core_is_rejected() {
+        Topology::new(4, 2).node_of_core(CoreId::new(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_per_node_is_rejected() {
+        Topology::new(4, 0);
+    }
+}

@@ -30,6 +30,14 @@ pub enum Benchmark {
     /// workload coverage. Small per-thread hot state; the point stream is a
     /// large shared read-mostly region.
     Streamcluster,
+    /// SPLASH2 `raytrace` — ray tracing against a shared scene. Not part of
+    /// the paper's evaluation (absent from [`Benchmark::ALL`]); added as
+    /// the sharing-aware profile for the scaled (64-core, multi-core-node)
+    /// machines: a large read-mostly scene shared by every thread, small
+    /// per-thread ray state, and almost no shared writes — so directory
+    /// pressure comes from genuine cross-node sharing rather than private
+    /// data, exactly the regime hierarchical sharer tracking targets.
+    Raytrace,
 }
 
 impl Benchmark {
@@ -48,7 +56,7 @@ impl Benchmark {
     /// Every benchmark with a profile: the paper's eight plus later
     /// additions. Figure grids stay on [`Benchmark::ALL`]; sweeps that are
     /// not reproducing the paper can draw from this list.
-    pub const EXTENDED: [Benchmark; 9] = [
+    pub const EXTENDED: [Benchmark; 10] = [
         Benchmark::Barnes,
         Benchmark::Blackscholes,
         Benchmark::Cholesky,
@@ -58,6 +66,7 @@ impl Benchmark {
         Benchmark::OceanNonContiguous,
         Benchmark::X264,
         Benchmark::Streamcluster,
+        Benchmark::Raytrace,
     ];
 
     /// The subset used in the multi-process experiment of Fig. 4 (the four
@@ -81,6 +90,7 @@ impl Benchmark {
             Benchmark::OceanNonContiguous => "ocean-non-cont",
             Benchmark::X264 => "x264",
             Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Raytrace => "raytrace",
         }
     }
 
@@ -209,6 +219,27 @@ impl Benchmark {
                 shared_stream_fraction: 0.52,
                 write_fraction: 0.25,
                 shared_write_fraction: 0.02,
+                shared_init_by_thread0: false,
+            },
+            Benchmark::Raytrace => BenchmarkProfile {
+                name: "raytrace",
+                // Per-ray working state is tiny; each thread also keeps a
+                // small private tile of the frame buffer it writes.
+                private_hot_kb: 48,
+                private_stream_kb: 128,
+                private_init_kb: 128,
+                // The scene (BVH nodes, triangles, textures) is shared,
+                // read by every thread, and far larger than one node's
+                // aggregate cache — the footprint stays per-machine, not
+                // per-thread, so a 64-thread run keeps realistic directory
+                // pressure without an exploding working set.
+                shared_hot_kb: 256,
+                shared_stream_kb: 16384,
+                shared_fraction: 0.66,
+                private_stream_fraction: 0.18,
+                shared_stream_fraction: 0.58,
+                write_fraction: 0.24,
+                shared_write_fraction: 0.01,
                 shared_init_by_thread0: false,
             },
             Benchmark::Streamcluster => BenchmarkProfile {
@@ -385,20 +416,34 @@ mod tests {
     }
 
     #[test]
-    fn extended_adds_streamcluster_without_touching_the_paper_set() {
-        assert_eq!(Benchmark::EXTENDED.len(), Benchmark::ALL.len() + 1);
+    fn extended_adds_benchmarks_without_touching_the_paper_set() {
+        assert_eq!(Benchmark::EXTENDED.len(), Benchmark::ALL.len() + 2);
         assert!(Benchmark::EXTENDED.starts_with(&Benchmark::ALL));
         assert!(!Benchmark::ALL.contains(&Benchmark::Streamcluster));
+        assert!(!Benchmark::ALL.contains(&Benchmark::Raytrace));
         assert_eq!(
             Benchmark::from_name("streamcluster"),
             Some(Benchmark::Streamcluster)
         );
+        assert_eq!(Benchmark::from_name("raytrace"), Some(Benchmark::Raytrace));
         // Mostly-shared, read-dominated: the profile shape the benchmark
         // is known for.
         let p = Benchmark::Streamcluster.profile();
         assert!(p.shared_fraction > 0.5);
         assert!(p.shared_write_fraction < p.write_fraction);
         assert!(p.shared_footprint_kb() > p.private_footprint_kb());
+    }
+
+    #[test]
+    fn raytrace_is_sharing_dominated_with_small_private_state() {
+        // The scaled-machine profile: most traffic targets the shared
+        // scene, shared writes are negligible, and the per-thread private
+        // footprint is small enough that 64 threads fit one machine.
+        let p = Benchmark::Raytrace.profile();
+        assert!(p.shared_fraction > 0.6);
+        assert!(p.shared_write_fraction <= 0.01);
+        assert!(p.shared_footprint_kb() > 4 * p.private_footprint_kb());
+        assert!(p.private_footprint_kb() < 512);
     }
 
     #[test]

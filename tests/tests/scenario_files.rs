@@ -2,7 +2,9 @@
 //! the constructors in `allarm_bench` (regenerate with
 //! `cargo run -p allarm-bench --bin export_scenarios`).
 
-use allarm_bench::{fig3_grid, fig3h_grid, fig4_grid, streamcluster_grid};
+use allarm_bench::{
+    fig3_grid, fig3h_grid, fig4_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
+};
 use allarm_core::{ExperimentConfig, ScenarioGrid};
 use std::path::Path;
 
@@ -25,6 +27,31 @@ fn checked_in_grids_match_the_constructors() {
         load("streamcluster_comparison.toml"),
         streamcluster_grid(&cfg)
     );
+    let scale64 = ExperimentConfig::scale64();
+    assert_eq!(load("scale64_comparison.toml"), scale64_grid(&scale64));
+    assert_eq!(
+        load("scale64_pf_sweep.toml"),
+        scale64_pf_sweep_grid(&scale64)
+    );
+}
+
+/// Scenario documents from before the multi-core-node refactor carry no
+/// `cores_per_node` field; they must keep parsing as one-core-per-node
+/// machines so every historical grid is still byte-compatible.
+#[test]
+fn pre_topology_documents_default_to_one_core_per_node() {
+    let text = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios/fig3_comparison.toml"),
+    )
+    .unwrap();
+    let stripped: String = text
+        .lines()
+        .filter(|l| !l.starts_with("cores_per_node"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let grid = ScenarioGrid::from_toml(&stripped).unwrap();
+    assert_eq!(grid.base.machine.cores_per_node.get(), 1);
+    assert_eq!(grid, fig3_grid(&ExperimentConfig::paper()));
 }
 
 #[test]
@@ -50,4 +77,16 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
         "streamcluster"
     );
     streamcluster.validate().unwrap();
+
+    let scale64 = load("scale64_comparison.toml");
+    assert_eq!(scale64.len(), 6); // 3 benchmarks x 2 policies
+    assert_eq!(scale64.base.machine.num_cores, 64);
+    assert_eq!(scale64.base.machine.cores_per_node.get(), 4);
+    assert_eq!(scale64.base.machine.num_nodes(), 16);
+    scale64.validate().unwrap();
+
+    let sweep = load("scale64_pf_sweep.toml");
+    assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
+    assert_eq!(sweep.pf_coverages, allarm_core::SCALE64_COVERAGES.to_vec());
+    sweep.validate().unwrap();
 }

@@ -11,13 +11,18 @@
 //! determinism gate complements this by diffing `scenario_run
 //! --sim-threads 4` output on the *full* fig3 grid.
 
-use allarm_bench::{fig3_grid, fig3h_grid, fig4_grid, streamcluster_grid};
+use allarm_bench::{
+    fig3_grid, fig3h_grid, fig4_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
+};
 use allarm_core::{BatchRunner, ExperimentConfig, JsonlSink, Scenario};
 
 /// The checked-in grids, scaled down to test length (large grids
-/// subsampled with stride 4).
+/// subsampled with stride 4). The scale64 grids put the multi-core-node
+/// topology — where a shard owns whole nodes, i.e. blocks of four cores —
+/// under the same byte-identity requirement as the paper machines.
 fn scaled_grids() -> Vec<(&'static str, Vec<Scenario>)> {
     let cfg = ExperimentConfig::paper().with_accesses_per_thread(700);
+    let scale64 = ExperimentConfig::scale64().with_accesses_per_thread(400);
     let stride4 = |v: Vec<Scenario>| -> Vec<Scenario> { v.into_iter().step_by(4).collect() };
     vec![
         ("fig3_comparison", fig3_grid(&cfg).expand()),
@@ -26,6 +31,18 @@ fn scaled_grids() -> Vec<(&'static str, Vec<Scenario>)> {
         (
             "streamcluster_comparison",
             streamcluster_grid(&cfg).expand(),
+        ),
+        ("scale64_comparison", scale64_grid(&scale64).expand()),
+        (
+            // Stride 3 keeps both policies represented (policy is the
+            // fastest-varying axis, so stride 4 would sample only
+            // baselines).
+            "scale64_pf_sweep",
+            scale64_pf_sweep_grid(&scale64)
+                .expand()
+                .into_iter()
+                .step_by(3)
+                .collect(),
         ),
     ]
 }
