@@ -4,10 +4,13 @@
 //! run (or full JSONL reports with `--json`). `--output` streams results to
 //! disk as they complete — JSONL, or CSV when the path ends in `.csv` —
 //! `--resume` continues an interrupted `--output` sweep by skipping the
-//! grid indices already recorded in the file, `--sim-threads` shards every
-//! run across worker threads (byte-identical results; see the README's
-//! parallelism section), and `--accesses` overrides the per-thread trace
-//! length (for smoke runs of checked-in grids).
+//! grid indices already recorded in the file — after verifying the
+//! recorded rows still match the batch, so resuming under different
+//! settings (e.g. another `--accesses`) fails cleanly instead of mixing
+//! rows — `--sim-threads` shards every run across worker threads
+//! (byte-identical results; see the README's parallelism section), and
+//! `--accesses` overrides the per-thread trace length (for smoke runs of
+//! checked-in grids; trace-file replays keep their recorded length).
 //!
 //! ```text
 //! cargo run --release -p allarm-bench --bin scenario_run -- scenarios/fig3_comparison.toml
@@ -18,8 +21,10 @@
 //!     --resume --output results.jsonl scenarios/scale64_pf_sweep.toml
 //! ```
 
-use allarm_bench::parse_scenario_doc;
-use allarm_core::{BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink};
+use allarm_bench::load_scenario_doc;
+use allarm_core::{
+    verify_resume_rows, BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink, ResumeScan,
+};
 use std::collections::HashSet;
 use std::process::ExitCode;
 
@@ -79,21 +84,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let is_toml = !path.ends_with(".json");
-    let doc = match parse_scenario_doc(&text, is_toml) {
+    // Format sniffing (case-insensitive .json check) and trace-path
+    // resolution live in the shared loader.
+    let doc = match load_scenario_doc(&path) {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!("{path}: {e}");
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    // Document-level validation catches grid-axis problems (e.g. a
+    // benchmark sweep over a trace replay) that per-scenario validation
+    // inside the runner cannot see.
+    if let Err(e) = doc.validate() {
+        eprintln!("{path}: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let mut scenarios = doc.expand();
     if let Some(n) = sim_threads {
@@ -157,8 +163,11 @@ fn main() -> ExitCode {
 }
 
 /// Streams the batch into a file-backed sink: CSV when the path ends in
-/// `.csv`, JSONL otherwise. With `resume`, indices already recorded in the
-/// output file are skipped and new rows append after them.
+/// `.csv`, JSONL otherwise. With `resume`, the partially-written output is
+/// first *scanned and verified* against the batch — a file recorded under
+/// different settings (an `--accesses` override, an edited document, the
+/// wrong file) fails here with the output untouched — then the recorded
+/// indices are skipped and new rows append after them.
 fn run_to_file(
     runner: &BatchRunner,
     scenarios: &[allarm_core::Scenario],
@@ -167,14 +176,14 @@ fn run_to_file(
     resume: bool,
 ) -> ExitCode {
     fn run_into<S: ResultSink>(
-        created: std::io::Result<(S, HashSet<usize>)>,
+        created: Result<(S, HashSet<usize>), String>,
         finish: impl FnOnce(S) -> std::io::Result<()>,
         runner: &BatchRunner,
         scenarios: &[allarm_core::Scenario],
         doc_path: &str,
         output: &str,
     ) -> Result<(), String> {
-        let (mut sink, completed) = created.map_err(|e| format!("cannot open {output}: {e}"))?;
+        let (mut sink, completed) = created?;
         if !completed.is_empty() {
             eprintln!(
                 "[scenario_run] resuming {output}: {} of {} row(s) already recorded",
@@ -188,15 +197,39 @@ fn run_to_file(
         finish(sink).map_err(|e| format!("writing {output}: {e}"))
     }
 
-    fn fresh<S>(created: std::io::Result<S>) -> std::io::Result<(S, HashSet<usize>)> {
-        created.map(|s| (s, HashSet::new()))
+    /// Scan (read-only) → verify the recorded rows against the batch →
+    /// reopen for append. A verification failure leaves the output file
+    /// byte-identical to how the interruption left it.
+    fn resumed<S>(
+        scanned: std::io::Result<ResumeScan>,
+        reopen: impl FnOnce(&ResumeScan) -> std::io::Result<S>,
+        scenarios: &[allarm_core::Scenario],
+        output: &str,
+    ) -> Result<(S, HashSet<usize>), String> {
+        let scan = scanned.map_err(|e| format!("cannot read {output}: {e}"))?;
+        verify_resume_rows(scenarios, scan.rows())
+            .map_err(|e| format!("cannot resume {output}: {e}"))?;
+        let sink = reopen(&scan).map_err(|e| format!("cannot open {output}: {e}"))?;
+        Ok((sink, scan.completed()))
     }
+
+    fn fresh<S>(created: std::io::Result<S>, output: &str) -> Result<(S, HashSet<usize>), String> {
+        created
+            .map(|s| (s, HashSet::new()))
+            .map_err(|e| format!("cannot open {output}: {e}"))
+    }
+
     let result = if output.ends_with(".csv") {
         run_into(
             if resume {
-                CsvFileSink::resume(output)
+                resumed(
+                    CsvFileSink::scan(output),
+                    |scan| CsvFileSink::resume_scanned(output, scan),
+                    scenarios,
+                    output,
+                )
             } else {
-                fresh(CsvFileSink::create(output))
+                fresh(CsvFileSink::create(output), output)
             },
             CsvFileSink::finish,
             runner,
@@ -207,9 +240,14 @@ fn run_to_file(
     } else {
         run_into(
             if resume {
-                JsonlFileSink::resume(output)
+                resumed(
+                    JsonlFileSink::scan(output),
+                    |scan| JsonlFileSink::resume_scanned(output, scan),
+                    scenarios,
+                    output,
+                )
             } else {
-                fresh(JsonlFileSink::create(output))
+                fresh(JsonlFileSink::create(output), output)
             },
             JsonlFileSink::finish,
             runner,

@@ -1,0 +1,143 @@
+//! Records and inspects on-disk trace files (`allarm_workloads::tracefile`).
+//!
+//! `record` materializes the workload of a scenario document — the first
+//! expansion point's `(workload, seed)` — and dumps it to a trace file in
+//! either format, ready for replay through `WorkloadSpec::TraceFile`.
+//! `info` prints a header summary (name, threads, pinning, access counts,
+//! checksum) without decoding the body.
+//!
+//! ```text
+//! cargo run --release -p allarm-bench --bin trace_tool -- \
+//!     record --format binary --out scenarios/tracefile_sample.trace scenarios/tracefile_source.toml
+//! cargo run --release -p allarm-bench --bin trace_tool -- info scenarios/tracefile_sample.trace
+//! ```
+//!
+//! Recording is deterministic (the workload is a pure function of the
+//! document's spec and seed), so CI regenerates the committed sample trace
+//! and diffs it byte-for-byte against the checked-in file.
+
+use allarm_bench::load_scenario_doc;
+use allarm_workloads::tracefile::{self, TraceFormat};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace_tool record [--format text|binary] --out <trace-file> \
+     <scenario.toml|scenario.json>\n       trace_tool info <trace-file>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let mut format = TraceFormat::Binary;
+    let mut out: Option<String> = None;
+    let mut doc_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().and_then(|f| TraceFormat::from_cli_name(f)) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("--format needs `text` or `binary`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other if doc_path.is_none() => doc_path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(out), Some(doc_path)) = (out, doc_path) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let doc = match load_scenario_doc(&doc_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = doc.expand();
+    let Some(scenario) = scenarios.first() else {
+        eprintln!("{doc_path}: document expands to no scenarios");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = scenario.validate() {
+        eprintln!("{doc_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let workload = scenario.workload();
+    if let Err(e) = tracefile::write_trace_file(&out, &workload, format) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[trace_tool] recorded `{}` ({} thread(s), {} accesses, checksum {:016x}) to {out} as {}",
+        workload.name,
+        workload.threads.len(),
+        workload.total_accesses(),
+        workload.checksum(),
+        format.name(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let header = match tracefile::read_header(path) {
+        Ok(header) => header,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("trace:          {path}");
+    println!(
+        "format:         {} (v{})",
+        header.format.name(),
+        header.version
+    );
+    println!("name:           {}", header.name);
+    println!("threads:        {}", header.threads.len());
+    println!("cores required: {}", header.cores_required());
+    println!("total accesses: {}", header.total_accesses());
+    match header.checksum {
+        Some(c) => println!("checksum:       {c:016x}"),
+        None => println!("checksum:       (none recorded; verified against the body on replay)"),
+    }
+    println!("{:>8} {:>6} {:>12}", "thread", "core", "accesses");
+    for t in &header.threads {
+        println!(
+            "{:>8} {:>6} {:>12}",
+            t.thread.raw(),
+            t.core.raw(),
+            t.accesses
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -10,8 +10,9 @@
 use allarm_core::{
     AllocationPolicy, BatchRunner, Comparison, ExperimentConfig, Scenario, ScenarioGrid,
 };
-use allarm_workloads::Benchmark;
+use allarm_workloads::{Benchmark, TraceFormat, WorkloadSpec};
 use serde::Deserialize as _;
+use std::path::Path;
 
 /// Reads the experiment scale from the `ALLARM_ACCESSES` environment
 /// variable (main-phase accesses per thread) and the intra-run parallelism
@@ -89,6 +90,42 @@ pub fn scale64_pf_sweep_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
         .policies(AllocationPolicy::ALL.to_vec())
 }
 
+/// The benchmark the checked-in sample trace records.
+pub const TRACE_SAMPLE_BENCHMARK: Benchmark = Benchmark::Blackscholes;
+/// Worker threads of the sample-trace workload (kept small so the
+/// committed file stays a few tens of kilobytes).
+pub const TRACE_SAMPLE_THREADS: usize = 2;
+/// Main-phase references per thread of the sample-trace workload.
+pub const TRACE_SAMPLE_ACCESSES: usize = 1_000;
+/// File name of the committed sample trace, relative to `scenarios/` (the
+/// checked-in grid names it relative to itself).
+pub const TRACE_SAMPLE_FILE: &str = "tracefile_sample.trace";
+
+/// The generator side of the trace round trip: the grid whose base
+/// workload `trace_tool record` dumps to produce the committed sample
+/// trace, and whose direct runs the trace replay must reproduce
+/// byte-identically. Also checked in as `scenarios/tracefile_source.toml`.
+pub fn tracefile_source_grid() -> ScenarioGrid {
+    let mut base = Scenario::paper(TRACE_SAMPLE_BENCHMARK, AllocationPolicy::Baseline);
+    base.workload = WorkloadSpec::threads(
+        TRACE_SAMPLE_BENCHMARK,
+        TRACE_SAMPLE_THREADS,
+        TRACE_SAMPLE_ACCESSES,
+    );
+    ScenarioGrid::new(base).policies(AllocationPolicy::ALL.to_vec())
+}
+
+/// The replay side: the same machine and policies as
+/// [`tracefile_source_grid`], but driven by the committed sample trace
+/// through [`WorkloadSpec::TraceFile`]. Also checked in as
+/// `scenarios/tracefile_comparison.toml`; the CI round-trip gate diffs its
+/// JSONL output against the source grid's.
+pub fn tracefile_comparison_grid() -> ScenarioGrid {
+    let mut grid = tracefile_source_grid();
+    grid.base.workload = WorkloadSpec::trace_file(TRACE_SAMPLE_FILE, TraceFormat::Binary);
+    grid
+}
+
 /// The grid behind Fig. 4: the SPLASH2 subset as two-process workloads ×
 /// five probe-filter coverages × both policies. Also checked in as
 /// `scenarios/fig4_multiprocess.toml`.
@@ -138,32 +175,88 @@ impl ScenarioDoc {
             ScenarioDoc::Grid(g) => g.expand(),
         }
     }
+
+    /// Validates the document: the single scenario, or the whole grid —
+    /// including axis-level checks a per-scenario pass cannot see, such as
+    /// a benchmark sweep over a trace-replay base.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`allarm_core::ConfigError`] found.
+    pub fn validate(&self) -> Result<(), allarm_core::ConfigError> {
+        match self {
+            ScenarioDoc::Single(s) => s.validate(),
+            ScenarioDoc::Grid(g) => g.validate(),
+        }
+    }
+
+    /// Returns a copy with relative trace-file paths in the document's
+    /// workload joined onto `dir` (the document's own directory), so a
+    /// checked-in document can name its trace relative to itself and still
+    /// run from any working directory.
+    pub fn resolved_against(&self, dir: &Path) -> ScenarioDoc {
+        match self {
+            ScenarioDoc::Single(s) => {
+                let mut s = (**s).clone();
+                s.workload = s.workload.resolved_against(dir);
+                ScenarioDoc::Single(Box::new(s))
+            }
+            ScenarioDoc::Grid(g) => {
+                let mut g = (**g).clone();
+                g.base.workload = g.base.workload.resolved_against(dir);
+                ScenarioDoc::Grid(Box::new(g))
+            }
+        }
+    }
 }
 
-/// Parses a scenario document from TOML (`.toml`) or JSON (anything else).
-/// A document whose *top level* has a `base` table is a [`ScenarioGrid`];
-/// otherwise it is a single [`Scenario`]. (The detection is structural —
-/// parsed, not substring-matched — so a scenario merely *named* "base" is
-/// not misclassified.)
+/// Parses a scenario document from TOML or JSON (the caller picks, e.g. by
+/// file extension — see [`load_scenario_doc`]). A document whose *top
+/// level* has a `base` table is a [`ScenarioGrid`]; otherwise it is a
+/// single [`Scenario`]. (The detection is structural — parsed, not
+/// substring-matched — so a scenario merely *named* "base" is not
+/// misclassified.)
 ///
 /// # Errors
 ///
-/// Returns an error string describing the first malformed field.
+/// Returns an error string describing the first malformed field, naming
+/// the format the text was parsed as (so a mis-extensioned file points at
+/// the real problem).
 pub fn parse_scenario_doc(text: &str, is_toml: bool) -> Result<ScenarioDoc, String> {
+    let fmt = if is_toml { "TOML" } else { "JSON" };
     let tree: serde::Value = if is_toml {
-        toml::from_str(text).map_err(|e| format!("invalid scenario document: {e}"))?
+        toml::from_str(text)
+            .map_err(|e| format!("invalid scenario document (parsed as {fmt}): {e}"))?
     } else {
-        serde_json::from_str(text).map_err(|e| format!("invalid scenario document: {e}"))?
+        serde_json::from_str(text)
+            .map_err(|e| format!("invalid scenario document (parsed as {fmt}): {e}"))?
     };
     if tree.get("base").is_some() {
         ScenarioGrid::from_value(&tree)
             .map(|g| ScenarioDoc::Grid(Box::new(g)))
-            .map_err(|e| format!("invalid scenario grid: {e}"))
+            .map_err(|e| format!("invalid scenario grid (parsed as {fmt}): {e}"))
     } else {
         Scenario::from_value(&tree)
             .map(|s| ScenarioDoc::Single(Box::new(s)))
-            .map_err(|e| format!("invalid scenario: {e}"))
+            .map_err(|e| format!("invalid scenario (parsed as {fmt}): {e}"))
     }
+}
+
+/// Loads a scenario document from disk: parsed as JSON when the path ends
+/// in `.json` **case-insensitively** (so `GRID.JSON` is not fed to the
+/// TOML parser), TOML otherwise, with relative trace-file paths resolved
+/// against the document's directory.
+///
+/// # Errors
+///
+/// Returns an error string (prefixed with the path) for unreadable files
+/// or malformed documents.
+pub fn load_scenario_doc(path: &str) -> Result<ScenarioDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let is_toml = !path.to_ascii_lowercase().ends_with(".json");
+    let doc = parse_scenario_doc(&text, is_toml).map_err(|e| format!("{path}: {e}"))?;
+    let dir = Path::new(path).parent().unwrap_or_else(|| Path::new("."));
+    Ok(doc.resolved_against(dir))
 }
 
 #[cfg(test)]
@@ -222,8 +315,72 @@ mod tests {
     }
 
     #[test]
-    fn malformed_documents_are_rejected() {
-        assert!(parse_scenario_doc("nonsense", true).is_err());
-        assert!(parse_scenario_doc("{}", false).is_err());
+    fn malformed_documents_are_rejected_naming_the_assumed_format() {
+        let err = parse_scenario_doc("nonsense", true).unwrap_err();
+        assert!(err.contains("parsed as TOML"), "{err}");
+        let err = parse_scenario_doc("{}", false).unwrap_err();
+        assert!(err.contains("parsed as JSON"), "{err}");
+    }
+
+    #[test]
+    fn json_extension_is_sniffed_case_insensitively() {
+        let cfg = ExperimentConfig::quick_test();
+        let single = cfg.scenario(Benchmark::Barnes, AllocationPolicy::Allarm);
+        let dir = std::env::temp_dir().join(format!("allarm-bench-doc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.JSON");
+        std::fs::write(&path, single.to_json()).unwrap();
+        let doc = load_scenario_doc(path.to_str().unwrap()).unwrap();
+        assert_eq!(doc.expand(), vec![single]);
+        // A JSON payload under a .toml name fails, but the error now says
+        // which parser ran.
+        let toml_path = dir.join("grid.toml");
+        std::fs::write(&toml_path, "{ not toml }").unwrap();
+        let err = load_scenario_doc(toml_path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("parsed as TOML"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tracefile_grids_mirror_each_other() {
+        let source = tracefile_source_grid();
+        assert_eq!(source.len(), 2);
+        source.validate().unwrap();
+        assert_eq!(
+            source.base.workload,
+            allarm_workloads::WorkloadSpec::threads(
+                TRACE_SAMPLE_BENCHMARK,
+                TRACE_SAMPLE_THREADS,
+                TRACE_SAMPLE_ACCESSES
+            )
+        );
+
+        let replay = tracefile_comparison_grid();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay.base.machine, source.base.machine);
+        assert_eq!(replay.base.seed, source.base.seed);
+        assert_eq!(
+            replay.base.workload,
+            allarm_workloads::WorkloadSpec::trace_file(TRACE_SAMPLE_FILE, TraceFormat::Binary)
+        );
+    }
+
+    #[test]
+    fn tracefile_comparison_grid_validates_against_the_committed_sample() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+        let mut grid = tracefile_comparison_grid();
+        grid.base.workload = grid.base.workload.resolved_against(&dir);
+        grid.validate().unwrap();
+        assert_eq!(grid.base.workload.cores_required(), TRACE_SAMPLE_THREADS);
+        // The committed trace is exactly what the source grid's workload
+        // generates, so the replayed stream checksums identically.
+        let source = tracefile_source_grid();
+        let recorded = source.base.workload.materialize(source.base.seed);
+        assert_eq!(
+            grid.base.workload.materialize(source.base.seed),
+            recorded,
+            "scenarios/{TRACE_SAMPLE_FILE} has drifted from the generator — \
+             regenerate it with `trace_tool record`"
+        );
     }
 }

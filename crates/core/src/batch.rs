@@ -116,14 +116,68 @@ fn complete_lines(text: &str) -> std::vec::IntoIter<&str> {
     lines.into_iter()
 }
 
-/// Extracts the scenario index from one [`JsonlSink`]-format line, if the
-/// line is complete and well-formed.
-fn jsonl_index(line: &str) -> Option<usize> {
-    let value: serde::Value = serde_json::from_str(line).ok()?;
-    match value.get("index")? {
-        serde::Value::U64(index) => Some(*index as usize),
-        _ => None,
+/// One completed row recovered from a partially-written output file: the
+/// identity a resumed sweep verifies against the current batch before any
+/// new row is appended (see [`verify_resume_rows`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedRow {
+    /// The scenario's position in the batch when the row was written.
+    pub index: usize,
+    /// The recorded scenario name.
+    pub scenario: String,
+    /// The recorded report's total replayed memory references.
+    pub total_accesses: u64,
+}
+
+/// The read-only result of scanning a partially-written output file: the
+/// complete lines to keep and the [`RecordedRow`]s they describe. Produced
+/// by [`JsonlFileSink::scan`] / [`CsvFileSink::scan`] **without touching
+/// the file**, so mismatches found by [`verify_resume_rows`] leave an
+/// interrupted sweep's output exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeScan {
+    keep: Vec<String>,
+    rows: Vec<RecordedRow>,
+}
+
+impl ResumeScan {
+    /// The recovered rows, in file order.
+    pub fn rows(&self) -> &[RecordedRow] {
+        &self.rows
     }
+
+    /// The scenario indices already recorded (the `completed` set for
+    /// [`BatchRunner::run_with_sink_resuming`]).
+    pub fn completed(&self) -> HashSet<usize> {
+        self.rows.iter().map(|r| r.index).collect()
+    }
+
+    fn keep_lines(&self) -> Vec<&str> {
+        self.keep.iter().map(String::as_str).collect()
+    }
+}
+
+/// Extracts the row identity — and the raw report tree, for schema
+/// checking — from one [`JsonlSink`]-format line, if the line is complete
+/// and well-formed.
+fn jsonl_row(line: &str) -> Option<(RecordedRow, serde::Value)> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    let serde::Value::U64(index) = value.get("index")? else {
+        return None;
+    };
+    let serde::Value::Str(scenario) = value.get("scenario")? else {
+        return None;
+    };
+    let report = value.get("report")?;
+    let serde::Value::U64(total_accesses) = report.get("total_accesses")? else {
+        return None;
+    };
+    let row = RecordedRow {
+        index: *index as usize,
+        scenario: scenario.clone(),
+        total_accesses: *total_accesses,
+    };
+    Some((row, report.clone()))
 }
 
 /// Renders one batch entry as the line format of [`JsonlSink`].
@@ -215,39 +269,85 @@ impl JsonlFileSink {
         })
     }
 
-    /// Reopens a partially-written output file for a resumed sweep.
-    ///
-    /// Complete lines are kept (a truncated final line from the
-    /// interruption is dropped) and the set of scenario indices they
-    /// record is returned, so the runner can skip those grid points and
-    /// the sweep continues instead of restarting. A missing file resumes
-    /// as an empty one.
+    /// Scans a partially-written output file **without modifying it**:
+    /// complete, well-formed lines are kept (a truncated final line from
+    /// the interruption is dropped) and their recorded row identities are
+    /// recovered, so the caller can cross-check them against the batch
+    /// ([`verify_resume_rows`]) before anything is rewritten. A missing
+    /// file scans as empty.
     ///
     /// # Errors
     ///
-    /// Returns the error of a failed read or reopen.
-    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<(Self, HashSet<usize>)> {
-        let path = path.as_ref();
+    /// Returns the error of a failed read, or `InvalidData` when a
+    /// recorded row's report does not deserialize under this build's
+    /// schema (the file was written by a different build — appending new
+    /// rows after it would break fresh-run byte-identity).
+    pub fn scan(path: impl AsRef<std::path::Path>) -> std::io::Result<ResumeScan> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
         let mut keep = Vec::new();
-        let mut completed = HashSet::new();
+        let mut rows = Vec::new();
         for line in complete_lines(&text) {
-            let Some(index) = jsonl_index(line) else {
+            let Some((row, report)) = jsonl_row(line) else {
                 // The first malformed line is where the interruption hit;
                 // everything after it is untrustworthy.
                 break;
             };
-            keep.push(line);
-            completed.insert(index);
+            // A line that carries a row identity but whose report no
+            // longer matches the current schema was written by a
+            // different build — appending rows of the new schema after it
+            // would break the file's fresh-run byte-identity, so refuse
+            // up front (the file stays untouched).
+            use serde::Deserialize as _;
+            if crate::metrics::SimReport::from_value(&report).is_err() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "row {} was recorded with an incompatible report schema \
+                         (written by a different build?) — re-run the sweep from scratch",
+                        row.index
+                    ),
+                ));
+            }
+            keep.push(line.to_string());
+            rows.push(row);
         }
-        let sink = JsonlFileSink {
-            out: FileWriter::reopen(path, &keep)?,
-        };
-        Ok((sink, completed))
+        Ok(ResumeScan { keep, rows })
+    }
+
+    /// Reopens `path` for appending after a [`JsonlFileSink::scan`]: the
+    /// scanned prefix is rewritten and new records append after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a failed reopen.
+    pub fn resume_scanned(
+        path: impl AsRef<std::path::Path>,
+        scan: &ResumeScan,
+    ) -> std::io::Result<Self> {
+        Ok(JsonlFileSink {
+            out: FileWriter::reopen(path, &scan.keep_lines())?,
+        })
+    }
+
+    /// Reopens a partially-written output file for a resumed sweep:
+    /// [`JsonlFileSink::scan`] followed by [`JsonlFileSink::resume_scanned`],
+    /// returning the recorded index set. Callers that may be resuming
+    /// under *changed settings* should scan, verify with
+    /// [`verify_resume_rows`], and only then reopen — this shortcut
+    /// rewrites the file before any cross-check can run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a failed read or reopen.
+    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<(Self, HashSet<usize>)> {
+        let path = path.as_ref();
+        let scan = Self::scan(path)?;
+        let sink = Self::resume_scanned(path, &scan)?;
+        Ok((sink, scan.completed()))
     }
 
     /// Flushes and closes the sink, surfacing the first I/O error hit
@@ -293,16 +393,18 @@ impl CsvFileSink {
         format!("index,scenario,{}", SimReport::CSV_HEADER)
     }
 
-    /// Reopens a partially-written CSV file for a resumed sweep: the
-    /// header and every complete row are kept, the recorded scenario
-    /// indices are returned, and new rows append after them. A missing or
-    /// headerless file resumes as a fresh one.
+    /// Scans a partially-written CSV file **without modifying it**: the
+    /// header and every complete row are kept and each row's identity is
+    /// recovered, so the caller can cross-check the rows against the batch
+    /// ([`verify_resume_rows`]) before anything is rewritten. A missing or
+    /// empty file (or one cut off mid-header) scans as fresh.
     ///
     /// # Errors
     ///
-    /// Returns the error of a failed read or reopen.
-    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<(Self, HashSet<usize>)> {
-        let path = path.as_ref();
+    /// Returns the error of a failed read, or `InvalidData` when the
+    /// file's header does not match this build's column set (recorded by
+    /// a different build — resuming would silently drop its rows).
+    pub fn scan(path: impl AsRef<std::path::Path>) -> std::io::Result<ResumeScan> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
@@ -310,32 +412,83 @@ impl CsvFileSink {
         };
         let mut lines = complete_lines(&text);
         let mut keep = vec![Self::header()];
-        let mut completed = HashSet::new();
-        if lines.next() == Some(Self::header().as_str()) {
-            let columns = Self::header().split(',').count();
+        let mut rows = Vec::new();
+        // A non-empty file whose (complete) first line is not the current
+        // header was recorded by a different build — resuming would
+        // silently truncate its rows, so refuse with the file untouched.
+        // (A missing file, an empty file, or one cut mid-header scans as
+        // fresh: nothing complete has been recorded yet.)
+        if let Some(first) = lines.next() {
+            let header = Self::header();
+            if first != header {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "the file's column header does not match this build's (recorded by \
+                     a different build?) — re-run the sweep from scratch",
+                ));
+            }
+            let columns: Vec<&str> = header.split(',').collect();
+            let total_at = columns
+                .iter()
+                .position(|&c| c == "total_accesses")
+                .expect("the report header has a total_accesses column");
             for line in lines {
                 // A complete row parses a leading index and has the full
                 // column count (commas inside quoted fields — escaped
                 // scenario names — don't split); the first row that
                 // doesn't marks the interruption point.
-                let Some(index) = line.split(',').next().and_then(|f| f.parse().ok()) else {
-                    break;
-                };
-                let Some(fields) = csv_field_count(line) else {
+                let Some(fields) = csv_fields(line) else {
                     break; // truncated inside a quoted field
                 };
-                if fields != columns {
+                if fields.len() != columns.len() {
                     break;
                 }
+                let (Ok(index), Ok(total_accesses)) =
+                    (fields[0].parse::<usize>(), fields[total_at].parse::<u64>())
+                else {
+                    break;
+                };
                 keep.push(line.to_string());
-                completed.insert(index);
+                rows.push(RecordedRow {
+                    index,
+                    scenario: fields[1].clone(),
+                    total_accesses,
+                });
             }
         }
-        let keep: Vec<&str> = keep.iter().map(String::as_str).collect();
-        let sink = CsvFileSink {
-            out: FileWriter::reopen(path, &keep)?,
-        };
-        Ok((sink, completed))
+        Ok(ResumeScan { keep, rows })
+    }
+
+    /// Reopens `path` for appending after a [`CsvFileSink::scan`]: the
+    /// header and scanned rows are rewritten and new rows append after
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a failed reopen.
+    pub fn resume_scanned(
+        path: impl AsRef<std::path::Path>,
+        scan: &ResumeScan,
+    ) -> std::io::Result<Self> {
+        Ok(CsvFileSink {
+            out: FileWriter::reopen(path, &scan.keep_lines())?,
+        })
+    }
+
+    /// Reopens a partially-written CSV file for a resumed sweep:
+    /// [`CsvFileSink::scan`] followed by [`CsvFileSink::resume_scanned`],
+    /// returning the recorded index set. As with
+    /// [`JsonlFileSink::resume`], callers resuming under possibly-changed
+    /// settings should scan and [`verify_resume_rows`] first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a failed read or reopen.
+    pub fn resume(path: impl AsRef<std::path::Path>) -> std::io::Result<(Self, HashSet<usize>)> {
+        let path = path.as_ref();
+        let scan = Self::scan(path)?;
+        let sink = Self::resume_scanned(path, &scan)?;
+        Ok((sink, scan.completed()))
     }
 
     /// Flushes and closes the sink, surfacing the first I/O error hit
@@ -361,25 +514,104 @@ impl ResultSink for CsvFileSink {
     }
 }
 
-/// Counts the fields of one CSV row, honouring [`csv_escape`]-style
+/// Splits one CSV row into unescaped fields, honouring [`csv_escape`]-style
 /// quoting (a comma inside a quoted field does not split; `""` is an
 /// escaped quote). Returns `None` if the row ends inside a quoted field —
 /// i.e. it was truncated mid-write.
-fn csv_field_count(line: &str) -> Option<usize> {
-    let mut fields = 1;
+fn csv_fields(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
     let mut in_quotes = false;
-    for c in line.chars() {
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
         match c {
-            '"' => in_quotes = !in_quotes,
-            ',' if !in_quotes => fields += 1,
-            _ => {}
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut current)),
+            c => current.push(c),
         }
     }
     if in_quotes {
-        None
-    } else {
-        Some(fields)
+        return None;
     }
+    fields.push(current);
+    Some(fields)
+}
+
+/// Cross-checks the rows recovered from a partially-written output file
+/// against the batch a resumed sweep is about to run, so a resume under
+/// different settings (an `--accesses` override, an edited scenario
+/// document, the wrong output file) fails **before** the file is rewritten
+/// instead of silently appending rows that were produced under other
+/// settings than the recorded ones.
+///
+/// Checks, per recorded row: the index exists in the batch, the recorded
+/// scenario name matches, and the recorded report's `total_accesses`
+/// equals what the current scenario's workload materializes to (workloads
+/// are materialized at most once per distinct `(spec, seed)` pair, the
+/// same sharing rule the runner uses).
+///
+/// # Errors
+///
+/// Returns a `resume` [`ConfigError`] describing the first mismatch, or
+/// the underlying validation error if a row's scenario is itself invalid.
+pub fn verify_resume_rows(scenarios: &[Scenario], rows: &[RecordedRow]) -> Result<(), ConfigError> {
+    let mut totals: Vec<(usize, u64)> = Vec::new();
+    for row in rows {
+        let Some(scenario) = scenarios.get(row.index) else {
+            return Err(ConfigError::new(
+                "resume",
+                format!(
+                    "output file records scenario index {} but the batch has only {} \
+                     scenario(s) — resuming against the wrong file?",
+                    row.index,
+                    scenarios.len()
+                ),
+            ));
+        };
+        if scenario.name != row.scenario {
+            return Err(ConfigError::new(
+                "resume",
+                format!(
+                    "output row {} records scenario `{}` but the batch expects `{}` — was \
+                     the scenario document edited since the file was written?",
+                    row.index, row.scenario, scenario.name
+                ),
+            ));
+        }
+        scenario.validate()?;
+        let expected = match totals.iter().find(|&&(i, _)| {
+            scenarios[i].workload == scenario.workload && scenarios[i].seed == scenario.seed
+        }) {
+            Some(&(_, total)) => total,
+            None => {
+                // Trace replays answer from their header; generated specs
+                // materialize once per distinct (spec, seed).
+                let total = scenario.workload.total_accesses(scenario.seed);
+                totals.push((row.index, total));
+                total
+            }
+        };
+        if expected != row.total_accesses {
+            return Err(ConfigError::new(
+                "resume",
+                format!(
+                    "output row {} (`{}`) records {} total accesses but the current \
+                     settings produce {} — resumed with a different --accesses override \
+                     or an edited workload?",
+                    row.index, row.scenario, row.total_accesses, expected
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Quotes a CSV field if it contains a comma, quote or newline.
@@ -935,12 +1167,15 @@ mod tests {
 
     #[test]
     fn csv_field_count_honours_quoting() {
-        assert_eq!(csv_field_count("a,b,c"), Some(3));
-        assert_eq!(csv_field_count("0,\"a,b\",c"), Some(3));
-        assert_eq!(csv_field_count("0,\"say \"\"hi\"\",now\",c"), Some(3));
+        assert_eq!(csv_fields("a,b,c").map(|f| f.len()), Some(3));
+        assert_eq!(csv_fields("0,\"a,b\",c").map(|f| f.len()), Some(3));
+        assert_eq!(
+            csv_fields("0,\"say \"\"hi\"\",now\",c").map(|f| f.len()),
+            Some(3)
+        );
         // Truncated inside a quoted field.
-        assert_eq!(csv_field_count("0,\"a,b"), None);
-        assert_eq!(csv_field_count(""), Some(1));
+        assert_eq!(csv_fields("0,\"a,b"), None);
+        assert_eq!(csv_fields("").map(|f| f.len()), Some(1));
     }
 
     #[test]
@@ -1016,6 +1251,139 @@ mod tests {
         assert_eq!(completed, HashSet::from([0]));
         sink.finish().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_recovers_row_identities_without_touching_the_file() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(2).collect();
+        let dir = std::env::temp_dir().join(format!("allarm-scan-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, scan) in [("scan.jsonl", false), ("scan.csv", true)] {
+            let path = dir.join(name);
+            if scan {
+                let mut sink = CsvFileSink::create(&path).unwrap();
+                BatchRunner::with_threads(1)
+                    .run_with_sink(&scenarios, &mut sink)
+                    .unwrap();
+                sink.finish().unwrap();
+            } else {
+                let mut sink = JsonlFileSink::create(&path).unwrap();
+                BatchRunner::with_threads(1)
+                    .run_with_sink(&scenarios, &mut sink)
+                    .unwrap();
+                sink.finish().unwrap();
+            }
+            let before = std::fs::read_to_string(&path).unwrap();
+            let result = if scan {
+                CsvFileSink::scan(&path).unwrap()
+            } else {
+                JsonlFileSink::scan(&path).unwrap()
+            };
+            // The file is untouched by scanning.
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+            assert_eq!(result.rows().len(), 2);
+            assert_eq!(result.completed(), HashSet::from([0, 1]));
+            for (row, scenario) in result.rows().iter().zip(&scenarios) {
+                assert_eq!(row.scenario, scenario.name);
+                assert_eq!(
+                    row.total_accesses,
+                    scenario.workload().total_accesses() as u64
+                );
+            }
+            // And the recovered rows verify against the batch they came
+            // from.
+            verify_resume_rows(&scenarios, result.rows()).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_resume_rows_rejects_changed_access_counts() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(2).collect();
+        let rows = vec![RecordedRow {
+            index: 0,
+            scenario: scenarios[0].name.clone(),
+            total_accesses: scenarios[0].workload().total_accesses() as u64,
+        }];
+        verify_resume_rows(&scenarios, &rows).unwrap();
+
+        // The same file resumed after an `--accesses`-style override: the
+        // recorded volume no longer matches what the spec would produce.
+        let overridden: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| s.clone().with_accesses(99))
+            .collect();
+        let err = verify_resume_rows(&overridden, &rows).unwrap_err();
+        assert_eq!(err.field(), "resume");
+        assert!(err.reason().contains("total accesses"), "{err}");
+    }
+
+    #[test]
+    fn verify_resume_rows_rejects_renamed_scenarios_and_stray_indices() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(2).collect();
+        let err = verify_resume_rows(
+            &scenarios,
+            &[RecordedRow {
+                index: 0,
+                scenario: "someone-else/baseline".into(),
+                total_accesses: 1,
+            }],
+        )
+        .unwrap_err();
+        assert!(err.reason().contains("edited"), "{err}");
+
+        let err = verify_resume_rows(
+            &scenarios,
+            &[RecordedRow {
+                index: 9,
+                scenario: "x".into(),
+                total_accesses: 1,
+            }],
+        )
+        .unwrap_err();
+        assert!(err.reason().contains("wrong file"), "{err}");
+    }
+
+    #[test]
+    fn files_recorded_by_other_builds_are_refused_untouched() {
+        let dir = std::env::temp_dir().join(format!("allarm-schema-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A CSV with an older/foreign column header: scan must refuse
+        // (resuming would silently truncate its rows) and not modify it.
+        let csv_path = dir.join("old.csv");
+        let old_csv =
+            "index,scenario,workload,policy,runtime_ns\n0,barnes/baseline,barnes,baseline,12\n";
+        std::fs::write(&csv_path, old_csv).unwrap();
+        let err = CsvFileSink::scan(&csv_path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), old_csv);
+
+        // A JSONL row whose report lacks fields of the current schema:
+        // same refusal, file untouched.
+        let jsonl_path = dir.join("old.jsonl");
+        let old_jsonl =
+            "{\"index\":0,\"scenario\":\"barnes/baseline\",\"report\":{\"total_accesses\":5}}\n";
+        std::fs::write(&jsonl_path, old_jsonl).unwrap();
+        let err = JsonlFileSink::scan(&jsonl_path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(std::fs::read_to_string(&jsonl_path).unwrap(), old_jsonl);
+
+        // An empty existing file still scans as fresh.
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "").unwrap();
+        assert!(CsvFileSink::scan(&empty).unwrap().rows().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_fields_unescapes_quoted_names() {
+        assert_eq!(
+            csv_fields("0,\"say \"\"hi\"\",now\",c").unwrap(),
+            vec!["0", "say \"hi\",now", "c"]
+        );
+        assert_eq!(csv_fields("a,b").unwrap(), vec!["a", "b"]);
+        assert_eq!(csv_fields("0,\"open"), None);
     }
 
     #[test]

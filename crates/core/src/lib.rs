@@ -58,8 +58,8 @@ pub mod simulator;
 pub mod system;
 
 pub use batch::{
-    BatchEntry, BatchResults, BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink,
-    VecSink,
+    verify_resume_rows, BatchEntry, BatchResults, BatchRunner, CsvFileSink, JsonlFileSink,
+    JsonlSink, RecordedRow, ResultSink, ResumeScan, VecSink,
 };
 pub use builder::SimulationBuilder;
 pub use experiment::{
@@ -76,4 +76,4 @@ pub use allarm_coherence::AllocationPolicy;
 pub use allarm_mem::NumaPolicy;
 pub use allarm_types::config::MachineConfig;
 pub use allarm_types::error::ConfigError;
-pub use allarm_workloads::{Benchmark, Workload, WorkloadSpec};
+pub use allarm_workloads::{Benchmark, TraceFormat, Workload, WorkloadSpec};

@@ -56,6 +56,12 @@ pub struct SimReport {
     pub local_probes_hidden: u64,
     /// Dynamic energy consumed by the NoC and probe filters (Fig. 3f).
     pub energy: DynamicEnergy,
+    /// Provenance: [`allarm_workloads::Workload::checksum`] of the replayed
+    /// reference stream. For a trace-file replay this equals the checksum
+    /// recorded in the file's header, so an externally-sourced run is
+    /// verifiable — and a replay of a recorded workload produces a report
+    /// byte-identical to the direct run's.
+    pub workload_checksum: u64,
 }
 
 impl SimReport {
@@ -66,7 +72,7 @@ impl SimReport {
          remote_requests,pf_allocations,pf_evictions,eviction_messages,\
          eviction_invalidations,allarm_allocation_skips,noc_bytes,noc_messages,\
          dram_reads,dram_writes,local_probes,local_probe_hits,local_probes_hidden,\
-         noc_pj,probe_filter_pj";
+         noc_pj,probe_filter_pj,workload_checksum";
 
     /// Renders the report as one flat CSV row matching
     /// [`SimReport::CSV_HEADER`]. Workload and policy names never contain
@@ -74,7 +80,7 @@ impl SimReport {
     /// applied here.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:016x}",
             self.workload,
             self.policy,
             self.pf_coverage_bytes,
@@ -100,6 +106,7 @@ impl SimReport {
             self.local_probes_hidden,
             self.energy.noc_pj,
             self.energy.probe_filter_pj,
+            self.workload_checksum,
         )
     }
 
@@ -257,7 +264,19 @@ mod tests {
                 noc_pj: 100.0,
                 probe_filter_pj: 60.0,
             },
+            workload_checksum: 0xdead_beef_0123_4567,
         }
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity_and_carries_the_checksum() {
+        let r = report("barnes", "baseline", 10);
+        let row = r.csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            SimReport::CSV_HEADER.split(',').count()
+        );
+        assert!(row.ends_with("deadbeef01234567"), "{row}");
     }
 
     #[test]

@@ -133,15 +133,12 @@ impl Scenario {
     }
 
     /// Returns a copy with a different allocation policy (name updated to
-    /// match if it was the default `benchmark/policy` form).
+    /// match if it was the default `workload/policy` form).
     pub fn with_policy(mut self, policy: AllocationPolicy) -> Self {
-        let default_name = format!(
-            "{}/{}",
-            self.workload.benchmark().name(),
-            self.policy.name()
-        );
+        let label = self.workload.label();
+        let default_name = format!("{}/{}", label, self.policy.name());
         if self.name == default_name {
-            self.name = format!("{}/{}", self.workload.benchmark().name(), policy.name());
+            self.name = format!("{}/{}", label, policy.name());
         }
         self.policy = policy;
         self
@@ -392,8 +389,18 @@ impl ScenarioGrid {
     ///
     /// # Errors
     ///
-    /// Returns the first [`ConfigError`] found across the expansion.
+    /// Returns the first [`ConfigError`] found across the expansion, or a
+    /// `benchmarks` error when the axis is swept over a trace-replay base
+    /// (a trace fixes the reference stream, so every point would replay
+    /// the identical workload under a misleading benchmark label).
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.benchmarks.is_empty() && self.base.workload.benchmark().is_none() {
+            return Err(ConfigError::new(
+                "benchmarks",
+                "cannot sweep the benchmark axis over a trace-replay workload — the \
+                 trace file fixes the reference stream",
+            ));
+        }
         for scenario in self.expand() {
             scenario.validate()?;
         }
@@ -428,8 +435,9 @@ fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
     }
 }
 
-/// Builds the `benchmark[/coverage][/numa]/policy` name of one grid point;
-/// axes that are not swept are omitted (except the benchmark and policy,
+/// Builds the `workload[/coverage][/numa]/policy` name of one grid point;
+/// axes that are not swept are omitted (except the workload label — the
+/// benchmark name, or a replayed trace's recorded name — and the policy,
 /// which always appear so reports stay self-describing).
 fn grid_point_name(
     scenario: &Scenario,
@@ -441,9 +449,8 @@ fn grid_point_name(
     let mut parts: Vec<String> = Vec::new();
     parts.push(
         bench
-            .unwrap_or_else(|| scenario.workload.benchmark())
-            .name()
-            .to_string(),
+            .map(|b| b.name().to_string())
+            .unwrap_or_else(|| scenario.workload.label()),
     );
     if let Some(c) = coverage {
         parts.push(format!("{}kB", c / 1024));
@@ -558,6 +565,17 @@ mod tests {
         assert_eq!(scenarios[0].name, "barnes/512kB/baseline");
         assert_eq!(scenarios[1].name, "barnes/64kB/baseline");
         assert_eq!(scenarios[1].machine.probe_filter.coverage_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn benchmark_axis_over_a_trace_replay_is_rejected() {
+        let mut base = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
+        base.workload =
+            WorkloadSpec::trace_file("capture.trace", allarm_workloads::TraceFormat::Binary);
+        let grid = ScenarioGrid::new(base).benchmarks(vec![Benchmark::Barnes, Benchmark::X264]);
+        let err = grid.validate().unwrap_err();
+        assert_eq!(err.field(), "benchmarks");
+        assert!(err.reason().contains("trace"), "{err}");
     }
 
     #[test]

@@ -189,6 +189,7 @@ impl Simulator {
             local_probe_hits: dir_stats.local_probe_hits.get(),
             local_probes_hidden: dir_stats.local_probes_hidden.get(),
             energy,
+            workload_checksum: workload.checksum(),
         }
     }
 }

@@ -194,14 +194,41 @@ mod tests {
         );
     }
 
+    /// Closed form for the mean Manhattan distance over ordered *distinct*
+    /// node pairs of an `x`×`y` mesh: along one axis of length `n`, the
+    /// ordered-pair displacement sum is `n(n²-1)/3`, each combined with
+    /// every coordinate pair of the other axis, over `xy(xy-1)` pairs.
+    fn mean_hops_closed_form(x: u64, y: u64) -> f64 {
+        let total = y * y * (x * (x * x - 1) / 3) + x * x * (y * (y * y - 1) / 3);
+        let pairs = x * y * (x * y - 1);
+        total as f64 / pairs as f64
+    }
+
     #[test]
     fn mean_hops_of_known_meshes() {
         // For a 1x2 mesh every pair is 1 hop apart.
         assert_eq!(Mesh::new(2, 1).mean_hops(), 1.0);
-        // 4x4 mesh mean hop distance is 2.5 (known closed form: (x+y)/3 * ... )
+        // For an n×n mesh the closed form reduces to 2n/3 over distinct
+        // ordered pairs: 8/3 ≈ 2.667 at n = 4 (not 2.5 — that would be the
+        // mean with self-pairs at a different weighting).
         let mean = Mesh::new(4, 4).mean_hops();
-        assert!((mean - 2.666).abs() < 0.01, "mean hops was {mean}");
+        assert!((mean - 8.0 / 3.0).abs() < 1e-12, "mean hops was {mean}");
+        assert_eq!(mean, mean_hops_closed_form(4, 4));
         assert_eq!(Mesh::new(1, 1).mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn mean_hops_of_rectangular_meshes() {
+        // Non-square meshes (a ROADMAP direction for wider machines) follow
+        // the same closed form: an 8×2 mesh averages 10/3 hops.
+        let mean = Mesh::new(8, 2).mean_hops();
+        assert!((mean - 10.0 / 3.0).abs() < 1e-12, "mean hops was {mean}");
+        assert_eq!(mean, mean_hops_closed_form(8, 2));
+        // Orientation does not matter, and a 1×n path degenerates to the
+        // one-dimensional mean (n+1)/3.
+        assert_eq!(Mesh::new(2, 8).mean_hops(), mean);
+        assert_eq!(Mesh::new(4, 1).mean_hops(), mean_hops_closed_form(4, 1));
+        assert!((Mesh::new(4, 1).mean_hops() - 5.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

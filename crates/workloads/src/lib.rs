@@ -39,8 +39,10 @@ pub mod multiprocess;
 pub mod profile;
 pub mod spec;
 pub mod trace;
+pub mod tracefile;
 
 pub use multiprocess::multiprocess_workload;
 pub use profile::{Benchmark, BenchmarkProfile};
 pub use spec::WorkloadSpec;
 pub use trace::{MemAccess, ThreadTrace, TraceGenerator, Workload};
+pub use tracefile::{TraceFormat, TraceHeader};

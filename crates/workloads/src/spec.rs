@@ -11,8 +11,10 @@
 use crate::multiprocess::multiprocess_workload;
 use crate::profile::Benchmark;
 use crate::trace::{TraceGenerator, Workload};
+use crate::tracefile::{self, TraceFormat};
 use allarm_types::ids::CoreId;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// A declarative description of a workload, (de)serializable as part of a
 /// scenario document.
@@ -52,6 +54,21 @@ pub enum WorkloadSpec {
         /// Main-phase memory references per process.
         accesses_per_process: usize,
     },
+    /// A captured (or hand-written) address stream replayed from a trace
+    /// file on disk — see [`crate::tracefile`] for the format. The seed is
+    /// unused; materialization is a pure function of the file contents,
+    /// and the file's checksum is carried into simulation reports so the
+    /// determinism story survives external inputs.
+    TraceFile {
+        /// Path to the trace file. Relative paths are resolved against the
+        /// process working directory; `scenario_run` resolves them against
+        /// the scenario document's directory first (see
+        /// [`WorkloadSpec::resolved_against`]).
+        path: String,
+        /// The encoding the file is declared to use; validation fails if
+        /// the file's magic disagrees.
+        format: TraceFormat,
+    },
 }
 
 impl WorkloadSpec {
@@ -77,27 +94,60 @@ impl WorkloadSpec {
         }
     }
 
-    /// The benchmark this spec runs.
-    pub fn benchmark(&self) -> Benchmark {
+    /// Convenience constructor for the trace-replay form.
+    pub fn trace_file(path: impl Into<String>, format: TraceFormat) -> Self {
+        WorkloadSpec::TraceFile {
+            path: path.into(),
+            format,
+        }
+    }
+
+    /// The benchmark this spec runs, if it is a generated one (trace
+    /// replays carry no benchmark identity — use [`WorkloadSpec::label`]
+    /// for a human-readable name that always exists).
+    pub fn benchmark(&self) -> Option<Benchmark> {
         match self {
             WorkloadSpec::Threads { benchmark, .. }
-            | WorkloadSpec::Multiprocess { benchmark, .. } => *benchmark,
+            | WorkloadSpec::Multiprocess { benchmark, .. } => Some(*benchmark),
+            WorkloadSpec::TraceFile { .. } => None,
+        }
+    }
+
+    /// A short human-readable name for the workload: the benchmark name
+    /// for generated specs, the trace header's workload name for replays
+    /// (falling back to the file stem when the file is unreadable). Used
+    /// by scenario grids to name expansion points.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Threads { benchmark, .. }
+            | WorkloadSpec::Multiprocess { benchmark, .. } => benchmark.name().to_string(),
+            WorkloadSpec::TraceFile { path, .. } => match tracefile::read_header(path) {
+                Ok(header) => header.name,
+                Err(_) => Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.clone()),
+            },
         }
     }
 
     /// Returns a copy running a different benchmark with the same shape
-    /// (used when a scenario grid sweeps the benchmark axis).
+    /// (used when a scenario grid sweeps the benchmark axis). A no-op for
+    /// trace replays, whose content is fixed by the file.
     pub fn with_benchmark(&self, benchmark: Benchmark) -> Self {
         let mut spec = self.clone();
         match &mut spec {
             WorkloadSpec::Threads { benchmark: b, .. }
             | WorkloadSpec::Multiprocess { benchmark: b, .. } => *b = benchmark,
+            WorkloadSpec::TraceFile { .. } => {}
         }
         spec
     }
 
     /// Returns a copy with a different per-thread / per-process trace
-    /// length.
+    /// length. A no-op for trace replays, whose length is fixed by the
+    /// file (callers shortening sweeps for smoke runs leave replays at
+    /// full length).
     pub fn with_accesses(&self, accesses: usize) -> Self {
         let mut spec = self.clone();
         match &mut spec {
@@ -109,11 +159,29 @@ impl WorkloadSpec {
                 accesses_per_process,
                 ..
             } => *accesses_per_process = accesses,
+            WorkloadSpec::TraceFile { .. } => {}
         }
         spec
     }
 
-    /// The per-thread / per-process trace length.
+    /// Returns a copy with a relative trace path joined onto `base` (specs
+    /// without paths, and absolute paths, are returned unchanged). Scenario
+    /// loaders call this with the scenario document's directory so a
+    /// checked-in document can name its trace relative to itself.
+    pub fn resolved_against(&self, base: &Path) -> Self {
+        match self {
+            WorkloadSpec::TraceFile { path, format } if Path::new(path).is_relative() => {
+                WorkloadSpec::TraceFile {
+                    path: base.join(path).to_string_lossy().into_owned(),
+                    format: *format,
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// The per-thread / per-process trace length (for replays: the longest
+    /// single thread's stream, `0` when the file is unreadable).
     pub fn accesses(&self) -> usize {
         match self {
             WorkloadSpec::Threads {
@@ -124,25 +192,59 @@ impl WorkloadSpec {
                 accesses_per_process,
                 ..
             } => *accesses_per_process,
+            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header(path)
+                .map(|h| usize::try_from(h.max_thread_accesses()).unwrap_or(usize::MAX))
+                .unwrap_or(0),
         }
     }
 
-    /// The minimum number of cores a machine needs to run this workload.
+    /// Total references across all threads this spec materializes to.
+    /// Generated specs build the trace (the init phases depend on the
+    /// profile); trace replays answer from the header alone, so verifying
+    /// a multi-million-access trace's volume never decodes its body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`] (generated
+    /// specs only; an unreadable trace answers `0`, and validation
+    /// reports the real error).
+    pub fn total_accesses(&self, seed: u64) -> u64 {
+        match self {
+            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header(path)
+                .map(|h| h.total_accesses())
+                .unwrap_or(0),
+            _ => self.materialize(seed).total_accesses() as u64,
+        }
+    }
+
+    /// The minimum number of cores a machine needs to run this workload
+    /// (for replays: from the trace header, `0` when the file is
+    /// unreadable — [`WorkloadSpec::validate`] reports the real error).
     pub fn cores_required(&self) -> usize {
         match self {
             WorkloadSpec::Threads { threads, .. } => *threads,
             WorkloadSpec::Multiprocess { cores, .. } => {
                 cores.iter().map(|c| c.index() + 1).max().unwrap_or(0)
             }
+            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header(path)
+                .map(|h| h.cores_required())
+                .unwrap_or(0),
         }
     }
 
     /// Checks the spec is runnable.
     ///
+    /// For trace replays this reads and validates the file's *header*
+    /// (existence, magic, declared threads, format agreement) without
+    /// decoding the body, so a missing or corrupt trace surfaces here as a
+    /// configuration error rather than a panic deep inside a run.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first invalid field: zero threads, an
-    /// empty or duplicated core list.
+    /// empty or duplicated core list, an unreadable or malformed trace
+    /// header, or a trace whose encoding disagrees with the declared
+    /// `format`.
     pub fn validate(&self) -> Result<(), String> {
         match self {
             WorkloadSpec::Threads { threads, .. } => {
@@ -159,16 +261,31 @@ impl WorkloadSpec {
                     return Err("workload.cores: process cores must be distinct".to_string());
                 }
             }
+            WorkloadSpec::TraceFile { path, format } => {
+                let header = tracefile::read_header(path)
+                    .map_err(|e| format!("workload.path: {path}: {e}"))?;
+                if header.format != *format {
+                    return Err(format!(
+                        "workload.format: {path} is a {} trace but the spec declares {}",
+                        header.format.name(),
+                        format.name()
+                    ));
+                }
+            }
         }
         Ok(())
     }
 
-    /// Generates the concrete workload: a pure function of `(self, seed)`.
+    /// Generates the concrete workload: a pure function of `(self, seed)`
+    /// — for trace replays, of the file contents (the seed is unused and
+    /// the decoded stream is checksum-verified).
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails [`WorkloadSpec::validate`]; callers that
-    /// take untrusted specs should validate first.
+    /// Panics if the spec fails [`WorkloadSpec::validate`], or if a trace
+    /// file's body is truncated or fails its checksum; callers that take
+    /// untrusted specs should validate first (body corruption is only
+    /// detectable here, and is reported with the failing path).
     pub fn materialize(&self, seed: u64) -> Workload {
         self.validate()
             .unwrap_or_else(|e| panic!("invalid workload spec: {e}"));
@@ -183,6 +300,11 @@ impl WorkloadSpec {
                 cores,
                 accesses_per_process,
             } => multiprocess_workload(*benchmark, *accesses_per_process, seed, cores),
+            WorkloadSpec::TraceFile { path, .. } => {
+                let (_, workload) = tracefile::read_workload(path)
+                    .unwrap_or_else(|e| panic!("unreadable trace {path}: {e}"));
+                workload
+            }
         }
     }
 }
@@ -194,7 +316,8 @@ mod tests {
     #[test]
     fn threads_spec_materializes_deterministically() {
         let spec = WorkloadSpec::threads(Benchmark::Cholesky, 4, 500);
-        assert_eq!(spec.benchmark(), Benchmark::Cholesky);
+        assert_eq!(spec.benchmark(), Some(Benchmark::Cholesky));
+        assert_eq!(spec.label(), "cholesky");
         assert_eq!(spec.cores_required(), 4);
         assert_eq!(spec.accesses(), 500);
         let a = spec.materialize(9);
@@ -222,11 +345,11 @@ mod tests {
     fn axis_helpers_replace_one_field() {
         let spec = WorkloadSpec::threads(Benchmark::Barnes, 16, 1_000);
         let other = spec.with_benchmark(Benchmark::X264).with_accesses(50);
-        assert_eq!(other.benchmark(), Benchmark::X264);
+        assert_eq!(other.benchmark(), Some(Benchmark::X264));
         assert_eq!(other.accesses(), 50);
         assert_eq!(other.cores_required(), 16);
         // The original is untouched.
-        assert_eq!(spec.benchmark(), Benchmark::Barnes);
+        assert_eq!(spec.benchmark(), Some(Benchmark::Barnes));
     }
 
     #[test]
@@ -256,9 +379,66 @@ mod tests {
                 vec![CoreId::new(0), CoreId::new(8)],
                 60_000,
             ),
+            WorkloadSpec::trace_file("captures/run1.trace", TraceFormat::Binary),
         ] {
             let v = spec.to_value();
             assert_eq!(WorkloadSpec::from_value(&v).unwrap(), spec);
         }
+    }
+
+    #[test]
+    fn trace_file_spec_replays_the_recorded_workload() {
+        let dir = std::env::temp_dir().join(format!("allarm-spec-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.trace");
+        let recorded = WorkloadSpec::threads(Benchmark::Dedup, 3, 200).materialize(5);
+        tracefile::write_trace_file(&path, &recorded, TraceFormat::Text).unwrap();
+
+        let spec = WorkloadSpec::trace_file(path.to_string_lossy(), TraceFormat::Text);
+        spec.validate().unwrap();
+        assert_eq!(spec.benchmark(), None);
+        assert_eq!(spec.label(), "dedup");
+        assert_eq!(spec.cores_required(), 3);
+        assert_eq!(spec.accesses(), recorded.threads[0].accesses.len());
+        // The seed is irrelevant: replay is a pure function of the file.
+        assert_eq!(spec.materialize(1), recorded);
+        assert_eq!(spec.materialize(99), recorded);
+        // Sweep helpers leave replays untouched.
+        assert_eq!(spec.with_accesses(7), spec);
+        assert_eq!(spec.with_benchmark(Benchmark::Barnes), spec);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_file_validation_reports_missing_and_mismatched_files() {
+        let missing = WorkloadSpec::trace_file("/nonexistent/trace.bin", TraceFormat::Binary);
+        let err = missing.validate().unwrap_err();
+        assert!(err.contains("workload.path"), "{err}");
+        assert_eq!(missing.cores_required(), 0);
+
+        let dir = std::env::temp_dir().join(format!("allarm-spec-mismatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.trace");
+        let recorded = WorkloadSpec::threads(Benchmark::Dedup, 2, 50).materialize(5);
+        tracefile::write_trace_file(&path, &recorded, TraceFormat::Text).unwrap();
+        let wrong = WorkloadSpec::trace_file(path.to_string_lossy(), TraceFormat::Binary);
+        let err = wrong.validate().unwrap_err();
+        assert!(err.contains("text trace"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn relative_trace_paths_resolve_against_a_base_dir() {
+        let spec = WorkloadSpec::trace_file("sample.trace", TraceFormat::Text);
+        let resolved = spec.resolved_against(Path::new("/docs/scenarios"));
+        assert_eq!(
+            resolved,
+            WorkloadSpec::trace_file("/docs/scenarios/sample.trace", TraceFormat::Text)
+        );
+        // Absolute paths and generated specs pass through unchanged.
+        let absolute = WorkloadSpec::trace_file("/a/b.trace", TraceFormat::Binary);
+        assert_eq!(absolute.resolved_against(Path::new("/docs")), absolute);
+        let threads = WorkloadSpec::threads(Benchmark::Barnes, 2, 10);
+        assert_eq!(threads.resolved_against(Path::new("/docs")), threads);
     }
 }

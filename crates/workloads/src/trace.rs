@@ -86,6 +86,36 @@ impl Workload {
         self.threads.iter().map(|t| t.accesses.len()).sum()
     }
 
+    /// A 64-bit FNV-1a checksum of the workload's replayable content: per
+    /// thread, the thread id, pinned core, access count, and every
+    /// `(address, write)` reference in order. The name is *not* hashed —
+    /// the checksum identifies the reference stream, not its label.
+    ///
+    /// This is the checksum recorded in trace-file headers
+    /// ([`crate::tracefile`]) and surfaced as `workload_checksum` in
+    /// simulation reports, so a replayed trace is verifiable end to end.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for t in &self.threads {
+            eat(&t.thread.raw().to_le_bytes());
+            eat(&t.core.raw().to_le_bytes());
+            eat(&(t.accesses.len() as u64).to_le_bytes());
+            for a in &t.accesses {
+                eat(&a.vaddr.raw().to_le_bytes());
+                eat(&[u8::from(a.write)]);
+            }
+        }
+        hash
+    }
+
     /// The highest core index used by the workload plus one (the minimum
     /// machine size able to run it).
     pub fn cores_required(&self) -> usize {

@@ -1,0 +1,1010 @@
+//! Versioned on-disk trace files: capture and replay of memory-reference
+//! streams.
+//!
+//! The paper's experiments replay address streams; this module lets those
+//! streams come from *files* instead of the synthetic [`crate::TraceGenerator`],
+//! so real captured traces (or adversarial hand-written ones) can drive the
+//! coherence substrate through [`crate::WorkloadSpec::TraceFile`].
+//!
+//! Two interchangeable encodings share one logical model (a [`TraceHeader`]
+//! plus per-thread access streams):
+//!
+//! * **Text** (`allarm-trace v1 text`) — human-writable. A header of
+//!   directive lines, then one `core r|w hexaddr` record per line. Blank
+//!   lines and `#` comments are ignored after the magic line. The
+//!   `checksum` directive is optional, so a hand-written trace does not
+//!   need to pre-compute it (a present checksum is always verified).
+//! * **Binary** (magic `ALLARMTR`) — compact. After the header, each
+//!   thread's addresses are delta-encoded against the previous address and
+//!   written as LEB128 varints with the read/write flag folded into the low
+//!   bit, so sequential scans cost ~2 bytes per reference. The checksum is
+//!   mandatory.
+//!
+//! Both headers carry the thread count, per-thread core pinning and access
+//! counts, and (binary always, text optionally) a checksum of the decoded
+//! stream — so [`read_header`] answers "how many cores does this trace
+//! need, and is it the file I recorded?" without decoding the body.
+//!
+//! The checksum is [`Workload::checksum`]: identical whether the workload
+//! was generated in-process or round-tripped through either file format,
+//! which is what lets a replayed trace's simulation report be byte-identical
+//! to the direct run's.
+//!
+//! # Examples
+//!
+//! ```
+//! use allarm_workloads::{Benchmark, TraceGenerator};
+//! use allarm_workloads::tracefile::{self, TraceFormat};
+//!
+//! let workload = TraceGenerator::new(2, 100, 7).generate(Benchmark::Barnes);
+//! let mut buf = Vec::new();
+//! tracefile::write_trace(&mut buf, &workload, TraceFormat::Binary).unwrap();
+//! let (header, replayed) = tracefile::parse_trace(&buf[..]).unwrap();
+//! assert_eq!(replayed, workload);
+//! assert_eq!(header.checksum, Some(workload.checksum()));
+//! ```
+
+use crate::trace::{MemAccess, ThreadTrace, Workload};
+use allarm_types::ids::{CoreId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// The trace-file format version this build reads and writes.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Magic bytes opening a binary trace file.
+const BINARY_MAGIC: &[u8; 8] = b"ALLARMTR";
+
+/// Magic line opening a text trace file (its first 8 bytes are the sniff
+/// key, so it must stay the very first line).
+const TEXT_MAGIC: &str = "allarm-trace v1 text";
+
+/// Caps on header fields while parsing untrusted files, so a corrupt
+/// header cannot demand absurd allocations before the error surfaces.
+const MAX_NAME_BYTES: u64 = 4096;
+const MAX_THREADS: u64 = u16::MAX as u64 + 1;
+
+/// The on-disk encoding of a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceFormat {
+    /// Human-writable `core r|w hexaddr` lines.
+    Text,
+    /// Delta/varint-packed per-thread streams.
+    Binary,
+}
+
+impl TraceFormat {
+    /// Lower-case name, used in messages and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Binary => "binary",
+        }
+    }
+
+    /// Parses a CLI-style name (`"text"` / `"binary"`, case-insensitive).
+    pub fn from_cli_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "text" => Some(TraceFormat::Text),
+            "binary" => Some(TraceFormat::Binary),
+            _ => None,
+        }
+    }
+}
+
+/// One thread declared by a trace header: its identity, core pinning and
+/// access count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceThread {
+    /// The software thread's identity.
+    pub thread: ThreadId,
+    /// The core the thread is pinned to (distinct per thread).
+    pub core: CoreId,
+    /// Number of references this thread's stream holds.
+    pub accesses: u64,
+}
+
+/// Everything a trace file declares ahead of its body. Enough to validate
+/// a scenario (machine size, expected volume) without decoding a single
+/// record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// The encoding the file uses.
+    pub format: TraceFormat,
+    /// Format version (currently always [`TRACE_VERSION`]).
+    pub version: u16,
+    /// Workload name, propagated into [`Workload::name`] and reports.
+    pub name: String,
+    /// Declared threads, in body order.
+    pub threads: Vec<TraceThread>,
+    /// [`Workload::checksum`] of the decoded stream. Always present in
+    /// binary files; optional in (hand-written) text files.
+    pub checksum: Option<u64>,
+}
+
+impl TraceHeader {
+    /// The highest pinned core index plus one — the minimum machine size
+    /// able to replay this trace.
+    pub fn cores_required(&self) -> usize {
+        self.threads
+            .iter()
+            .map(|t| t.core.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total references across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        self.threads.iter().map(|t| t.accesses).sum()
+    }
+
+    /// The largest single thread's reference count (the per-thread "trace
+    /// length" in the sense of generated workloads).
+    pub fn max_thread_accesses(&self) -> u64 {
+        self.threads.iter().map(|t| t.accesses).max().unwrap_or(0)
+    }
+
+    /// Structural validation: at least one thread, and no duplicated
+    /// thread ids or cores (text records are attributed by core, so a
+    /// shared core would be ambiguous).
+    fn validate(&self) -> Result<(), TraceError> {
+        if self.threads.is_empty() {
+            return Err(TraceError::new("header declares no threads"));
+        }
+        let mut cores: Vec<CoreId> = self.threads.iter().map(|t| t.core).collect();
+        cores.sort_unstable();
+        if cores.windows(2).any(|w| w[0] == w[1]) {
+            return Err(TraceError::new("header pins two threads to one core"));
+        }
+        let mut ids: Vec<ThreadId> = self.threads.iter().map(|t| t.thread).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(TraceError::new("header declares a thread id twice"));
+        }
+        Ok(())
+    }
+}
+
+/// A malformed, truncated or checksum-failing trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    msg: String,
+    /// 1-based text line the error was found on, when known.
+    line: Option<usize>,
+}
+
+impl TraceError {
+    fn new(msg: impl Into<String>) -> Self {
+        TraceError {
+            msg: msg.into(),
+            line: None,
+        }
+    }
+
+    fn at_line(msg: impl Into<String>, line: usize) -> Self {
+        TraceError {
+            msg: msg.into(),
+            line: Some(line),
+        }
+    }
+
+    /// The error description (without the line prefix).
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::new(format!("i/o error: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Reads and validates just the header of a trace file, sniffing the
+/// format from the magic bytes. The body is not decoded (for text files,
+/// not even read).
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] for unreadable files, unknown magic,
+/// unsupported versions, or structurally invalid headers.
+pub fn read_header(path: impl AsRef<Path>) -> Result<TraceHeader, TraceError> {
+    let file = std::fs::File::open(path)?;
+    parse_inner(file, false).map(|(header, _)| header)
+}
+
+/// Reads, decodes and verifies a whole trace file, sniffing the format.
+/// The decoded stream's [`Workload::checksum`] is verified against the
+/// header's (when the header carries one) and the per-thread counts are
+/// verified against the body.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] for anything [`read_header`] rejects, plus
+/// truncated or overlong bodies, malformed records, and checksum
+/// mismatches.
+pub fn read_workload(path: impl AsRef<Path>) -> Result<(TraceHeader, Workload), TraceError> {
+    let file = std::fs::File::open(path)?;
+    parse_trace(file)
+}
+
+/// [`read_workload`] over any reader (used by tests and in-memory
+/// round-trips).
+///
+/// # Errors
+///
+/// Same conditions as [`read_workload`].
+pub fn parse_trace(reader: impl Read) -> Result<(TraceHeader, Workload), TraceError> {
+    let (header, workload) = parse_inner(reader, true)?;
+    let workload = workload.expect("decode_body = true always yields a workload");
+    if let Some(expected) = header.checksum {
+        let actual = workload.checksum();
+        if actual != expected {
+            return Err(TraceError::new(format!(
+                "checksum mismatch: header says {expected:016x}, body decodes to {actual:016x}"
+            )));
+        }
+    }
+    Ok((header, workload))
+}
+
+/// Shared reader core: sniffs the format from the first (up to) 8 bytes,
+/// then parses the header and — with `decode_body` — the body. Collecting
+/// the sniff prefix with a `read` loop (instead of trusting one `fill_buf`
+/// call to return 8 bytes) keeps arbitrary readers — pipes, chained
+/// readers — correct; for text input the prefix is chained back in front
+/// of the reader.
+fn parse_inner(
+    mut reader: impl Read,
+    decode_body: bool,
+) -> Result<(TraceHeader, Option<Workload>), TraceError> {
+    let mut prefix = [0u8; 8];
+    let mut got = 0;
+    while got < prefix.len() {
+        let n = reader.read(&mut prefix[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    if got == prefix.len() && &prefix == BINARY_MAGIC {
+        let mut reader = BufReader::new(reader);
+        let header = read_binary_header(&mut reader)?;
+        let workload = if decode_body {
+            Some(read_binary_body(&mut reader, &header)?)
+        } else {
+            None
+        };
+        return Ok((header, workload));
+    }
+    if got > 0 && prefix[..got] == TEXT_MAGIC.as_bytes()[..got.min(prefix.len())] {
+        let mut reader = BufReader::new(std::io::Cursor::new(prefix[..got].to_vec()).chain(reader));
+        let (header, next_line) = read_text_header(&mut reader)?;
+        let workload = if decode_body {
+            Some(read_text_body(&mut reader, &header, next_line)?)
+        } else {
+            None
+        };
+        return Ok((header, workload));
+    }
+    Err(TraceError::new(
+        "not an ALLARM trace file (expected the `ALLARMTR` binary magic or an \
+         `allarm-trace v1 text` first line)",
+    ))
+}
+
+// -- text ------------------------------------------------------------------
+
+/// Parses the text header: the magic line, then `name` / `thread` /
+/// `checksum` directives up to the first record line. Returns the header
+/// and the first record line (with its 1-based number), which the body
+/// parser must not lose.
+#[allow(clippy::type_complexity)]
+fn read_text_header(
+    reader: &mut BufReader<impl Read>,
+) -> Result<(TraceHeader, Option<(usize, String)>), TraceError> {
+    let mut lines = reader.lines().enumerate();
+    let magic = match lines.next() {
+        Some((_, Ok(line))) => line,
+        Some((_, Err(e))) => return Err(e.into()),
+        None => return Err(TraceError::new("empty trace file")),
+    };
+    if magic.trim_end() != TEXT_MAGIC {
+        return Err(TraceError::at_line(
+            format!(
+                "bad magic line `{}` (expected `{TEXT_MAGIC}`)",
+                magic.trim_end()
+            ),
+            1,
+        ));
+    }
+
+    let mut name: Option<String> = None;
+    let mut threads = Vec::new();
+    let mut checksum: Option<u64> = None;
+    let mut first_record: Option<(usize, String)> = None;
+    for (index, line) in lines {
+        let line = line?;
+        let lineno = index + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut words = trimmed.split_whitespace();
+        match words.next() {
+            Some("name") => {
+                let rest = trimmed["name".len()..].trim();
+                if rest.is_empty() {
+                    return Err(TraceError::at_line(
+                        "`name` directive needs a value",
+                        lineno,
+                    ));
+                }
+                name = Some(rest.to_string());
+            }
+            Some("thread") => {
+                let spec: Vec<&str> = words.collect();
+                let parsed = match spec.as_slice() {
+                    [t, "core", c, "accesses", n] => {
+                        match (t.parse::<u16>(), c.parse::<u16>(), n.parse::<u64>()) {
+                            (Ok(t), Ok(c), Ok(n)) => Some(TraceThread {
+                                thread: ThreadId::new(t),
+                                core: CoreId::new(c),
+                                accesses: n,
+                            }),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                match parsed {
+                    Some(t) => threads.push(t),
+                    None => {
+                        return Err(TraceError::at_line(
+                            "malformed `thread` directive (expected \
+                             `thread <id> core <core> accesses <count>`)",
+                            lineno,
+                        ))
+                    }
+                }
+            }
+            Some("checksum") => {
+                let value = words.next().and_then(|v| u64::from_str_radix(v, 16).ok());
+                match value {
+                    Some(v) => checksum = Some(v),
+                    None => {
+                        return Err(TraceError::at_line(
+                            "malformed `checksum` directive (expected 16 hex digits)",
+                            lineno,
+                        ))
+                    }
+                }
+            }
+            Some(word) if word.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                first_record = Some((lineno, line));
+                break;
+            }
+            Some(word) => {
+                return Err(TraceError::at_line(
+                    format!("unknown header directive `{word}`"),
+                    lineno,
+                ))
+            }
+            None => unreachable!("non-empty trimmed line has a first word"),
+        }
+    }
+
+    let header = TraceHeader {
+        format: TraceFormat::Text,
+        version: TRACE_VERSION,
+        name: name.ok_or_else(|| TraceError::new("header is missing the `name` directive"))?,
+        threads,
+        checksum,
+    };
+    header.validate()?;
+    Ok((header, first_record))
+}
+
+/// Parses `core r|w hexaddr` record lines into per-thread traces, checking
+/// the final counts against the header.
+fn read_text_body(
+    reader: &mut BufReader<impl Read>,
+    header: &TraceHeader,
+    first_record: Option<(usize, String)>,
+) -> Result<Workload, TraceError> {
+    let mut traces: Vec<ThreadTrace> = header
+        .threads
+        .iter()
+        .map(|t| ThreadTrace {
+            thread: t.thread,
+            core: t.core,
+            accesses: Vec::with_capacity(usize::try_from(t.accesses).unwrap_or(0).min(1 << 20)),
+        })
+        .collect();
+    let by_core: HashMap<CoreId, usize> = header
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.core, i))
+        .collect();
+
+    let first_lineno = first_record.as_ref().map_or(0, |(n, _)| *n);
+    let head = first_record.map(|(_, line)| Ok(line));
+    for (offset, line) in head.into_iter().chain(reader.lines()).enumerate() {
+        let line = line?;
+        let lineno = first_lineno + offset;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut words = trimmed.split_whitespace();
+        let core = words.next().and_then(|w| w.parse::<u16>().ok());
+        let write = match words.next() {
+            Some("r") => Some(false),
+            Some("w") => Some(true),
+            _ => None,
+        };
+        let addr = words.next().and_then(|w| {
+            let w = w.strip_prefix("0x").unwrap_or(w);
+            u64::from_str_radix(w, 16).ok()
+        });
+        let (Some(core), Some(write), Some(addr), None) = (core, write, addr, words.next()) else {
+            return Err(TraceError::at_line(
+                format!("malformed record `{trimmed}` (expected `<core> r|w <hexaddr>`)"),
+                lineno,
+            ));
+        };
+        let Some(&slot) = by_core.get(&CoreId::new(core)) else {
+            return Err(TraceError::at_line(
+                format!("record names core {core}, which no header thread is pinned to"),
+                lineno,
+            ));
+        };
+        traces[slot].accesses.push(MemAccess {
+            vaddr: allarm_types::addr::VirtAddr::new(addr),
+            write,
+        });
+    }
+
+    for (trace, declared) in traces.iter().zip(&header.threads) {
+        if trace.accesses.len() as u64 != declared.accesses {
+            return Err(TraceError::new(format!(
+                "thread {} declares {} accesses but the body holds {} — truncated \
+                 or miscounted trace",
+                declared.thread.raw(),
+                declared.accesses,
+                trace.accesses.len()
+            )));
+        }
+    }
+    Ok(Workload {
+        name: header.name.clone(),
+        threads: traces,
+    })
+}
+
+// -- binary ----------------------------------------------------------------
+
+/// Parses the binary header (the magic is already consumed by the sniff).
+fn read_binary_header(reader: &mut impl Read) -> Result<TraceHeader, TraceError> {
+    let version = u16::from_le_bytes(read_array(reader, "version")?);
+    if version != TRACE_VERSION {
+        return Err(TraceError::new(format!(
+            "unsupported trace version {version} (this build reads v{TRACE_VERSION})"
+        )));
+    }
+    let name_len = read_varint(reader, "name length")?;
+    if name_len > MAX_NAME_BYTES {
+        return Err(TraceError::new(format!(
+            "name length {name_len} exceeds the {MAX_NAME_BYTES}-byte cap — corrupt header?"
+        )));
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
+    reader
+        .read_exact(&mut name_bytes)
+        .map_err(|_| TraceError::new("truncated header: name cut short"))?;
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| TraceError::new("workload name is not valid UTF-8"))?;
+
+    let thread_count = read_varint(reader, "thread count")?;
+    if thread_count > MAX_THREADS {
+        return Err(TraceError::new(format!(
+            "thread count {thread_count} exceeds the {MAX_THREADS} cap — corrupt header?"
+        )));
+    }
+    let mut threads = Vec::with_capacity(thread_count as usize);
+    for _ in 0..thread_count {
+        let thread = read_varint(reader, "thread id")?;
+        let core = read_varint(reader, "core id")?;
+        let accesses = read_varint(reader, "access count")?;
+        let (Ok(thread), Ok(core)) = (u16::try_from(thread), u16::try_from(core)) else {
+            return Err(TraceError::new(
+                "thread or core id out of the u16 range — corrupt header?",
+            ));
+        };
+        threads.push(TraceThread {
+            thread: ThreadId::new(thread),
+            core: CoreId::new(core),
+            accesses,
+        });
+    }
+    let checksum = u64::from_le_bytes(read_array(reader, "checksum")?);
+    let header = TraceHeader {
+        format: TraceFormat::Binary,
+        version,
+        name,
+        threads,
+        checksum: Some(checksum),
+    };
+    header.validate()?;
+    Ok(header)
+}
+
+/// Decodes the per-thread delta/varint streams declared by `header`.
+fn read_binary_body(reader: &mut impl Read, header: &TraceHeader) -> Result<Workload, TraceError> {
+    let mut traces = Vec::with_capacity(header.threads.len());
+    for declared in &header.threads {
+        let mut accesses =
+            Vec::with_capacity(usize::try_from(declared.accesses).unwrap_or(0).min(1 << 20));
+        let mut addr: u64 = 0;
+        for _ in 0..declared.accesses {
+            let packed = read_varint_wide(reader, "trace record")?;
+            let write = (packed & 1) == 1;
+            let zigzagged = (packed >> 1) as u64;
+            let delta = ((zigzagged >> 1) as i64) ^ -((zigzagged & 1) as i64);
+            addr = addr.wrapping_add(delta as u64);
+            accesses.push(MemAccess {
+                vaddr: allarm_types::addr::VirtAddr::new(addr),
+                write,
+            });
+        }
+        traces.push(ThreadTrace {
+            thread: declared.thread,
+            core: declared.core,
+            accesses,
+        });
+    }
+    let mut trailing = [0u8; 1];
+    if reader.read(&mut trailing)? != 0 {
+        return Err(TraceError::new(
+            "trailing bytes after the last declared record — header/body mismatch",
+        ));
+    }
+    Ok(Workload {
+        name: header.name.clone(),
+        threads: traces,
+    })
+}
+
+fn read_array<const N: usize>(reader: &mut impl Read, what: &str) -> Result<[u8; N], TraceError> {
+    let mut buf = [0u8; N];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|_| TraceError::new(format!("truncated trace: {what} cut short")))?;
+    Ok(buf)
+}
+
+/// Reads one LEB128 varint that must fit a `u64` (header fields).
+fn read_varint(reader: &mut impl Read, what: &str) -> Result<u64, TraceError> {
+    let wide = read_varint_wide(reader, what)?;
+    u64::try_from(wide).map_err(|_| TraceError::new(format!("{what} overflows 64 bits")))
+}
+
+/// Reads one LEB128 varint up to 128 bits (trace records carry a zigzagged
+/// 64-bit delta plus a flag bit, which can need 66 bits).
+fn read_varint_wide(reader: &mut impl Read, what: &str) -> Result<u128, TraceError> {
+    let mut value: u128 = 0;
+    let mut shift = 0u32;
+    loop {
+        let [byte] = read_array::<1>(reader, what)?;
+        if shift >= 128 - 7 && (byte >> (128 - shift)) != 0 {
+            return Err(TraceError::new(format!("{what} varint overflows 128 bits")));
+        }
+        value |= u128::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 128 {
+            return Err(TraceError::new(format!("{what} varint is too long")));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Writes `workload` to `out` in the given format. The header (including
+/// the [`Workload::checksum`]) is derived from the workload, so a
+/// `write_trace` → [`parse_trace`] round trip reproduces the workload
+/// exactly in either format.
+///
+/// # Errors
+///
+/// Returns the first I/O error, or `InvalidInput` if two threads share a
+/// core (trace records are attributed by core, so the file could not be
+/// decoded unambiguously).
+pub fn write_trace(
+    out: &mut impl Write,
+    workload: &Workload,
+    format: TraceFormat,
+) -> std::io::Result<()> {
+    let header = TraceHeader {
+        format,
+        version: TRACE_VERSION,
+        name: workload.name.clone(),
+        threads: workload
+            .threads
+            .iter()
+            .map(|t| TraceThread {
+                thread: t.thread,
+                core: t.core,
+                accesses: t.accesses.len() as u64,
+            })
+            .collect(),
+        checksum: Some(workload.checksum()),
+    };
+    header.validate().map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unwritable workload: {e}"),
+        )
+    })?;
+    match format {
+        TraceFormat::Text => write_text(out, workload, &header),
+        TraceFormat::Binary => write_binary(out, workload, &header),
+    }
+}
+
+/// [`write_trace`] to a (created or truncated) file, buffered and flushed.
+///
+/// # Errors
+///
+/// Same conditions as [`write_trace`], plus the create itself.
+pub fn write_trace_file(
+    path: impl AsRef<Path>,
+    workload: &Workload,
+    format: TraceFormat,
+) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_trace(&mut out, workload, format)?;
+    out.flush()
+}
+
+fn write_text(
+    out: &mut impl Write,
+    workload: &Workload,
+    header: &TraceHeader,
+) -> std::io::Result<()> {
+    writeln!(out, "{TEXT_MAGIC}")?;
+    writeln!(out, "name {}", header.name)?;
+    for t in &header.threads {
+        writeln!(
+            out,
+            "thread {} core {} accesses {}",
+            t.thread.raw(),
+            t.core.raw(),
+            t.accesses
+        )?;
+    }
+    writeln!(
+        out,
+        "checksum {:016x}",
+        header.checksum.expect("writer always sets it")
+    )?;
+    for t in &workload.threads {
+        let core = t.core.raw();
+        for a in &t.accesses {
+            writeln!(
+                out,
+                "{core} {} {:x}",
+                if a.write { 'w' } else { 'r' },
+                a.vaddr.raw()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_binary(
+    out: &mut impl Write,
+    workload: &Workload,
+    header: &TraceHeader,
+) -> std::io::Result<()> {
+    out.write_all(BINARY_MAGIC)?;
+    out.write_all(&TRACE_VERSION.to_le_bytes())?;
+    write_varint(out, header.name.len() as u128)?;
+    out.write_all(header.name.as_bytes())?;
+    write_varint(out, header.threads.len() as u128)?;
+    for t in &header.threads {
+        write_varint(out, u128::from(t.thread.raw()))?;
+        write_varint(out, u128::from(t.core.raw()))?;
+        write_varint(out, u128::from(t.accesses))?;
+    }
+    out.write_all(
+        &header
+            .checksum
+            .expect("writer always sets it")
+            .to_le_bytes(),
+    )?;
+    for t in &workload.threads {
+        let mut prev: u64 = 0;
+        for a in &t.accesses {
+            let delta = a.vaddr.raw().wrapping_sub(prev) as i64;
+            prev = a.vaddr.raw();
+            let zigzagged = ((delta << 1) ^ (delta >> 63)) as u64;
+            let packed = (u128::from(zigzagged) << 1) | u128::from(a.write);
+            write_varint(out, packed)?;
+        }
+    }
+    Ok(())
+}
+
+fn write_varint(out: &mut impl Write, mut value: u128) -> std::io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return out.write_all(&[byte]);
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+    use crate::trace::TraceGenerator;
+
+    fn sample() -> Workload {
+        TraceGenerator::new(3, 400, 11).generate(Benchmark::Cholesky)
+    }
+
+    fn encode(workload: &Workload, format: TraceFormat) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, workload, format).unwrap();
+        buf
+    }
+
+    #[test]
+    fn both_formats_round_trip_exactly() {
+        let workload = sample();
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let buf = encode(&workload, format);
+            let (header, decoded) = parse_trace(&buf[..]).unwrap();
+            assert_eq!(decoded, workload, "{}", format.name());
+            assert_eq!(header.format, format);
+            assert_eq!(header.name, workload.name);
+            assert_eq!(header.checksum, Some(workload.checksum()));
+            assert_eq!(header.total_accesses() as usize, workload.total_accesses());
+            assert_eq!(header.cores_required(), workload.cores_required());
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_text() {
+        let workload = sample();
+        let text = encode(&workload, TraceFormat::Text).len();
+        let binary = encode(&workload, TraceFormat::Binary).len();
+        assert!(
+            binary * 3 < text,
+            "binary {binary} bytes should be well under a third of text {text}"
+        );
+    }
+
+    #[test]
+    fn hand_written_text_without_checksum_parses() {
+        let text = "\
+allarm-trace v1 text
+# two cores bouncing one line
+name pingpong
+thread 0 core 0 accesses 2
+thread 1 core 3 accesses 1
+
+0 w 1000
+3 r 0x1000
+0 r 1040
+";
+        let (header, workload) = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(header.checksum, None);
+        assert_eq!(header.cores_required(), 4);
+        assert_eq!(workload.name, "pingpong");
+        assert_eq!(workload.threads[0].accesses.len(), 2);
+        assert_eq!(workload.threads[1].accesses[0].vaddr.raw(), 0x1000);
+        assert!(workload.threads[0].accesses[0].write);
+        assert!(!workload.threads[0].accesses[1].write);
+    }
+
+    #[test]
+    fn text_checksum_mismatch_is_detected() {
+        let workload = sample();
+        let text = String::from_utf8(encode(&workload, TraceFormat::Text)).unwrap();
+        let tampered = text.replacen(
+            &format!("checksum {:016x}", workload.checksum()),
+            &format!("checksum {:016x}", workload.checksum() ^ 1),
+            1,
+        );
+        assert_ne!(tampered, text);
+        let err = parse_trace(tampered.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_text_body_is_detected() {
+        let workload = sample();
+        let text = String::from_utf8(encode(&workload, TraceFormat::Text)).unwrap();
+        let truncated: String =
+            text.lines()
+                .take(text.lines().count() - 5)
+                .fold(String::new(), |mut acc, line| {
+                    acc.push_str(line);
+                    acc.push('\n');
+                    acc
+                });
+        let err = parse_trace(truncated.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_binary_body_fails_the_checksum() {
+        let workload = sample();
+        let mut buf = encode(&workload, TraceFormat::Binary);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01; // flip the final record's write bit
+        let err = parse_trace(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_binary_body_is_detected() {
+        let workload = sample();
+        let buf = encode(&workload, TraceFormat::Binary);
+        let err = parse_trace(&buf[..buf.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("cut short"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(parse_trace(&b"NOTATRACE"[..]).is_err());
+        assert!(parse_trace(&b""[..]).is_err());
+        let err = parse_trace(&b"allarm-trace v7 text\nname x\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_binary_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        let err = parse_trace(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_core_pinning_is_rejected() {
+        let text = "\
+allarm-trace v1 text
+name bad
+thread 0 core 0 accesses 0
+thread 1 core 0 accesses 0
+";
+        let err = parse_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("one core"), "{err}");
+        // And the writer refuses to produce such a file.
+        let mut workload = sample();
+        let shared = workload.threads[0].core;
+        workload.threads[1].core = shared;
+        let err = write_trace(&mut Vec::new(), &workload, TraceFormat::Text).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn record_for_unknown_core_is_rejected_with_its_line() {
+        let text = "\
+allarm-trace v1 text
+name bad
+thread 0 core 0 accesses 1
+5 r 40
+";
+        let err = parse_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+        assert!(err.to_string().contains("core 5"), "{err}");
+    }
+
+    #[test]
+    fn header_reads_do_not_need_the_body() {
+        let workload = sample();
+        let dir = std::env::temp_dir().join(format!("allarm-tracefile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let path = dir.join(format!("h.{}", format.name()));
+            write_trace_file(&path, &workload, format).unwrap();
+            let header = read_header(&path).unwrap();
+            assert_eq!(header.format, format);
+            assert_eq!(header.cores_required(), 3);
+            assert_eq!(header.checksum, Some(workload.checksum()));
+            let (_, decoded) = read_workload(&path).unwrap();
+            assert_eq!(decoded, workload);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            assert_eq!(TraceFormat::from_cli_name(format.name()), Some(format));
+        }
+        assert_eq!(
+            TraceFormat::from_cli_name("BINARY"),
+            Some(TraceFormat::Binary)
+        );
+        assert_eq!(TraceFormat::from_cli_name("gzip"), None);
+    }
+
+    /// A reader that yields one byte per `read` call — the worst legal
+    /// short-read behaviour (pipes, chained readers).
+    struct OneByte<'a>(&'a [u8]);
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.split_first() {
+                Some((&b, rest)) if !buf.is_empty() => {
+                    buf[0] = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                _ => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn short_reading_inputs_parse_identically() {
+        let workload = sample();
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let buf = encode(&workload, format);
+            let (header, decoded) = parse_trace(OneByte(&buf)).unwrap();
+            assert_eq!(decoded, workload, "{}", format.name());
+            assert_eq!(header.format, format);
+        }
+    }
+
+    #[test]
+    fn extreme_deltas_survive_the_binary_encoding() {
+        let workload = Workload {
+            name: "extremes".into(),
+            threads: vec![ThreadTrace {
+                thread: ThreadId::new(0),
+                core: CoreId::new(0),
+                accesses: vec![
+                    MemAccess::load(u64::MAX),
+                    MemAccess::store(0),
+                    MemAccess::load(1 << 63),
+                    MemAccess::store(u64::MAX - 1),
+                ],
+            }],
+        };
+        let buf = encode(&workload, TraceFormat::Binary);
+        let (_, decoded) = parse_trace(&buf[..]).unwrap();
+        assert_eq!(decoded, workload);
+    }
+}

@@ -122,7 +122,7 @@ fn hand_written_toml_parses() {
     let scenario = Scenario::from_toml(text).expect("hand-written scenario parses");
     assert_eq!(scenario.name, "hand-written");
     assert_eq!(scenario.policy, AllocationPolicy::Allarm);
-    assert_eq!(scenario.workload.benchmark(), Benchmark::Cholesky);
+    assert_eq!(scenario.workload.benchmark(), Some(Benchmark::Cholesky));
     scenario.validate().unwrap();
     let report = scenario.run().unwrap();
     assert!(report.total_accesses > 0);

@@ -4,14 +4,17 @@
 
 use allarm_bench::{
     fig3_grid, fig3h_grid, fig4_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
+    tracefile_comparison_grid, tracefile_source_grid, TRACE_SAMPLE_THREADS,
 };
 use allarm_core::{ExperimentConfig, ScenarioGrid};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios")
+}
 
 fn load(name: &str) -> ScenarioGrid {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../scenarios")
-        .join(name);
+    let path = scenarios_dir().join(name);
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     ScenarioGrid::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
@@ -32,6 +35,11 @@ fn checked_in_grids_match_the_constructors() {
     assert_eq!(
         load("scale64_pf_sweep.toml"),
         scale64_pf_sweep_grid(&scale64)
+    );
+    assert_eq!(load("tracefile_source.toml"), tracefile_source_grid());
+    assert_eq!(
+        load("tracefile_comparison.toml"),
+        tracefile_comparison_grid()
     );
 }
 
@@ -72,10 +80,7 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
 
     let streamcluster = load("streamcluster_comparison.toml");
     assert_eq!(streamcluster.len(), 2); // 1 benchmark x 2 policies
-    assert_eq!(
-        streamcluster.base.workload.benchmark().name(),
-        "streamcluster"
-    );
+    assert_eq!(streamcluster.base.workload.label(), "streamcluster");
     streamcluster.validate().unwrap();
 
     let scale64 = load("scale64_comparison.toml");
@@ -89,4 +94,40 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
     assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
     assert_eq!(sweep.pf_coverages, allarm_core::SCALE64_COVERAGES.to_vec());
     sweep.validate().unwrap();
+
+    let source = load("tracefile_source.toml");
+    assert_eq!(source.len(), 2); // 1 workload x 2 policies
+    source.validate().unwrap();
+
+    // The replay grid names its trace relative to the document, so resolve
+    // against scenarios/ (what scenario_run does) before validating — this
+    // also proves the committed sample trace exists and its header is
+    // well-formed and machine-compatible.
+    let mut replay = load("tracefile_comparison.toml");
+    replay.base.workload = replay.base.workload.resolved_against(&scenarios_dir());
+    assert_eq!(replay.len(), 2);
+    replay.validate().unwrap();
+    assert_eq!(replay.base.workload.label(), "blackscholes");
+    assert_eq!(replay.base.workload.cores_required(), TRACE_SAMPLE_THREADS);
+}
+
+/// The committed sample trace must be exactly what `trace_tool record`
+/// produces from the committed source grid — the round trip CI enforces
+/// with a byte diff, checked here at the workload level so `cargo test`
+/// catches drift too.
+#[test]
+fn committed_sample_trace_matches_the_source_grid() {
+    let source = load("tracefile_source.toml");
+    let recorded = source.base.workload.materialize(source.base.seed);
+
+    let mut replay = load("tracefile_comparison.toml");
+    replay.base.workload = replay.base.workload.resolved_against(&scenarios_dir());
+    let replayed = replay.base.workload.materialize(replay.base.seed);
+    assert_eq!(
+        replayed, recorded,
+        "scenarios/tracefile_sample.trace drifted from the generator — regenerate with \
+         `trace_tool record --format binary --out scenarios/tracefile_sample.trace \
+         scenarios/tracefile_source.toml`"
+    );
+    assert_eq!(replayed.checksum(), recorded.checksum());
 }

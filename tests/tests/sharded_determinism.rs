@@ -13,8 +13,10 @@
 
 use allarm_bench::{
     fig3_grid, fig3h_grid, fig4_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
+    tracefile_comparison_grid,
 };
 use allarm_core::{BatchRunner, ExperimentConfig, JsonlSink, Scenario};
+use std::path::Path;
 
 /// The checked-in grids, scaled down to test length (large grids
 /// subsampled with stride 4). The scale64 grids put the multi-core-node
@@ -43,6 +45,21 @@ fn scaled_grids() -> Vec<(&'static str, Vec<Scenario>)> {
                 .into_iter()
                 .step_by(3)
                 .collect(),
+        ),
+        (
+            // The trace-replay grid: an externally-sourced reference
+            // stream must be just as shard-count-independent as a
+            // generated one. The committed sample is already short, so it
+            // runs at full length (trace replays ignore access overrides).
+            "tracefile_comparison",
+            {
+                let mut grid = tracefile_comparison_grid();
+                grid.base.workload = grid
+                    .base
+                    .workload
+                    .resolved_against(&Path::new(env!("CARGO_MANIFEST_DIR")).join("../scenarios"));
+                grid.expand()
+            },
         ),
     ]
 }
