@@ -1,0 +1,59 @@
+//! The committed performance trajectory: a fixed-workload simulator
+//! benchmark whose numbers are written to `BENCH_6.json` at the repo root,
+//! so simulator-throughput regressions show up in review as a diff.
+//!
+//! A labelled matrix (the iai-callgrind style): three benchmarks with
+//! distinct sharing behaviour × both allocation policies, on the paper's
+//! sixteen-core machine at a fixed access count. The workloads are
+//! materialized **outside** the timed region — the numbers measure the
+//! coherence simulator, not the trace generator. Skipping the file write:
+//! pass any filter (`cargo bench -p allarm-bench --bench perf_trajectory
+//! -- barnes`), which marks the run partial.
+
+use allarm_core::{AllocationPolicy, MachineConfig, SimulationBuilder};
+use allarm_harness::{benchmark_main, black_box, stats_to_json, Group};
+use allarm_workloads::{Benchmark, TraceGenerator};
+
+/// Accesses per thread: fixed, so trajectory points stay comparable
+/// across commits.
+const ACCESSES: usize = 2_000;
+
+const MATRIX: [(Benchmark, &str); 3] = [
+    (Benchmark::Barnes, "barnes"),
+    (Benchmark::OceanContiguous, "ocean_contiguous"),
+    (Benchmark::Raytrace, "raytrace"),
+];
+
+fn trajectory() {
+    let mut group = Group::new("simulate_16c").sample_count(5);
+    let mut stats = Vec::new();
+    let mut complete = true;
+    for (benchmark, label) in MATRIX {
+        let workload = TraceGenerator::new(16, ACCESSES, 2014).generate(benchmark);
+        for policy in AllocationPolicy::ALL {
+            let simulator = SimulationBuilder::new(MachineConfig::date2014())
+                .policy(policy)
+                .build()
+                .expect("the Table I machine is valid");
+            let name = format!("{label}.{}", format!("{policy:?}").to_lowercase());
+            match group.bench(&name, || {
+                black_box(simulator.run(&workload).runtime);
+            }) {
+                Some(s) => stats.push(s),
+                None => complete = false, // filtered: don't commit a partial file
+            }
+        }
+    }
+    group.finish();
+
+    if complete {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+        std::fs::write(path, stats_to_json("perf_trajectory", &stats))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[perf_trajectory] wrote {path}");
+    } else {
+        eprintln!("[perf_trajectory] filtered run: BENCH_6.json not rewritten");
+    }
+}
+
+benchmark_main!(trajectory);

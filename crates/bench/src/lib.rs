@@ -11,8 +11,11 @@ use allarm_core::{
     AllocationPolicy, BatchRunner, Comparison, ExperimentConfig, Scenario, ScenarioGrid,
 };
 use allarm_workloads::{Benchmark, TraceFormat, WorkloadSpec};
-use serde::Deserialize as _;
-use std::path::Path;
+
+// Scenario-document loading lives in `allarm_core::doc` (one shared parse
+// and error path for `scenario_run`, `trace_tool`, and the HTTP server);
+// re-exported here so the figure binaries keep their historical imports.
+pub use allarm_core::doc::{load_scenario_doc, parse_scenario_doc, ScenarioDoc};
 
 /// Reads the experiment scale from the `ALLARM_ACCESSES` environment
 /// variable (main-phase accesses per thread) and the intra-run parallelism
@@ -158,110 +161,10 @@ pub fn all_comparisons(cfg: &ExperimentConfig) -> Vec<(Benchmark, Comparison)> {
     Benchmark::ALL.iter().copied().zip(comparisons).collect()
 }
 
-/// A parsed scenario document: either a single scenario or a sweep grid.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ScenarioDoc {
-    /// One scenario.
-    Single(Box<Scenario>),
-    /// A grid of scenarios.
-    Grid(Box<ScenarioGrid>),
-}
-
-impl ScenarioDoc {
-    /// The scenarios this document expands to.
-    pub fn expand(&self) -> Vec<Scenario> {
-        match self {
-            ScenarioDoc::Single(s) => vec![(**s).clone()],
-            ScenarioDoc::Grid(g) => g.expand(),
-        }
-    }
-
-    /// Validates the document: the single scenario, or the whole grid —
-    /// including axis-level checks a per-scenario pass cannot see, such as
-    /// a benchmark sweep over a trace-replay base.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`allarm_core::ConfigError`] found.
-    pub fn validate(&self) -> Result<(), allarm_core::ConfigError> {
-        match self {
-            ScenarioDoc::Single(s) => s.validate(),
-            ScenarioDoc::Grid(g) => g.validate(),
-        }
-    }
-
-    /// Returns a copy with relative trace-file paths in the document's
-    /// workload joined onto `dir` (the document's own directory), so a
-    /// checked-in document can name its trace relative to itself and still
-    /// run from any working directory.
-    pub fn resolved_against(&self, dir: &Path) -> ScenarioDoc {
-        match self {
-            ScenarioDoc::Single(s) => {
-                let mut s = (**s).clone();
-                s.workload = s.workload.resolved_against(dir);
-                ScenarioDoc::Single(Box::new(s))
-            }
-            ScenarioDoc::Grid(g) => {
-                let mut g = (**g).clone();
-                g.base.workload = g.base.workload.resolved_against(dir);
-                ScenarioDoc::Grid(Box::new(g))
-            }
-        }
-    }
-}
-
-/// Parses a scenario document from TOML or JSON (the caller picks, e.g. by
-/// file extension — see [`load_scenario_doc`]). A document whose *top
-/// level* has a `base` table is a [`ScenarioGrid`]; otherwise it is a
-/// single [`Scenario`]. (The detection is structural — parsed, not
-/// substring-matched — so a scenario merely *named* "base" is not
-/// misclassified.)
-///
-/// # Errors
-///
-/// Returns an error string describing the first malformed field, naming
-/// the format the text was parsed as (so a mis-extensioned file points at
-/// the real problem).
-pub fn parse_scenario_doc(text: &str, is_toml: bool) -> Result<ScenarioDoc, String> {
-    let fmt = if is_toml { "TOML" } else { "JSON" };
-    let tree: serde::Value = if is_toml {
-        toml::from_str(text)
-            .map_err(|e| format!("invalid scenario document (parsed as {fmt}): {e}"))?
-    } else {
-        serde_json::from_str(text)
-            .map_err(|e| format!("invalid scenario document (parsed as {fmt}): {e}"))?
-    };
-    if tree.get("base").is_some() {
-        ScenarioGrid::from_value(&tree)
-            .map(|g| ScenarioDoc::Grid(Box::new(g)))
-            .map_err(|e| format!("invalid scenario grid (parsed as {fmt}): {e}"))
-    } else {
-        Scenario::from_value(&tree)
-            .map(|s| ScenarioDoc::Single(Box::new(s)))
-            .map_err(|e| format!("invalid scenario (parsed as {fmt}): {e}"))
-    }
-}
-
-/// Loads a scenario document from disk: parsed as JSON when the path ends
-/// in `.json` **case-insensitively** (so `GRID.JSON` is not fed to the
-/// TOML parser), TOML otherwise, with relative trace-file paths resolved
-/// against the document's directory.
-///
-/// # Errors
-///
-/// Returns an error string (prefixed with the path) for unreadable files
-/// or malformed documents.
-pub fn load_scenario_doc(path: &str) -> Result<ScenarioDoc, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let is_toml = !path.to_ascii_lowercase().ends_with(".json");
-    let doc = parse_scenario_doc(&text, is_toml).map_err(|e| format!("{path}: {e}"))?;
-    let dir = Path::new(path).parent().unwrap_or_else(|| Path::new("."));
-    Ok(doc.resolved_against(dir))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn figure_config_defaults_to_paper_scale() {
@@ -297,48 +200,14 @@ mod tests {
     }
 
     #[test]
-    fn scenario_docs_parse_both_shapes() {
+    fn doc_loading_is_reexported_from_core() {
+        // The shared loader moved to `allarm_core::doc`; the re-export must
+        // keep classifying grids structurally.
         let cfg = ExperimentConfig::quick_test();
-        let single = cfg.scenario(Benchmark::Barnes, AllocationPolicy::Allarm);
-        let doc = parse_scenario_doc(&single.to_toml().unwrap(), true).unwrap();
-        assert_eq!(doc, ScenarioDoc::Single(Box::new(single.clone())));
-        assert_eq!(doc.expand().len(), 1);
-
         let grid = fig3_grid(&cfg);
         let doc = parse_scenario_doc(&grid.to_toml().unwrap(), true).unwrap();
-        assert_eq!(doc, ScenarioDoc::Grid(Box::new(grid.clone())));
+        assert_eq!(doc, ScenarioDoc::Grid(Box::new(grid)));
         assert_eq!(doc.expand().len(), 16);
-
-        // JSON forms too.
-        let doc = parse_scenario_doc(&single.to_json(), false).unwrap();
-        assert_eq!(doc.expand(), vec![single]);
-    }
-
-    #[test]
-    fn malformed_documents_are_rejected_naming_the_assumed_format() {
-        let err = parse_scenario_doc("nonsense", true).unwrap_err();
-        assert!(err.contains("parsed as TOML"), "{err}");
-        let err = parse_scenario_doc("{}", false).unwrap_err();
-        assert!(err.contains("parsed as JSON"), "{err}");
-    }
-
-    #[test]
-    fn json_extension_is_sniffed_case_insensitively() {
-        let cfg = ExperimentConfig::quick_test();
-        let single = cfg.scenario(Benchmark::Barnes, AllocationPolicy::Allarm);
-        let dir = std::env::temp_dir().join(format!("allarm-bench-doc-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("grid.JSON");
-        std::fs::write(&path, single.to_json()).unwrap();
-        let doc = load_scenario_doc(path.to_str().unwrap()).unwrap();
-        assert_eq!(doc.expand(), vec![single]);
-        // A JSON payload under a .toml name fails, but the error now says
-        // which parser ran.
-        let toml_path = dir.join("grid.toml");
-        std::fs::write(&toml_path, "{ not toml }").unwrap();
-        let err = load_scenario_doc(toml_path.to_str().unwrap()).unwrap_err();
-        assert!(err.contains("parsed as TOML"), "{err}");
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

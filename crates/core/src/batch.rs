@@ -19,7 +19,7 @@
 //! interruption.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use allarm_types::error::ConfigError;
@@ -37,6 +37,26 @@ pub struct BatchEntry {
     pub scenario: Scenario,
     /// The full metric report of the run.
     pub report: SimReport,
+}
+
+impl BatchEntry {
+    /// Renders this entry as one line of the JSONL result format — the
+    /// exact bytes [`JsonlSink`] and [`JsonlFileSink`] record (without the
+    /// trailing newline), so any transport (an in-memory buffer, an HTTP
+    /// stream) can carry rows byte-identical to the file sinks' output.
+    pub fn jsonl_line(&self) -> String {
+        jsonl_line(self)
+    }
+}
+
+/// How a batch run under a cancel flag ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every pending scenario ran and was recorded.
+    Completed,
+    /// The cancel flag was observed between grid rows: the rows already
+    /// recorded are final and correct, the rest never ran.
+    Cancelled,
 }
 
 /// Consumes completed runs, in scenario order.
@@ -784,6 +804,39 @@ impl BatchRunner {
         sink: &mut dyn ResultSink,
         completed: &HashSet<usize>,
     ) -> Result<(), ConfigError> {
+        self.run_inner(scenarios, sink, completed, None).map(|_| ())
+    }
+
+    /// Like [`BatchRunner::run_with_sink`], but polls `cancel` **between
+    /// grid rows**: once the flag reads true, no further scenario starts.
+    /// Rows already recorded are final (the sink saw the same ordered
+    /// prefix a full run would have produced); rows in flight when the
+    /// flag flips still finish computing but are only recorded if every
+    /// earlier row is, so the sink never observes a gap. A row that is
+    /// mid-simulation is *not* interrupted — cancellation granularity is
+    /// the grid row, which keeps every recorded row byte-identical to an
+    /// uncancelled run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] across the batch; the sink is not
+    /// touched unless every scenario validates.
+    pub fn run_with_sink_cancellable(
+        &self,
+        scenarios: &[Scenario],
+        sink: &mut dyn ResultSink,
+        cancel: &AtomicBool,
+    ) -> Result<RunOutcome, ConfigError> {
+        self.run_inner(scenarios, sink, &HashSet::new(), Some(cancel))
+    }
+
+    fn run_inner(
+        &self,
+        scenarios: &[Scenario],
+        sink: &mut dyn ResultSink,
+        completed: &HashSet<usize>,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<RunOutcome, ConfigError> {
         for scenario in scenarios {
             scenario.validate()?;
         }
@@ -834,29 +887,41 @@ impl BatchRunner {
             .unwrap_or(1)
             .max(1);
         let workers = (self.num_threads / max_sim_threads).clamp(1, scenarios.len().max(1));
+        let pending_total = scenarios.len() - completed.len();
+        let was_cancelled = |c: Option<&AtomicBool>| c.is_some_and(|c| c.load(Ordering::Relaxed));
         if workers <= 1 {
+            let mut recorded = 0usize;
             for (index, scenario) in scenarios.iter().enumerate() {
                 let Some(workload) = &workloads[index] else {
                     continue; // already completed by the resumed sweep
                 };
+                if was_cancelled(cancel) {
+                    return Ok(RunOutcome::Cancelled);
+                }
                 let report = scenario.build().expect("validated above").run(workload);
                 sink.record(&BatchEntry {
                     index,
                     scenario: scenario.clone(),
                     report,
                 });
+                recorded += 1;
             }
-            return Ok(());
+            return Ok(outcome(recorded, pending_total, was_cancelled(cancel)));
         }
 
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
-        std::thread::scope(|scope| {
+        let recorded = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let workloads = &workloads;
                 scope.spawn(move || loop {
+                    // Cancellation is checked before a worker claims its
+                    // next row; rows already claimed run to completion.
+                    if was_cancelled(cancel) {
+                        return;
+                    }
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= scenarios.len() {
                         return;
@@ -879,9 +944,12 @@ impl BatchRunner {
 
             // Buffer completions and flush the ready prefix in order, so the
             // sink sees the same sequence as a serial run; resumed indices
-            // flush as no-ops.
+            // flush as no-ops. On cancellation an out-of-order straggler
+            // whose predecessors never ran stays buffered and is dropped —
+            // the sink only ever sees the gap-free prefix.
             let mut pending: Vec<Option<SimReport>> = vec![None; scenarios.len()];
             let mut next_to_flush = 0;
+            let mut recorded = 0usize;
             for (index, report) in rx {
                 pending[index] = Some(report);
                 while next_to_flush < pending.len() {
@@ -897,17 +965,29 @@ impl BatchRunner {
                         scenario: scenarios[next_to_flush].clone(),
                         report,
                     });
+                    recorded += 1;
                     next_to_flush += 1;
                 }
             }
+            recorded
         });
-        Ok(())
+        Ok(outcome(recorded, pending_total, was_cancelled(cancel)))
     }
 }
 
 impl Default for BatchRunner {
     fn default() -> Self {
         BatchRunner::new()
+    }
+}
+
+/// A run under a cancel flag completed only if every pending row was
+/// recorded; the flag flipping *after* the last row is not a cancellation.
+fn outcome(recorded: usize, pending_total: usize, cancelled: bool) -> RunOutcome {
+    if cancelled && recorded < pending_total {
+        RunOutcome::Cancelled
+    } else {
+        RunOutcome::Completed
     }
 }
 
@@ -1384,6 +1464,103 @@ mod tests {
         );
         assert_eq!(csv_fields("a,b").unwrap(), vec!["a", "b"]);
         assert_eq!(csv_fields("0,\"open"), None);
+    }
+
+    #[test]
+    fn jsonl_line_matches_the_sink_encoding() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(1).collect();
+        let results = BatchRunner::with_threads(1).run(&scenarios).unwrap();
+        let mut sink = JsonlSink::new();
+        sink.record(&results.entries[0]);
+        assert_eq!(
+            sink.into_string(),
+            format!("{}\n", results.entries[0].jsonl_line())
+        );
+    }
+
+    #[test]
+    fn cancel_before_the_first_row_records_nothing() {
+        let scenarios = tiny_grid();
+        let cancel = AtomicBool::new(true);
+        for threads in [1, 4] {
+            let mut sink = VecSink::new();
+            let outcome = BatchRunner::with_threads(threads)
+                .run_with_sink_cancellable(&scenarios, &mut sink, &cancel)
+                .unwrap();
+            assert_eq!(outcome, RunOutcome::Cancelled);
+            assert!(sink.into_entries().is_empty());
+        }
+    }
+
+    #[test]
+    fn unset_cancel_flag_completes_identically_to_a_plain_run() {
+        let scenarios = tiny_grid();
+        let reference = BatchRunner::with_threads(4).run(&scenarios).unwrap();
+        let cancel = AtomicBool::new(false);
+        let mut sink = VecSink::new();
+        let outcome = BatchRunner::with_threads(4)
+            .run_with_sink_cancellable(&scenarios, &mut sink, &cancel)
+            .unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(sink.into_entries(), reference.entries);
+    }
+
+    #[test]
+    fn mid_batch_cancellation_records_a_gap_free_identical_prefix() {
+        let scenarios = tiny_grid();
+        let reference = BatchRunner::with_threads(1).run(&scenarios).unwrap();
+
+        /// Flips the cancel flag after the second record reaches the sink.
+        struct TrippingSink<'a> {
+            entries: Vec<BatchEntry>,
+            cancel: &'a AtomicBool,
+        }
+        impl ResultSink for TrippingSink<'_> {
+            fn record(&mut self, entry: &BatchEntry) {
+                self.entries.push(entry.clone());
+                if self.entries.len() == 2 {
+                    self.cancel.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Serial execution is fully deterministic: exactly the two rows
+        // recorded before the flag flipped, then a clean stop.
+        let cancel = AtomicBool::new(false);
+        let mut sink = TrippingSink {
+            entries: Vec::new(),
+            cancel: &cancel,
+        };
+        let outcome = BatchRunner::with_threads(1)
+            .run_with_sink_cancellable(&scenarios, &mut sink, &cancel)
+            .unwrap();
+        assert_eq!(outcome, RunOutcome::Cancelled);
+        assert_eq!(sink.entries.as_slice(), &reference.entries[..2]);
+
+        // Parallel execution may let in-flight rows finish (cancellation is
+        // checked before each claim), but whatever is recorded must be a
+        // gap-free byte-identical prefix, with the outcome matching.
+        let cancel = AtomicBool::new(false);
+        let mut sink = TrippingSink {
+            entries: Vec::new(),
+            cancel: &cancel,
+        };
+        let outcome = BatchRunner::with_threads(4)
+            .run_with_sink_cancellable(&scenarios, &mut sink, &cancel)
+            .unwrap();
+        assert!(sink.entries.len() >= 2);
+        assert_eq!(
+            sink.entries.as_slice(),
+            &reference.entries[..sink.entries.len()]
+        );
+        assert_eq!(
+            outcome,
+            if sink.entries.len() < scenarios.len() {
+                RunOutcome::Cancelled
+            } else {
+                RunOutcome::Completed
+            }
+        );
     }
 
     #[test]

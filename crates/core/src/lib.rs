@@ -49,7 +49,9 @@
 
 pub mod batch;
 pub mod builder;
+pub mod doc;
 pub mod experiment;
+pub mod jobs;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
@@ -59,12 +61,17 @@ pub mod system;
 
 pub use batch::{
     verify_resume_rows, BatchEntry, BatchResults, BatchRunner, CsvFileSink, JsonlFileSink,
-    JsonlSink, RecordedRow, ResultSink, ResumeScan, VecSink,
+    JsonlSink, RecordedRow, ResultSink, ResumeScan, RunOutcome, VecSink,
 };
 pub use builder::SimulationBuilder;
+pub use doc::{load_scenario_doc, parse_scenario_doc, ScenarioDoc};
 pub use experiment::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, run_workload,
     ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES, SCALE64_COVERAGES,
+};
+pub use jobs::{
+    JobId, JobScheduler, JobState, JobStatus, RowsChunk, SchedulerConfig, SchedulerMetrics,
+    SubmitError,
 };
 pub use metrics::{Comparison, SimReport};
 pub use scenario::{Scenario, ScenarioGrid, SimThreads};

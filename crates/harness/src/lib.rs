@@ -65,12 +65,15 @@ impl Group {
     }
 
     /// Runs one benchmark: calls `f` repeatedly and reports the median
-    /// per-iteration time over the samples.
-    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+    /// per-iteration time over the samples. Returns the measured numbers
+    /// (`None` when the command-line filter skipped the benchmark), so a
+    /// bench target can also persist a machine-readable record — see
+    /// [`stats_to_json`].
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) -> Option<BenchStats> {
         let full = format!("{}/{}", self.name, name);
         if let Some(filter) = &self.filter {
             if !full.contains(filter.as_str()) {
-                return;
+                return None;
             }
         }
         if !self.printed_header {
@@ -116,6 +119,15 @@ impl Group {
             format_ns(max),
             self.sample_count,
         );
+        Some(BenchStats {
+            group: self.name.clone(),
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            iters,
+            samples: self.sample_count,
+        })
     }
 
     /// Ends the group (prints a trailing newline if anything ran).
@@ -124,6 +136,58 @@ impl Group {
             println!();
         }
     }
+}
+
+/// One benchmark's measured numbers, as returned by [`Group::bench`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchStats {
+    /// The group the benchmark ran in.
+    pub group: String,
+    /// The benchmark's name within its group.
+    pub name: String,
+    /// Median per-iteration time across the samples, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample's per-iteration time, nanoseconds.
+    pub max_ns: u128,
+    /// Iterations per timed sample (adapted during warm-up).
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Renders a bench run as a small JSON document (hand-formatted — the
+/// harness has no serializer dependency), for committing performance
+/// trajectories alongside the code:
+///
+/// ```json
+/// {"bench": "...", "unit": "ns_per_iter", "results": [{"group": ...}]}
+/// ```
+///
+/// Group and benchmark names are emitted verbatim, so keep them to the
+/// usual identifier characters (every workspace bench does).
+pub fn stats_to_json(bench: &str, stats: &[BenchStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n"
+    ));
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+             \"max_ns\": {}, \"iters\": {}, \"samples\": {}}}{}\n",
+            s.group,
+            s.name,
+            s.median_ns,
+            s.min_ns,
+            s.max_ns,
+            s.iters,
+            s.samples,
+            if i + 1 < stats.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn format_ns(ns: u128) -> String {
@@ -157,11 +221,52 @@ mod tests {
     fn bench_runs_and_reports() {
         let mut group = Group::new("selftest").sample_count(3).min_duration_ms(1);
         let mut count = 0u64;
-        group.bench("counter", || {
-            count = black_box(count.wrapping_add(1));
-        });
+        let stats = group
+            .bench("counter", || {
+                count = black_box(count.wrapping_add(1));
+            })
+            .expect("unfiltered benchmarks report stats");
         group.finish();
         assert!(count > 0, "benchmark closure must have run");
+        assert_eq!(
+            (stats.group.as_str(), stats.name.as_str()),
+            ("selftest", "counter")
+        );
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn stats_render_as_json() {
+        let stats = vec![
+            BenchStats {
+                group: "g".into(),
+                name: "a".into(),
+                median_ns: 10,
+                min_ns: 9,
+                max_ns: 11,
+                iters: 4,
+                samples: 3,
+            },
+            BenchStats {
+                group: "g".into(),
+                name: "b".into(),
+                median_ns: 20,
+                min_ns: 20,
+                max_ns: 21,
+                iters: 2,
+                samples: 3,
+            },
+        ];
+        let json = stats_to_json("trajectory", &stats);
+        assert!(json.contains("\"bench\": \"trajectory\""), "{json}");
+        assert!(
+            json.contains("\"name\": \"a\", \"median_ns\": 10"),
+            "{json}"
+        );
+        // The two records are comma-separated, the list is terminated.
+        assert_eq!(json.matches("{\"group\"").count(), 2);
+        assert!(json.trim_end().ends_with("]\n}"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,799 @@
+//! A hand-rolled HTTP/1.1 layer: request parsing with hard size limits,
+//! response encoding, and chunked transfer encoding for streams.
+//!
+//! Modeled on the `micro_http`/`api_server` split: this module knows
+//! *nothing* about jobs or scenarios — it turns bytes into [`Request`]s
+//! (incrementally, so short reads and pipelined keep-alive connections
+//! both work) and [`Response`]s back into bytes. Everything the simulator
+//! needs is implemented by hand on `std::net`; there is no external HTTP
+//! dependency, and no feature beyond what the API layer uses: `GET`,
+//! `POST` and `DELETE`, `Content-Length` bodies, keep-alive, and chunked
+//! responses.
+//!
+//! Every way a request can be malformed or oversized maps to a typed
+//! [`HttpError`] with a 4xx/5xx status, so the connection loop can answer
+//! adversarial input with a proper error response instead of dying (or
+//! worse, buffering without bound — see [`HttpLimits`]).
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Hard ceilings the parser enforces while a request is still arriving,
+/// so a hostile peer cannot make the server buffer without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Longest accepted request line (method + target + version), bytes.
+    /// Exceeding it answers `414 URI Too Long`.
+    pub max_request_line_bytes: usize,
+    /// Longest accepted header section (request line included), bytes.
+    /// Exceeding it answers `431 Request Header Fields Too Large`.
+    pub max_head_bytes: usize,
+    /// Largest accepted `Content-Length` body, bytes. Exceeding it
+    /// answers `413 Payload Too Large` — as soon as the declared length is
+    /// seen, without waiting for the body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_request_line_bytes: 8 * 1024,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// The request methods the API layer routes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`.
+    Get,
+    /// `POST`.
+    Post,
+    /// `DELETE`.
+    Delete,
+}
+
+impl Method {
+    fn parse(token: &str) -> Result<Method, HttpError> {
+        match token {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "DELETE" => Ok(Method::Delete),
+            // A well-formed token we simply don't serve gets the honest
+            // 501; anything else is a malformed request line.
+            other if !other.is_empty() && other.bytes().all(|b| b.is_ascii_uppercase()) => {
+                Err(HttpError::NotImplemented(format!("method {other}")))
+            }
+            other => Err(HttpError::BadRequest(format!(
+                "malformed method token {other:?}"
+            ))),
+        }
+    }
+
+    /// The method's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+/// The protocol versions the server speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — connections close by default.
+    Http10,
+    /// `HTTP/1.1` — connections persist by default.
+    Http11,
+}
+
+impl Version {
+    fn parse(token: &str) -> Result<Version, HttpError> {
+        match token {
+            "HTTP/1.1" => Ok(Version::Http11),
+            "HTTP/1.0" => Ok(Version::Http10),
+            other if other.starts_with("HTTP/") => {
+                Err(HttpError::VersionNotSupported(other.to_string()))
+            }
+            other => Err(HttpError::BadRequest(format!(
+                "malformed protocol version {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One parsed request: line, headers, and (fully buffered) body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The raw request target (path plus optional `?query`).
+    pub target: String,
+    /// The protocol version.
+    pub version: Version,
+    /// Header name/value pairs in arrival order (names as sent; use
+    /// [`Request::header`] for case-insensitive lookup).
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless a `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match wins).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (everything before `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's query component, as `key=value` pairs split on `&`.
+    pub fn query_pairs(&self) -> Vec<(&str, &str)> {
+        match self.target.split_once('?') {
+            Some((_, query)) => query
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether the connection should persist after this exchange:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == Version::Http11,
+        }
+    }
+}
+
+/// Every way a request can be rejected, each carrying its wire status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or `Content-Length` — `400`.
+    BadRequest(String),
+    /// A `POST` with a body-bearing method but no `Content-Length` — `411`.
+    LengthRequired,
+    /// Declared body beyond [`HttpLimits::max_body_bytes`] — `413`.
+    PayloadTooLarge {
+        /// The configured ceiling that was exceeded.
+        limit: usize,
+    },
+    /// Request line beyond [`HttpLimits::max_request_line_bytes`] — `414`.
+    RequestLineTooLong {
+        /// The configured ceiling that was exceeded.
+        limit: usize,
+    },
+    /// Header section beyond [`HttpLimits::max_head_bytes`] — `431`.
+    HeadersTooLarge {
+        /// The configured ceiling that was exceeded.
+        limit: usize,
+    },
+    /// A well-formed request for a feature the server does not implement
+    /// (unsupported method, `Transfer-Encoding` request bodies) — `501`.
+    NotImplemented(String),
+    /// A protocol version other than 1.0/1.1 — `505`.
+    VersionNotSupported(String),
+}
+
+impl HttpError {
+    /// The response status this error answers with.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            HttpError::BadRequest(_) => StatusCode(400),
+            HttpError::LengthRequired => StatusCode(411),
+            HttpError::PayloadTooLarge { .. } => StatusCode(413),
+            HttpError::RequestLineTooLong { .. } => StatusCode(414),
+            HttpError::HeadersTooLarge { .. } => StatusCode(431),
+            HttpError::NotImplemented(_) => StatusCode(501),
+            HttpError::VersionNotSupported(_) => StatusCode(505),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::LengthRequired => {
+                write!(f, "a request body requires a Content-Length header")
+            }
+            HttpError::PayloadTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpError::RequestLineTooLong { limit } => {
+                write!(f, "request line exceeds the {limit}-byte limit")
+            }
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "header section exceeds the {limit}-byte limit")
+            }
+            HttpError::NotImplemented(what) => write!(f, "not implemented: {what}"),
+            HttpError::VersionNotSupported(v) => write!(f, "unsupported protocol version {v}"),
+        }
+    }
+}
+
+/// An incremental request parser over one connection's byte stream.
+///
+/// Feed raw reads in with [`RequestParser::push`]; pull complete requests
+/// out with [`RequestParser::try_next`]. Bytes beyond one request stay
+/// buffered, so a client that pipelines several requests in one segment
+/// gets them served in order, and a request arriving one byte at a time
+/// (short reads) assembles correctly.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: HttpLimits,
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: HttpLimits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Appends freshly read bytes to the parse buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (useful to detect trailing garbage).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to parse one complete request from the front of the buffer.
+    ///
+    /// Returns `Ok(Some(_))` and consumes the request's bytes when one is
+    /// fully buffered, `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`HttpError`] as soon as the input is *provably* invalid or
+    /// over a limit — possibly before it is complete (an oversized
+    /// `Content-Length` is rejected without waiting for the body). After
+    /// an error the connection should answer and close; the buffer is not
+    /// resynchronized.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        // Locate the end of the header section first.
+        let Some(head_len) = find(&self.buf, b"\r\n\r\n") else {
+            // Incomplete — but already over a limit?
+            if find(&self.buf, b"\r\n").is_none()
+                && self.buf.len() > self.limits.max_request_line_bytes
+            {
+                return Err(HttpError::RequestLineTooLong {
+                    limit: self.limits.max_request_line_bytes,
+                });
+            }
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::HeadersTooLarge {
+                    limit: self.limits.max_head_bytes,
+                });
+            }
+            return Ok(None);
+        };
+        if head_len > self.limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge {
+                limit: self.limits.max_head_bytes,
+            });
+        }
+
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| HttpError::BadRequest("header section is not valid UTF-8".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        if request_line.len() > self.limits.max_request_line_bytes {
+            return Err(HttpError::RequestLineTooLong {
+                limit: self.limits.max_request_line_bytes,
+            });
+        }
+        let (method, target, version) = parse_request_line(request_line)?;
+        let headers = lines
+            .map(parse_header_line)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let request = Request {
+            method,
+            target,
+            version,
+            headers,
+            body: Vec::new(),
+        };
+
+        // Body framing. Chunked request bodies are not implemented (the
+        // API's documents are small); declared lengths are bounded.
+        if request.header("transfer-encoding").is_some() {
+            return Err(HttpError::NotImplemented(
+                "Transfer-Encoding request bodies".into(),
+            ));
+        }
+        let body_len = match request.header("content-length") {
+            Some(v) => v.trim().parse::<usize>().map_err(|_| {
+                HttpError::BadRequest(format!("malformed Content-Length {:?}", v.trim()))
+            })?,
+            None if request.method == Method::Post => return Err(HttpError::LengthRequired),
+            None => 0,
+        };
+        if body_len > self.limits.max_body_bytes {
+            return Err(HttpError::PayloadTooLarge {
+                limit: self.limits.max_body_bytes,
+            });
+        }
+
+        let body_start = head_len + 4;
+        if self.buf.len() < body_start + body_len {
+            return Ok(None); // body still arriving
+        }
+        let mut request = request;
+        request.body = self.buf[body_start..body_start + body_len].to_vec();
+        self.buf.drain(..body_start + body_len);
+        Ok(Some(request))
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String, Version), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line {line:?}"
+        )));
+    };
+    let method = Method::parse(method)?;
+    let version = Version::parse(version)?;
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target {target:?} must start with '/'"
+        )));
+    }
+    Ok((method, target.to_string(), version))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed header line {line:?}"
+        )));
+    };
+    if name.is_empty() || name.contains(' ') || name.contains('\t') {
+        return Err(HttpError::BadRequest(format!(
+            "malformed header name {name:?}"
+        )));
+    }
+    Ok((name.to_string(), value.trim().to_string()))
+}
+
+/// A response status code; known codes carry their reason phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// The standard reason phrase for the code.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// A complete (non-streaming) response: status, headers, body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The status line's code.
+    pub status: StatusCode,
+    /// Extra headers (`Content-Length` and `Connection` are added when
+    /// writing; don't set them here).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: StatusCode, body: String) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into_bytes())
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: StatusCode, body: String) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into_bytes())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serializes the response (with `Content-Length` framing and the
+    /// appropriate `Connection` header) into `w`, returning the bytes
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<u64> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason());
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        ));
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok((head.len() + self.body.len()) as u64)
+    }
+}
+
+/// The error response the connection loop answers a parse failure with:
+/// the error's status and a JSON body naming the problem.
+pub fn error_response(error: &HttpError) -> Response {
+    Response::json(
+        error.status(),
+        format!("{{\"error\": {}}}", json_escape(&error.to_string())),
+    )
+}
+
+/// Renders `text` as a JSON string literal (quotes included).
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Starts a chunked (streaming) response: writes the status line and
+/// headers with `Transfer-Encoding: chunked`, returning the bytes written.
+/// Follow with any number of [`write_chunk`]s and one [`finish_chunked`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn start_chunked<W: Write>(
+    w: &mut W,
+    status: StatusCode,
+    content_type: &str,
+    keep_alive: bool,
+) -> io::Result<u64> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        status.0,
+        status.reason(),
+        content_type,
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    w.write_all(head.as_bytes())?;
+    w.flush()?;
+    Ok(head.len() as u64)
+}
+
+/// Writes one chunk of a chunked response (empty input writes nothing —
+/// an empty chunk would terminate the stream), returning the bytes
+/// written. Flushes, so a long-polling client sees rows as they land.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chunk<W: Write>(w: &mut W, data: &[u8]) -> io::Result<u64> {
+    if data.is_empty() {
+        return Ok(0);
+    }
+    let head = format!("{:x}\r\n", data.len());
+    w.write_all(head.as_bytes())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()?;
+    Ok((head.len() + data.len() + 2) as u64)
+}
+
+/// Terminates a chunked response (the zero-length chunk), returning the
+/// bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn finish_chunked<W: Write>(w: &mut W) -> io::Result<u64> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()?;
+    Ok(5)
+}
+
+/// Decodes a chunked transfer-encoded byte stream back into its payload.
+/// Returns `None` on malformed framing or a missing terminator. (The
+/// in-tree test client; real HTTP clients de-chunk themselves.)
+pub fn decode_chunked(mut body: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = find(body, b"\r\n")?;
+        let size = usize::from_str_radix(std::str::from_utf8(&body[..line_end]).ok()?, 16).ok()?;
+        body = &body[line_end + 2..];
+        if size == 0 {
+            return Some(out);
+        }
+        if body.len() < size + 2 || &body[size..size + 2] != b"\r\n" {
+            return None;
+        }
+        out.extend_from_slice(&body[..size]);
+        body = &body[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(input: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut parser = RequestParser::new(HttpLimits::default());
+        parser.push(input);
+        parser.try_next()
+    }
+
+    #[test]
+    fn a_simple_get_parses() {
+        let req = parse_one(b"GET /v1/jobs/3?x=1&y=2 HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path(), "/v1/jobs/3");
+        assert_eq!(req.query_pairs(), vec![("x", "1"), ("y", "2")]);
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn a_post_with_a_body_parses() {
+        let req = parse_one(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_version() {
+        let req = parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+        let req = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive());
+        let req = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn short_reads_assemble_one_request() {
+        // One byte at a time: the parser must keep answering "not yet"
+        // without losing anything, then produce the request.
+        let wire = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        let mut parser = RequestParser::new(HttpLimits::default());
+        for (i, byte) in wire.iter().enumerate() {
+            assert_eq!(parser.try_next().unwrap(), None, "complete at byte {i}?");
+            parser.push(&[*byte]);
+        }
+        let req = parser.try_next().unwrap().unwrap();
+        assert_eq!(req.body, b"abc");
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut parser = RequestParser::new(HttpLimits::default());
+        parser.push(
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\n\r\n",
+        );
+        let first = parser.try_next().unwrap().unwrap();
+        assert_eq!((first.method, first.path()), (Method::Post, "/a"));
+        assert_eq!(first.body, b"hi");
+        let second = parser.try_next().unwrap().unwrap();
+        assert_eq!((second.method, second.path()), (Method::Get, "/b"));
+        let third = parser.try_next().unwrap().unwrap();
+        assert_eq!(third.path(), "/c");
+        assert_eq!(parser.try_next().unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for wire in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET no-slash HTTP/1.1\r\n\r\n",
+            b"GET / TTYP/9\r\n\r\n",
+        ] {
+            let err = parse_one(wire).unwrap_err();
+            assert_eq!(err.status(), StatusCode(400), "{wire:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_400() {
+        let err = parse_one(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(400));
+        let err = parse_one(b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(400));
+        let err = parse_one(b"POST / HTTP/1.1\r\nContent-Length: twelve\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(400));
+    }
+
+    #[test]
+    fn unimplemented_features_are_501() {
+        let err = parse_one(b"PUT / HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(501));
+        let err = parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(501));
+    }
+
+    #[test]
+    fn unsupported_versions_are_505() {
+        let err = parse_one(b"GET / HTTP/2.0\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(505));
+        assert!(err.to_string().contains("HTTP/2.0"));
+    }
+
+    #[test]
+    fn a_post_without_content_length_is_411() {
+        let err = parse_one(b"POST /v1/jobs HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), StatusCode(411));
+    }
+
+    #[test]
+    fn limits_reject_oversized_input_with_the_right_status() {
+        let limits = HttpLimits {
+            max_request_line_bytes: 64,
+            max_head_bytes: 256,
+            max_body_bytes: 128,
+        };
+
+        // Request line over its limit — even before any CRLF arrives.
+        let mut parser = RequestParser::new(limits);
+        parser.push(format!("GET /{} HTTP/1.1", "x".repeat(100)).as_bytes());
+        let err = parser.try_next().unwrap_err();
+        assert_eq!(err.status(), StatusCode(414), "{err}");
+
+        // Header section over its limit, complete or not.
+        let mut parser = RequestParser::new(limits);
+        parser.push(format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "y".repeat(300)).as_bytes());
+        let err = parser.try_next().unwrap_err();
+        assert_eq!(err.status(), StatusCode(431), "{err}");
+        let mut parser = RequestParser::new(limits);
+        parser.push(format!("GET / HTTP/1.1\r\nX-Pad: {}", "y".repeat(300)).as_bytes());
+        let err = parser.try_next().unwrap_err();
+        assert_eq!(err.status(), StatusCode(431), "{err}");
+
+        // Declared body over its limit — rejected from the head alone,
+        // without waiting for (or buffering) the body.
+        let mut parser = RequestParser::new(limits);
+        parser.push(b"POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+        let err = parser.try_next().unwrap_err();
+        assert_eq!(err.status(), StatusCode(413), "{err}");
+
+        // At the limit everything is fine.
+        let mut parser = RequestParser::new(limits);
+        let body = "z".repeat(128);
+        parser.push(format!("POST / HTTP/1.1\r\nContent-Length: 128\r\n\r\n{body}").as_bytes());
+        let req = parser.try_next().unwrap().unwrap();
+        assert_eq!(req.body.len(), 128);
+    }
+
+    #[test]
+    fn responses_serialize_with_length_framing() {
+        let mut wire = Vec::new();
+        let n = Response::json(StatusCode(201), "{\"id\": 1}".into())
+            .write_to(&mut wire, true)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert_eq!(n as usize, text.len());
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 9\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\": 1}"));
+    }
+
+    #[test]
+    fn chunked_responses_round_trip() {
+        let mut wire = Vec::new();
+        let mut total =
+            start_chunked(&mut wire, StatusCode(200), "application/jsonl", false).unwrap();
+        total += write_chunk(&mut wire, b"{\"row\": 0}\n").unwrap();
+        total += write_chunk(&mut wire, b"").unwrap(); // no-op, not a terminator
+        total += write_chunk(&mut wire, b"{\"row\": 1}\n").unwrap();
+        total += finish_chunked(&mut wire).unwrap();
+        assert_eq!(total as usize, wire.len());
+
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
+        let body_start = text.find("\r\n\r\n").unwrap() + 4;
+        let decoded = decode_chunked(&wire[body_start..]).unwrap();
+        assert_eq!(decoded, b"{\"row\": 0}\n{\"row\": 1}\n");
+    }
+
+    #[test]
+    fn error_responses_carry_json_bodies() {
+        let resp = error_response(&HttpError::PayloadTooLarge { limit: 7 });
+        assert_eq!(resp.status, StatusCode(413));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("7-byte limit"), "{body}");
+        assert!(body.starts_with("{\"error\": \""));
+        // Escaping holds for hostile strings.
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,321 @@
+//! The TCP front door: accept loop, per-connection keep-alive loop, and
+//! the chunked JSONL result stream.
+//!
+//! One thread per connection (simulation jobs dwarf connection counts;
+//! the scheduler — not the listener — is the concurrency limiter). Each
+//! connection runs a [`RequestParser`] so pipelined requests and short
+//! reads both behave, answers parse failures with their typed 4xx/5xx
+//! and closes, and otherwise routes through [`Api::handle`]. Result
+//! streams are written with chunked transfer encoding, flushing row by
+//! row as the scheduler lands them.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use allarm_core::{JobId, JobScheduler, SchedulerConfig};
+
+use crate::api::{Api, Handled};
+use crate::http::{
+    error_response, finish_chunked, start_chunked, write_chunk, HttpLimits, RequestParser,
+    StatusCode,
+};
+
+/// Everything a [`Server`] needs to start.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Parser size limits for every connection.
+    pub limits: HttpLimits,
+    /// Sizing of the job scheduler behind the API.
+    pub scheduler: SchedulerConfig,
+}
+
+/// A running server: a bound listener, its accept thread, and the shared
+/// [`Api`]. Dropping the handle stops accepting new connections and shuts
+/// the scheduler down (established streams finish on their own threads).
+#[derive(Debug)]
+pub struct Server {
+    api: Arc<Api>,
+    addr: SocketAddr,
+    limits: HttpLimits,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:8642`; port `0` picks a free one —
+    /// read it back with [`Server::local_addr`]), starts the scheduler
+    /// and the accept thread, and returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let api = Arc::new(Api::new(Arc::new(JobScheduler::start(config.scheduler))));
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let api = Arc::clone(&api);
+            let stop = Arc::clone(&stop);
+            let limits = config.limits;
+            std::thread::spawn(move || accept_loop(&listener, &api, limits, &stop));
+        }
+        Ok(Server {
+            api,
+            addr: local,
+            limits: config.limits,
+            stop,
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared API (e.g. to reach the scheduler in-process).
+    pub fn api(&self) -> &Arc<Api> {
+        &self.api
+    }
+
+    /// The parser limits every connection enforces.
+    pub fn limits(&self) -> HttpLimits {
+        self.limits
+    }
+
+    /// Stops accepting connections and shuts the scheduler down. Called
+    /// on drop; explicit calls are idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.api.scheduler().shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, api: &Arc<Api>, limits: HttpLimits, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let api = Arc::clone(api);
+        std::thread::spawn(move || {
+            // A client vanishing mid-exchange surfaces as an I/O error
+            // here; that ends its connection thread and nothing else.
+            let _ = serve_connection(&api, stream, limits);
+        });
+    }
+}
+
+/// Runs one connection's keep-alive loop until the peer closes, a request
+/// asks to close, or a parse error forces a close.
+fn serve_connection(api: &Api, mut stream: TcpStream, limits: HttpLimits) -> io::Result<()> {
+    let mut parser = RequestParser::new(limits);
+    let mut read_buf = [0u8; 8192];
+    loop {
+        // Serve everything already buffered (pipelining) before reading.
+        match parser.try_next() {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive();
+                let bytes = match api.handle(&request) {
+                    Handled::Full(response) => response.write_to(&mut stream, keep_alive)?,
+                    Handled::StreamRows(id) => {
+                        stream_rows(api.scheduler(), &mut stream, id, keep_alive)?
+                    }
+                };
+                api.note_bytes_served(bytes);
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Ok(None) => {
+                let n = stream.read(&mut read_buf)?;
+                if n == 0 {
+                    return Ok(()); // peer closed
+                }
+                parser.push(&read_buf[..n]);
+            }
+            Err(e) => {
+                // Typed refusal, then close: the stream cannot be
+                // resynchronized after malformed framing.
+                let bytes = error_response(&e).write_to(&mut stream, false)?;
+                api.note_bytes_served(bytes);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Streams a job's JSONL rows as one chunked `200`, blocking on the
+/// scheduler until rows land and ending when the job is terminal. Every
+/// chunk is flushed, so a client following a running job sees each row as
+/// it completes.
+fn stream_rows(
+    scheduler: &JobScheduler,
+    stream: &mut TcpStream,
+    id: JobId,
+    keep_alive: bool,
+) -> io::Result<u64> {
+    let mut total = start_chunked(stream, StatusCode(200), "application/jsonl", keep_alive)?;
+    let mut from = 0;
+    loop {
+        // The API resolved the id before routing here, and jobs are never
+        // removed, so the lookup holds.
+        let chunk = scheduler.wait_rows(id, from).expect("job id pre-resolved");
+        let mut payload = String::new();
+        for row in &chunk.rows {
+            payload.push_str(row);
+            payload.push('\n');
+        }
+        total += write_chunk(stream, payload.as_bytes())?;
+        from += chunk.rows.len();
+        if chunk.done {
+            break;
+        }
+    }
+    total += finish_chunked(stream)?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::decode_chunked;
+    use allarm_core::{
+        AllocationPolicy, BatchRunner, Benchmark, JsonlSink, Scenario, ScenarioGrid,
+    };
+    use std::io::Write;
+
+    fn grid() -> ScenarioGrid {
+        ScenarioGrid::new(
+            Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline).with_accesses(300),
+        )
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+    }
+
+    /// One round trip on a fresh connection; returns (head, body bytes).
+    fn exchange(addr: SocketAddr, request: &str) -> (String, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut wire = Vec::new();
+        stream.read_to_end(&mut wire).unwrap();
+        let split = wire
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("complete head");
+        (
+            String::from_utf8(wire[..split].to_vec()).unwrap(),
+            wire[split + 4..].to_vec(),
+        )
+    }
+
+    #[test]
+    fn the_server_serves_a_job_end_to_end_over_tcp() {
+        let grid = grid();
+        let mut reference = JsonlSink::new();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&grid.expand(), &mut reference)
+            .unwrap();
+        let reference = reference.into_string();
+
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        let body = grid.to_toml().unwrap();
+        let (head, _) = exchange(
+            addr,
+            &format!(
+                "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(head.starts_with("HTTP/1.1 201 Created"), "{head}");
+
+        // The streamed results, de-chunked, are byte-identical to the
+        // JSONL sink on the same document.
+        let (head, body) = exchange(
+            addr,
+            "GET /v1/jobs/0/results HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+        let streamed = decode_chunked(&body).expect("well-formed chunking");
+        assert_eq!(String::from_utf8(streamed).unwrap(), reference);
+
+        // Metrics count the served bytes and the finished job.
+        let (head, body) = exchange(addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("allarm_jobs_done 1\n"), "{text}");
+        assert!(!text.contains("allarm_bytes_served_total 0\n"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_connections_serve_several_requests() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        // Two pipelined requests in one segment, then a closing one.
+        stream
+            .write_all(
+                b"GET /metrics HTTP/1.1\r\n\r\nGET /v1/jobs/0 HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut wire = Vec::new();
+        stream.read_to_end(&mut wire).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        let oks = text.matches("HTTP/1.1 200 OK").count();
+        let missing = text.matches("HTTP/1.1 404 Not Found").count();
+        assert_eq!((oks, missing), (2, 1), "{text}");
+    }
+
+    #[test]
+    fn malformed_requests_get_a_typed_refusal_and_a_close() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let (head, body) = exchange(server.local_addr(), "PBBBT\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 400 Bad Request"), "{head}");
+        assert!(head.contains("Connection: close"), "{head}");
+        assert!(String::from_utf8(body).unwrap().contains("error"));
+
+        // The server survives the abuse.
+        let (head, _) = exchange(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_at_the_configured_limit() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                limits: HttpLimits {
+                    max_body_bytes: 64,
+                    ..HttpLimits::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let (head, _) = exchange(
+            server.local_addr(),
+            &format!(
+                "POST /v1/jobs HTTP/1.1\r\nContent-Length: 4096\r\n\r\n{}",
+                "x".repeat(4096)
+            ),
+        );
+        assert!(head.starts_with("HTTP/1.1 413 Payload Too Large"), "{head}");
+    }
+}
