@@ -1,22 +1,36 @@
 //! The committed performance trajectory: a fixed-workload simulator
-//! benchmark whose numbers are written to `BENCH_6.json` at the repo root,
+//! benchmark whose numbers are written to `BENCH_7.json` at the repo root,
 //! so simulator-throughput regressions show up in review as a diff.
 //!
-//! A labelled matrix (the iai-callgrind style): three benchmarks with
-//! distinct sharing behaviour × both allocation policies, on the paper's
-//! sixteen-core machine at a fixed access count. The workloads are
-//! materialized **outside** the timed region — the numbers measure the
-//! coherence simulator, not the trace generator. Skipping the file write:
-//! pass any filter (`cargo bench -p allarm-bench --bench perf_trajectory
-//! -- barnes`), which marks the run partial.
+//! Two groups:
+//!
+//! * `simulate_16c` — the labelled matrix (the iai-callgrind style):
+//!   three benchmarks with distinct sharing behaviour × both allocation
+//!   policies, on the paper's sixteen-core machine at a fixed access
+//!   count. Unchanged across trajectory files, so points stay comparable.
+//! * `simulate_64c_batched` — the miss-window batching profile: raytrace
+//!   (the most miss-heavy generator) on the 64-core machine through the
+//!   **sharded** kernel, at the default window and at the serial
+//!   (depth-1) ablation. The pair makes the batching win — fewer barrier
+//!   crossings per simulated nanosecond — a number the trajectory tracks.
+//!
+//! The workloads are materialized **outside** the timed region — the
+//! numbers measure the coherence simulator, not the trace generator.
+//! Skipping the file write: pass any filter (`cargo bench -p allarm-bench
+//! --bench perf_trajectory -- barnes`), which marks the run partial.
 
 use allarm_core::{AllocationPolicy, MachineConfig, SimulationBuilder};
 use allarm_harness::{benchmark_main, black_box, stats_to_json, Group};
+use allarm_types::MissWindowConfig;
 use allarm_workloads::{Benchmark, TraceGenerator};
 
 /// Accesses per thread: fixed, so trajectory points stay comparable
 /// across commits.
 const ACCESSES: usize = 2_000;
+
+/// Accesses per thread for the 64-core batching group — 64 threads make
+/// each sample ~2× the 16-core points at this length.
+const ACCESSES_64C: usize = 1_000;
 
 const MATRIX: [(Benchmark, &str); 3] = [
     (Benchmark::Barnes, "barnes"),
@@ -25,9 +39,10 @@ const MATRIX: [(Benchmark, &str); 3] = [
 ];
 
 fn trajectory() {
-    let mut group = Group::new("simulate_16c").sample_count(5);
     let mut stats = Vec::new();
     let mut complete = true;
+
+    let mut group = Group::new("simulate_16c").sample_count(5);
     for (benchmark, label) in MATRIX {
         let workload = TraceGenerator::new(16, ACCESSES, 2014).generate(benchmark);
         for policy in AllocationPolicy::ALL {
@@ -46,13 +61,35 @@ fn trajectory() {
     }
     group.finish();
 
+    let mut group = Group::new("simulate_64c_batched").sample_count(5);
+    let workload = TraceGenerator::new(64, ACCESSES_64C, 2014).generate(Benchmark::Raytrace);
+    for (window, label) in [
+        (MissWindowConfig::default_window(), "raytrace.window8"),
+        (MissWindowConfig::serial(), "raytrace.serial"),
+    ] {
+        let mut machine = MachineConfig::scale64();
+        machine.miss_window = window;
+        let simulator = SimulationBuilder::new(machine)
+            .policy(AllocationPolicy::Allarm)
+            .sim_threads(4)
+            .build()
+            .expect("the 64-core machine is valid");
+        match group.bench(label, || {
+            black_box(simulator.run(&workload).runtime);
+        }) {
+            Some(s) => stats.push(s),
+            None => complete = false,
+        }
+    }
+    group.finish();
+
     if complete {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
         std::fs::write(path, stats_to_json("perf_trajectory", &stats))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[perf_trajectory] wrote {path}");
     } else {
-        eprintln!("[perf_trajectory] filtered run: BENCH_6.json not rewritten");
+        eprintln!("[perf_trajectory] filtered run: BENCH_7.json not rewritten");
     }
 }
 

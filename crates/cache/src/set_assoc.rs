@@ -35,6 +35,13 @@ struct Way {
 /// This structure is used both for the data caches (`L1D`, `L2`) and, in
 /// `allarm-coherence`, as the tag array backing the probe filter.
 ///
+/// Storage is a single flat slab of `num_sets * ways` entries indexed by
+/// `set * ways + way` — one allocation, cache-friendly walks — with a
+/// per-set occupancy count. Within a set the occupied prefix behaves
+/// exactly like the per-set `Vec` it replaced (push appends at `len`,
+/// removal is a `swap_remove`), so victim selection — which is
+/// position-dependent — is unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -49,12 +56,25 @@ struct Way {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Way>>,
+    /// `num_sets * ways` entries; only the first `lens[set]` ways of each
+    /// set's `ways`-sized span are meaningful.
+    slab: Vec<Way>,
+    lens: Vec<u32>,
+    num_sets: usize,
     ways: usize,
     policy: ReplacementPolicy,
     tick: u64,
     stats: CacheStats,
 }
+
+/// Filler for unoccupied slab entries; never read (all walks stop at the
+/// set's occupancy count).
+const EMPTY_WAY: Way = Way {
+    addr: LineAddr::new(0),
+    state: CoherenceState::Invalid,
+    last_touch: 0,
+    inserted: 0,
+};
 
 impl SetAssocCache {
     /// Creates a cache with the geometry of `config` and LRU replacement.
@@ -74,15 +94,7 @@ impl SetAssocCache {
     pub fn with_policy(config: &CacheConfig, policy: ReplacementPolicy) -> Self {
         let num_sets = config.num_sets() as usize;
         let ways = config.ways as usize;
-        assert!(num_sets > 0, "cache must have at least one set");
-        assert!(ways > 0, "cache must have at least one way");
-        SetAssocCache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
-            ways,
-            policy,
-            tick: 0,
-            stats: CacheStats::default(),
-        }
+        Self::from_geometry(num_sets, ways, policy)
     }
 
     /// Creates a cache from an explicit (sets, ways) geometry; used by the
@@ -95,7 +107,9 @@ impl SetAssocCache {
         assert!(num_sets > 0, "cache must have at least one set");
         assert!(ways > 0, "cache must have at least one way");
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            slab: vec![EMPTY_WAY; num_sets * ways],
+            lens: vec![0; num_sets],
+            num_sets,
             ways,
             policy,
             tick: 0,
@@ -104,7 +118,40 @@ impl SetAssocCache {
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() % self.sets.len() as u64) as usize
+        (line.raw() % self.num_sets as u64) as usize
+    }
+
+    /// The occupied ways of `set`.
+    fn set_ways(&self, set: usize) -> &[Way] {
+        let base = set * self.ways;
+        &self.slab[base..base + self.lens[set] as usize]
+    }
+
+    /// The occupied ways of `set`, mutably.
+    fn set_ways_mut(&mut self, set: usize) -> &mut [Way] {
+        let base = set * self.ways;
+        &mut self.slab[base..base + self.lens[set] as usize]
+    }
+
+    /// Appends `way` to `set`'s occupied prefix (`Vec::push` equivalent).
+    fn push_way(&mut self, set: usize, way: Way) {
+        let len = self.lens[set] as usize;
+        debug_assert!(len < self.ways, "set overfull");
+        self.slab[set * self.ways + len] = way;
+        self.lens[set] += 1;
+    }
+
+    /// Removes position `pos` from `set`'s occupied prefix by swapping the
+    /// last occupied way into its place (`Vec::swap_remove` equivalent —
+    /// victim choice downstream depends on this exact reordering).
+    fn swap_remove_way(&mut self, set: usize, pos: usize) -> Way {
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        debug_assert!(pos < len, "swap_remove out of bounds");
+        let removed = self.slab[base + pos];
+        self.slab[base + pos] = self.slab[base + len - 1];
+        self.lens[set] -= 1;
+        removed
     }
 
     /// Looks up `line`, updating recency and hit/miss statistics.
@@ -112,13 +159,23 @@ impl SetAssocCache {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_index(line);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.addr == line) {
-            way.last_touch = tick;
-            self.stats.hits.incr();
-            Some(way.state)
-        } else {
-            self.stats.misses.incr();
-            None
+        let hit = self
+            .set_ways_mut(set)
+            .iter_mut()
+            .find(|w| w.addr == line)
+            .map(|way| {
+                way.last_touch = tick;
+                way.state
+            });
+        match hit {
+            Some(state) => {
+                self.stats.hits.incr();
+                Some(state)
+            }
+            None => {
+                self.stats.misses.incr();
+                None
+            }
         }
     }
 
@@ -126,7 +183,7 @@ impl SetAssocCache {
     /// statistics (a directory probe).
     pub fn probe(&self, line: LineAddr) -> Option<CoherenceState> {
         let set = self.set_index(line);
-        self.sets[set]
+        self.set_ways(set)
             .iter()
             .find(|w| w.addr == line)
             .map(|w| w.state)
@@ -143,20 +200,25 @@ impl SetAssocCache {
         let ways = self.ways;
         let policy = self.policy;
 
-        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.addr == line) {
+        if let Some(way) = self
+            .set_ways_mut(set_idx)
+            .iter_mut()
+            .find(|w| w.addr == line)
+        {
             way.state = state;
             way.last_touch = tick;
             return None;
         }
 
         let mut victim = None;
-        if self.sets[set_idx].len() >= ways {
-            let (touches, inserts): (Vec<u64>, Vec<u64>) = self.sets[set_idx]
+        if self.lens[set_idx] as usize >= ways {
+            let (touches, inserts): (Vec<u64>, Vec<u64>) = self
+                .set_ways(set_idx)
                 .iter()
                 .map(|w| (w.last_touch, w.inserted))
                 .unzip();
             let victim_way = policy.pick_victim(&touches, &inserts, tick);
-            let evicted = self.sets[set_idx].swap_remove(victim_way);
+            let evicted = self.swap_remove_way(set_idx, victim_way);
             self.stats.evictions.incr();
             if evicted.state.is_dirty() {
                 self.stats.writebacks.incr();
@@ -166,12 +228,15 @@ impl SetAssocCache {
                 state: evicted.state,
             });
         }
-        self.sets[set_idx].push(Way {
-            addr: line,
-            state,
-            last_touch: tick,
-            inserted: tick,
-        });
+        self.push_way(
+            set_idx,
+            Way {
+                addr: line,
+                state,
+                last_touch: tick,
+                inserted: tick,
+            },
+        );
         victim
     }
 
@@ -179,8 +244,8 @@ impl SetAssocCache {
     /// state if it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<CoherenceState> {
         let set = self.set_index(line);
-        if let Some(pos) = self.sets[set].iter().position(|w| w.addr == line) {
-            let way = self.sets[set].swap_remove(pos);
+        if let Some(pos) = self.set_ways(set).iter().position(|w| w.addr == line) {
+            let way = self.swap_remove_way(set, pos);
             self.stats.invalidations.incr();
             if way.state.is_dirty() {
                 self.stats.writebacks.incr();
@@ -195,7 +260,7 @@ impl SetAssocCache {
     /// not present.
     pub fn set_state(&mut self, line: LineAddr, state: CoherenceState) -> bool {
         let set = self.set_index(line);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.addr == line) {
+        if let Some(way) = self.set_ways_mut(set).iter_mut().find(|w| w.addr == line) {
             way.state = state;
             true
         } else {
@@ -207,8 +272,8 @@ impl SetAssocCache {
     /// line migrates between levels of the same core's hierarchy).
     pub fn remove_silently(&mut self, line: LineAddr) -> Option<CoherenceState> {
         let set = self.set_index(line);
-        if let Some(pos) = self.sets[set].iter().position(|w| w.addr == line) {
-            let way = self.sets[set].swap_remove(pos);
+        if let Some(pos) = self.set_ways(set).iter().position(|w| w.addr == line) {
+            let way = self.swap_remove_way(set, pos);
             Some(way.state)
         } else {
             None
@@ -217,7 +282,7 @@ impl SetAssocCache {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// True if no lines are resident.
@@ -227,7 +292,7 @@ impl SetAssocCache {
 
     /// Maximum number of resident lines.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.num_sets * self.ways
     }
 
     /// Associativity.
@@ -237,7 +302,7 @@ impl SetAssocCache {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Access statistics.
@@ -247,9 +312,7 @@ impl SetAssocCache {
 
     /// Iterates over all resident lines and their states.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, CoherenceState)> + '_ {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter().map(|w| (w.addr, w.state)))
+        (0..self.num_sets).flat_map(|set| self.set_ways(set).iter().map(|w| (w.addr, w.state)))
     }
 }
 
@@ -393,5 +456,165 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_rejected() {
         let _ = SetAssocCache::from_geometry(4, 0, ReplacementPolicy::Lru);
+    }
+
+    /// The nested-`Vec` storage the flat slab replaced, kept as an
+    /// executable specification: every operation must return the same
+    /// value and leave the same stats as this model.
+    struct NestedModel {
+        sets: Vec<Vec<Way>>,
+        ways: usize,
+        policy: ReplacementPolicy,
+        tick: u64,
+        stats: CacheStats,
+    }
+
+    impl NestedModel {
+        fn new(num_sets: usize, ways: usize, policy: ReplacementPolicy) -> Self {
+            NestedModel {
+                sets: vec![Vec::new(); num_sets],
+                ways,
+                policy,
+                tick: 0,
+                stats: CacheStats::default(),
+            }
+        }
+
+        fn set_index(&self, line: LineAddr) -> usize {
+            (line.raw() % self.sets.len() as u64) as usize
+        }
+
+        fn lookup(&mut self, line: LineAddr) -> Option<CoherenceState> {
+            self.tick += 1;
+            let tick = self.tick;
+            let set = self.set_index(line);
+            if let Some(way) = self.sets[set].iter_mut().find(|w| w.addr == line) {
+                way.last_touch = tick;
+                self.stats.hits.incr();
+                Some(way.state)
+            } else {
+                self.stats.misses.incr();
+                None
+            }
+        }
+
+        fn insert(&mut self, line: LineAddr, state: CoherenceState) -> Option<EvictedLine> {
+            self.tick += 1;
+            let tick = self.tick;
+            let set = self.set_index(line);
+            if let Some(way) = self.sets[set].iter_mut().find(|w| w.addr == line) {
+                way.state = state;
+                way.last_touch = tick;
+                return None;
+            }
+            let mut victim = None;
+            if self.sets[set].len() >= self.ways {
+                let touches: Vec<u64> = self.sets[set].iter().map(|w| w.last_touch).collect();
+                let inserts: Vec<u64> = self.sets[set].iter().map(|w| w.inserted).collect();
+                let evicted =
+                    self.sets[set].swap_remove(self.policy.pick_victim(&touches, &inserts, tick));
+                self.stats.evictions.incr();
+                if evicted.state.is_dirty() {
+                    self.stats.writebacks.incr();
+                }
+                victim = Some(EvictedLine {
+                    addr: evicted.addr,
+                    state: evicted.state,
+                });
+            }
+            self.sets[set].push(Way {
+                addr: line,
+                state,
+                last_touch: tick,
+                inserted: tick,
+            });
+            victim
+        }
+
+        fn invalidate(&mut self, line: LineAddr) -> Option<CoherenceState> {
+            let set = self.set_index(line);
+            if let Some(pos) = self.sets[set].iter().position(|w| w.addr == line) {
+                let way = self.sets[set].swap_remove(pos);
+                self.stats.invalidations.incr();
+                if way.state.is_dirty() {
+                    self.stats.writebacks.incr();
+                }
+                Some(way.state)
+            } else {
+                None
+            }
+        }
+
+        fn remove_silently(&mut self, line: LineAddr) -> Option<CoherenceState> {
+            let set = self.set_index(line);
+            let pos = self.sets[set].iter().position(|w| w.addr == line)?;
+            Some(self.sets[set].swap_remove(pos).state)
+        }
+
+        fn contents(&self) -> Vec<(u64, CoherenceState)> {
+            // In storage order: swap_remove reordering must match too.
+            self.sets
+                .iter()
+                .flat_map(|set| set.iter().map(|w| (w.addr.raw(), w.state)))
+                .collect()
+        }
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Drives the flat-slab cache and the nested-`Vec` reference through
+    /// the same seeded operation stream and demands identical results,
+    /// identical stats, and identical storage order — the strongest form
+    /// of "the slab refactor changed nothing", covering the
+    /// position-dependent victim choices of every policy.
+    #[test]
+    fn flat_slab_matches_nested_vec_reference_model() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            for seed in 1..=4u64 {
+                let mut rng = seed;
+                let mut flat = SetAssocCache::from_geometry(4, 3, policy);
+                let mut model = NestedModel::new(4, 3, policy);
+                let states = [
+                    CoherenceState::Modified,
+                    CoherenceState::Owned,
+                    CoherenceState::Exclusive,
+                    CoherenceState::Shared,
+                ];
+                for _ in 0..5_000 {
+                    let r = splitmix64(&mut rng);
+                    let line = LineAddr::new(r % 48); // 4x conflict pressure
+                    let state = states[(r >> 8) as usize % states.len()];
+                    match (r >> 16) % 5 {
+                        0 => assert_eq!(flat.lookup(line), model.lookup(line)),
+                        1 | 2 => assert_eq!(flat.insert(line, state), model.insert(line, state)),
+                        3 => assert_eq!(flat.invalidate(line), model.invalidate(line)),
+                        _ => assert_eq!(flat.remove_silently(line), model.remove_silently(line)),
+                    }
+                }
+                let flat_contents: Vec<(u64, CoherenceState)> = flat
+                    .iter()
+                    .map(|(addr, state)| (addr.raw(), state))
+                    .collect();
+                assert_eq!(flat_contents, model.contents(), "{policy:?} seed {seed}");
+                assert_eq!(flat.stats().hits.get(), model.stats.hits.get());
+                assert_eq!(flat.stats().misses.get(), model.stats.misses.get());
+                assert_eq!(flat.stats().evictions.get(), model.stats.evictions.get());
+                assert_eq!(flat.stats().writebacks.get(), model.stats.writebacks.get());
+                assert_eq!(
+                    flat.stats().invalidations.get(),
+                    model.stats.invalidations.get()
+                );
+            }
+        }
     }
 }

@@ -109,6 +109,14 @@ struct Slot {
 
 /// A set-associative sparse directory.
 ///
+/// Storage is a single flat slab of `num_sets * ways` slots indexed by
+/// `set * ways + way`, pre-initialised to invalid slots — one allocation,
+/// sequential walks in the directory hot path. Sets never reorder (the
+/// old per-set `Vec` only ever pushed or overwrote in place, never
+/// removed), so a slot's `valid` flag carries the same information the
+/// grow-only `Vec` length did and every position-dependent choice —
+/// first-invalid reuse, LRU and random victim selection — is unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -124,7 +132,9 @@ struct Slot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ProbeFilter {
-    sets: Vec<Vec<Slot>>,
+    /// `num_sets * ways` slots; invalid slots are free.
+    slab: Vec<Slot>,
+    num_sets: usize,
     ways: usize,
     replacement: PfReplacement,
     /// Cores per NUMA node; `1` means a flat (single-level) filter, larger
@@ -161,8 +171,14 @@ impl ProbeFilter {
         assert!(num_sets > 0, "probe filter must have at least one set");
         assert!(ways > 0, "probe filter must have at least one way");
         assert!(cores_per_node > 0, "a node hosts at least one core");
+        let empty = Slot {
+            entry: PfEntry::new(LineAddr::new(0), CoreId::new(0)),
+            last_touch: 0,
+            valid: false,
+        };
         ProbeFilter {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            slab: vec![empty; num_sets * ways],
+            num_sets,
             ways,
             replacement: config.replacement,
             cores_per_node,
@@ -177,7 +193,12 @@ impl ProbeFilter {
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() % self.sets.len() as u64) as usize
+        (line.raw() % self.num_sets as u64) as usize
+    }
+
+    /// Start of `line`'s set within the slab.
+    fn set_base(&self, line: LineAddr) -> usize {
+        self.set_index(line) * self.ways
     }
 
     /// Charges one full array access; on a hierarchical filter the level-1
@@ -194,8 +215,9 @@ impl ProbeFilter {
         self.tick += 1;
         let tick = self.tick;
         self.touch_array();
-        let set = self.set_index(line);
-        if let Some(slot) = self.sets[set]
+        let base = self.set_base(line);
+        let ways = self.ways;
+        if let Some(slot) = self.slab[base..base + ways]
             .iter_mut()
             .find(|s| s.valid && s.entry.line == line)
         {
@@ -210,8 +232,8 @@ impl ProbeFilter {
 
     /// Checks for an entry without touching recency or statistics.
     pub fn peek(&self, line: LineAddr) -> Option<PfEntry> {
-        let set = self.set_index(line);
-        self.sets[set]
+        let base = self.set_base(line);
+        self.slab[base..base + self.ways]
             .iter()
             .find(|s| s.valid && s.entry.line == line)
             .map(|s| s.entry.clone())
@@ -234,10 +256,10 @@ impl ProbeFilter {
         self.tick += 1;
         let tick = self.tick;
         self.touch_array();
-        let set_idx = self.set_index(line);
+        let base = self.set_base(line);
         let ways = self.ways;
 
-        if let Some(slot) = self.sets[set_idx]
+        if let Some(slot) = self.slab[base..base + ways]
             .iter_mut()
             .find(|s| s.valid && s.entry.line == line)
         {
@@ -252,13 +274,10 @@ impl ProbeFilter {
             valid: true,
         };
 
-        // Reuse an invalid slot if the set has one.
-        if let Some(slot) = self.sets[set_idx].iter_mut().find(|s| !s.valid) {
+        // Reuse the first invalid slot if the set has one (a never-used way
+        // or a deallocated entry).
+        if let Some(slot) = self.slab[base..base + ways].iter_mut().find(|s| !s.valid) {
             *slot = new_slot;
-            return None;
-        }
-        if self.sets[set_idx].len() < ways {
-            self.sets[set_idx].push(new_slot);
             return None;
         }
 
@@ -267,7 +286,7 @@ impl ProbeFilter {
         // energy model charges via `array_accesses`.
         self.touch_array();
         let victim_idx = match self.replacement {
-            PfReplacement::Lru => self.sets[set_idx]
+            PfReplacement::Lru => self.slab[base..base + ways]
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, s)| (s.last_touch, *i))
@@ -279,10 +298,10 @@ impl ProbeFilter {
                 let mut z = tick.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                ((z ^ (z >> 31)) % self.sets[set_idx].len() as u64) as usize
+                ((z ^ (z >> 31)) % ways as u64) as usize
             }
         };
-        let victim = std::mem::replace(&mut self.sets[set_idx][victim_idx], new_slot).entry;
+        let victim = std::mem::replace(&mut self.slab[base + victim_idx], new_slot).entry;
         self.stats.evictions.incr();
         Some(PfEviction { entry: victim })
     }
@@ -290,8 +309,9 @@ impl ProbeFilter {
     /// Adds `core` to the sharer set of an existing entry; returns false if
     /// no entry exists.
     pub fn add_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
-        let set = self.set_index(line);
-        if let Some(slot) = self.sets[set]
+        let base = self.set_base(line);
+        let ways = self.ways;
+        if let Some(slot) = self.slab[base..base + ways]
             .iter_mut()
             .find(|s| s.valid && s.entry.line == line)
         {
@@ -305,8 +325,9 @@ impl ProbeFilter {
     /// Replaces the owner (and optionally collapses the sharer set to just
     /// the new owner, as happens after a GetX).
     pub fn set_owner(&mut self, line: LineAddr, owner: CoreId, exclusive: bool) -> bool {
-        let set = self.set_index(line);
-        if let Some(slot) = self.sets[set]
+        let base = self.set_base(line);
+        let ways = self.ways;
+        if let Some(slot) = self.slab[base..base + ways]
             .iter_mut()
             .find(|s| s.valid && s.entry.line == line)
         {
@@ -330,8 +351,9 @@ impl ProbeFilter {
     /// when a cache tells the directory it dropped its copy, the directory
     /// can free the entry once no copies remain.
     pub fn remove_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
-        let set = self.set_index(line);
-        if let Some(slot) = self.sets[set]
+        let base = self.set_base(line);
+        let ways = self.ways;
+        if let Some(slot) = self.slab[base..base + ways]
             .iter_mut()
             .find(|s| s.valid && s.entry.line == line)
         {
@@ -351,8 +373,9 @@ impl ProbeFilter {
 
     /// Explicitly removes the entry for `line`, if present.
     pub fn deallocate(&mut self, line: LineAddr) -> bool {
-        let set = self.set_index(line);
-        if let Some(slot) = self.sets[set]
+        let base = self.set_base(line);
+        let ways = self.ways;
+        if let Some(slot) = self.slab[base..base + ways]
             .iter_mut()
             .find(|s| s.valid && s.entry.line == line)
         {
@@ -366,16 +389,12 @@ impl ProbeFilter {
 
     /// Number of valid entries currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|s| s.valid)
-            .count()
+        self.slab.iter().filter(|s| s.valid).count()
     }
 
     /// Maximum number of entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.slab.len()
     }
 
     /// Activity statistics.
@@ -576,5 +595,249 @@ mod tests {
         pf.peek(LineAddr::new(0));
         pf.peek(LineAddr::new(5));
         assert_eq!(*pf.stats(), before);
+    }
+
+    /// The grow-only nested-`Vec` storage the flat slab replaced, kept as
+    /// an executable specification: a set was a `Vec<Slot>` that only ever
+    /// pushed or overwrote in place, so a pre-initialised invalid slab
+    /// must reproduce it operation for operation.
+    struct NestedModel {
+        sets: Vec<Vec<Slot>>,
+        ways: usize,
+        replacement: PfReplacement,
+        cores_per_node: u32,
+        tick: u64,
+        stats: PfStats,
+    }
+
+    impl NestedModel {
+        fn new(num_sets: usize, ways: usize, replacement: PfReplacement, cpn: u32) -> Self {
+            NestedModel {
+                sets: vec![Vec::new(); num_sets],
+                ways,
+                replacement,
+                cores_per_node: cpn,
+                tick: 0,
+                stats: PfStats::default(),
+            }
+        }
+
+        fn set_index(&self, line: LineAddr) -> usize {
+            (line.raw() % self.sets.len() as u64) as usize
+        }
+
+        fn touch_array(&mut self) {
+            self.stats.array_accesses.incr();
+            if self.cores_per_node > 1 {
+                self.stats.node_vector_accesses.incr();
+            }
+        }
+
+        fn find_mut(&mut self, line: LineAddr) -> Option<&mut Slot> {
+            let set = self.set_index(line);
+            self.sets[set]
+                .iter_mut()
+                .find(|s| s.valid && s.entry.line == line)
+        }
+
+        fn lookup(&mut self, line: LineAddr) -> Option<PfEntry> {
+            self.tick += 1;
+            let tick = self.tick;
+            self.touch_array();
+            let hit = self.find_mut(line).map(|slot| {
+                slot.last_touch = tick;
+                slot.entry.clone()
+            });
+            match hit {
+                Some(entry) => {
+                    self.stats.hits.incr();
+                    Some(entry)
+                }
+                None => {
+                    self.stats.misses.incr();
+                    None
+                }
+            }
+        }
+
+        fn allocate(&mut self, line: LineAddr, owner: CoreId) -> Option<PfEviction> {
+            self.tick += 1;
+            let tick = self.tick;
+            self.touch_array();
+            if let Some(slot) = self.find_mut(line) {
+                slot.last_touch = tick;
+                return None;
+            }
+            self.stats.allocations.incr();
+            let new_slot = Slot {
+                entry: PfEntry::new(line, owner),
+                last_touch: tick,
+                valid: true,
+            };
+            let set = self.set_index(line);
+            if let Some(slot) = self.sets[set].iter_mut().find(|s| !s.valid) {
+                *slot = new_slot;
+                return None;
+            }
+            if self.sets[set].len() < self.ways {
+                self.sets[set].push(new_slot);
+                return None;
+            }
+            self.touch_array();
+            let victim_idx = match self.replacement {
+                PfReplacement::Lru => self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, s)| (s.last_touch, *i))
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty"),
+                PfReplacement::Random => {
+                    let mut z = tick.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    ((z ^ (z >> 31)) % self.sets[set].len() as u64) as usize
+                }
+            };
+            let victim = std::mem::replace(&mut self.sets[set][victim_idx], new_slot).entry;
+            self.stats.evictions.incr();
+            Some(PfEviction { entry: victim })
+        }
+
+        fn add_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+            if let Some(slot) = self.find_mut(line) {
+                slot.entry.sharers.insert(core);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn set_owner(&mut self, line: LineAddr, owner: CoreId, exclusive: bool) -> bool {
+            if let Some(slot) = self.find_mut(line) {
+                slot.entry.owner = owner;
+                if exclusive {
+                    slot.entry.sharers = SharerSet::only(owner);
+                } else {
+                    slot.entry.sharers.insert(owner);
+                }
+                true
+            } else {
+                false
+            }
+        }
+
+        fn remove_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+            let mut emptied_opt = None;
+            if let Some(slot) = self.find_mut(line) {
+                slot.entry.sharers.remove(core);
+                let emptied = slot.entry.sharers.is_empty();
+                if emptied {
+                    slot.valid = false;
+                }
+                emptied_opt = Some(emptied);
+            }
+            if let Some(emptied) = emptied_opt {
+                self.touch_array();
+                if emptied {
+                    self.stats.deallocations.incr();
+                    return true;
+                }
+            }
+            false
+        }
+
+        fn deallocate(&mut self, line: LineAddr) -> bool {
+            if let Some(slot) = self.find_mut(line) {
+                slot.valid = false;
+                self.stats.deallocations.incr();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn occupancy(&self) -> usize {
+            self.sets
+                .iter()
+                .flat_map(|s| s.iter())
+                .filter(|s| s.valid)
+                .count()
+        }
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Drives the flat-slab filter and the grow-only nested-`Vec`
+    /// reference through the same seeded operation stream and demands
+    /// identical return values, stats and occupancy — covering the
+    /// position-dependent pieces (first-invalid reuse, LRU and random
+    /// victim selection) across both replacement policies and both the
+    /// flat and hierarchical sharer-tracking modes.
+    #[test]
+    fn flat_slab_matches_nested_vec_reference_model() {
+        for replacement in [PfReplacement::Lru, PfReplacement::Random] {
+            for cores_per_node in [1u32, 4] {
+                for seed in 1..=3u64 {
+                    let mut cfg = ProbeFilterConfig::new(16 * 64, 4);
+                    cfg.replacement = replacement;
+                    let mut flat = ProbeFilter::hierarchical(&cfg, cores_per_node);
+                    let mut model =
+                        NestedModel::new(flat.num_sets, flat.ways, replacement, cores_per_node);
+                    let mut rng = seed;
+                    for _ in 0..5_000 {
+                        let r = splitmix64(&mut rng);
+                        let line = LineAddr::new(r % 64); // 4x conflict pressure
+                        let core = CoreId::new(((r >> 8) % 8) as u16);
+                        match (r >> 16) % 6 {
+                            0 => assert_eq!(flat.lookup(line), model.lookup(line)),
+                            1 | 2 => {
+                                assert_eq!(flat.allocate(line, core), model.allocate(line, core));
+                            }
+                            3 => assert_eq!(
+                                flat.add_sharer(line, core),
+                                model.add_sharer(line, core)
+                            ),
+                            4 => {
+                                let exclusive = (r >> 32) & 1 == 1;
+                                assert_eq!(
+                                    flat.set_owner(line, core, exclusive),
+                                    model.set_owner(line, core, exclusive)
+                                );
+                            }
+                            _ => assert_eq!(
+                                flat.remove_sharer(line, core),
+                                model.remove_sharer(line, core)
+                            ),
+                        }
+                        if r.is_multiple_of(97) {
+                            assert_eq!(flat.deallocate(line), model.deallocate(line));
+                        }
+                    }
+                    assert_eq!(
+                        *flat.stats(),
+                        model.stats,
+                        "{replacement:?} cpn {cores_per_node} seed {seed}"
+                    );
+                    assert_eq!(flat.occupancy(), model.occupancy());
+                    for addr in 0..64u64 {
+                        assert_eq!(
+                            flat.peek(LineAddr::new(addr)),
+                            model
+                                .sets
+                                .iter()
+                                .flat_map(|s| s.iter())
+                                .find(|s| s.valid && s.entry.line == LineAddr::new(addr))
+                                .map(|s| s.entry.clone())
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -84,6 +84,10 @@ pub struct CoherenceEvent {
 pub struct CoherenceReply {
     /// The core the reply is for.
     pub core: CoreId,
+    /// The [`MergeKey`] of the request this reply answers. A core holding
+    /// several outstanding misses commits its replies in this (total,
+    /// thread-count-independent) order.
+    pub key: MergeKey,
     /// Latency added on top of the core's private-hierarchy walk: the time
     /// spent queued behind earlier transactions at the controller plus the
     /// transaction's own critical path.
@@ -191,12 +195,12 @@ impl DirectoryShard {
     /// Panics if an event's home node is outside this shard's slice.
     pub fn process(
         &mut self,
-        mut events: Vec<CoherenceEvent>,
+        events: &mut [CoherenceEvent],
         sys: &mut dyn SystemAccess,
     ) -> Vec<CoherenceReply> {
         events.sort_by_key(|e| e.key);
         let mut replies = Vec::new();
-        for event in events {
+        for &event in events.iter() {
             assert!(
                 self.owns(event.home),
                 "event for node {} routed to shard {}..{}",
@@ -207,7 +211,7 @@ impl DirectoryShard {
             let idx = event.home.index() - self.first_node;
             match event.op {
                 CoherenceOp::Request { request, arrival } => {
-                    replies.push(self.handle_request(idx, request, arrival, sys));
+                    replies.push(self.handle_request(idx, request, arrival, event.key, sys));
                 }
                 CoherenceOp::EvictNotice { line, core, dirty } => {
                     // Writebacks retire in the background; their latency is
@@ -229,6 +233,7 @@ impl DirectoryShard {
         idx: usize,
         request: CoherenceRequest,
         arrival: Nanos,
+        key: MergeKey,
         sys: &mut dyn SystemAccess,
     ) -> CoherenceReply {
         let dir = &mut self.controllers[idx];
@@ -245,6 +250,7 @@ impl DirectoryShard {
 
         CoherenceReply {
             core: request.requester,
+            key,
             latency: queue_delay + response.latency,
             fill_state: response.fill_state,
             carries_data: request.kind.needs_data(),
@@ -343,7 +349,7 @@ mod tests {
     #[test]
     fn events_are_processed_in_merge_key_order_regardless_of_arrival() {
         // Two orderings of the same batch must leave identical state.
-        let batch = vec![
+        let mut batch = vec![
             request_event(0, 100, 2, 50, 0),
             request_event(1, 201, 3, 10, 0),
             request_event(0, 100, 1, 10, 1),
@@ -354,11 +360,11 @@ mod tests {
 
         let mut sys_a = MiniSystem::new();
         let mut shard_a = shard(0..2);
-        let replies_a = shard_a.process(batch, &mut sys_a);
+        let replies_a = shard_a.process(&mut batch, &mut sys_a);
 
         let mut sys_b = MiniSystem::new();
         let mut shard_b = shard(0..2);
-        let replies_b = shard_b.process(reversed, &mut sys_b);
+        let replies_b = shard_b.process(&mut reversed, &mut sys_b);
 
         assert_eq!(replies_a, replies_b);
         assert_eq!(sys_a.dram_accesses, sys_b.dram_accesses);
@@ -380,7 +386,7 @@ mod tests {
         let mut sys = MiniSystem::new();
         let mut s = shard(0..1);
         let queued = s.process(
-            vec![
+            &mut [
                 request_event(0, 100, 1, 10, 0),
                 request_event(0, 164, 2, 10, 0),
             ],
@@ -390,7 +396,7 @@ mod tests {
         let mut sys = MiniSystem::new();
         let mut s = shard(0..1);
         let spaced = s.process(
-            vec![
+            &mut [
                 request_event(0, 100, 1, 10, 0),
                 request_event(0, 164, 2, 10_000, 0),
             ],
@@ -410,7 +416,7 @@ mod tests {
     fn evict_notices_free_directory_entries_without_replies() {
         let mut sys = MiniSystem::new();
         let mut s = shard(0..1);
-        let replies = s.process(vec![request_event(0, 100, 1, 10, 0)], &mut sys);
+        let replies = s.process(&mut [request_event(0, 100, 1, 10, 0)], &mut sys);
         assert_eq!(replies.len(), 1);
         assert!(s.controllers()[0]
             .probe_filter()
@@ -426,7 +432,7 @@ mod tests {
                 dirty: false,
             },
         };
-        let replies = s.process(vec![notice], &mut sys);
+        let replies = s.process(&mut [notice], &mut sys);
         assert!(replies.is_empty());
         assert!(s.controllers()[0]
             .probe_filter()
@@ -438,6 +444,6 @@ mod tests {
     #[should_panic(expected = "routed to shard")]
     fn misrouted_events_are_rejected() {
         let mut sys = MiniSystem::new();
-        shard(0..2).process(vec![request_event(3, 1, 1, 0, 0)], &mut sys);
+        shard(0..2).process(&mut [request_event(3, 1, 1, 0, 0)], &mut sys);
     }
 }

@@ -56,6 +56,20 @@ pub struct SimReport {
     pub local_probes_hidden: u64,
     /// Dynamic energy consumed by the NoC and probe filters (Fig. 3f).
     pub energy: DynamicEnergy,
+    /// Barrier-to-barrier rounds the sharded kernel executed. Miss-window
+    /// batching exists to shrink this: the deeper the windows, the more
+    /// coherence traffic each barrier crossing carries. Thread-count
+    /// invariant, like every other field.
+    #[serde(default)]
+    pub rounds_executed: u64,
+    /// Coherence events drained through the directory slices, summed over
+    /// rounds (requests plus eviction notices).
+    #[serde(default)]
+    pub events_merged: u64,
+    /// Deepest in-flight miss window any core reached
+    /// (≤ `miss_window.depth`).
+    #[serde(default)]
+    pub max_window_depth: u32,
     /// Provenance: [`allarm_workloads::Workload::checksum`] of the replayed
     /// reference stream. For a trace-file replay this equals the checksum
     /// recorded in the file's header, so an externally-sourced run is
@@ -72,7 +86,8 @@ impl SimReport {
          remote_requests,pf_allocations,pf_evictions,eviction_messages,\
          eviction_invalidations,allarm_allocation_skips,noc_bytes,noc_messages,\
          dram_reads,dram_writes,local_probes,local_probe_hits,local_probes_hidden,\
-         noc_pj,probe_filter_pj,workload_checksum";
+         noc_pj,probe_filter_pj,rounds_executed,events_merged,max_window_depth,\
+         workload_checksum";
 
     /// Renders the report as one flat CSV row matching
     /// [`SimReport::CSV_HEADER`]. Workload and policy names never contain
@@ -80,7 +95,7 @@ impl SimReport {
     /// applied here.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:016x}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:016x}",
             self.workload,
             self.policy,
             self.pf_coverage_bytes,
@@ -106,6 +121,9 @@ impl SimReport {
             self.local_probes_hidden,
             self.energy.noc_pj,
             self.energy.probe_filter_pj,
+            self.rounds_executed,
+            self.events_merged,
+            self.max_window_depth,
             self.workload_checksum,
         )
     }
@@ -264,6 +282,9 @@ mod tests {
                 noc_pj: 100.0,
                 probe_filter_pj: 60.0,
             },
+            rounds_executed: 12,
+            events_merged: 250,
+            max_window_depth: 8,
             workload_checksum: 0xdead_beef_0123_4567,
         }
     }

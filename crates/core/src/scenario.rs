@@ -518,6 +518,30 @@ mod tests {
     }
 
     #[test]
+    fn toml_without_miss_window_parses_to_the_default() {
+        // Scenario documents written before the miss window existed have
+        // no `[machine.miss_window]` table; they must keep parsing and get
+        // the default window.
+        let s = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
+        let text = s.to_toml().unwrap();
+        let start = text
+            .find("[machine.miss_window]")
+            .expect("the window is serialized as its own machine table");
+        let end = text[start + 1..]
+            .find("\n[")
+            .map(|i| start + 1 + i + 1)
+            .unwrap_or(text.len());
+        let stripped = format!("{}{}", &text[..start], &text[end..]);
+        assert!(!stripped.contains("miss_window"));
+        let parsed = Scenario::from_toml(&stripped).unwrap();
+        assert_eq!(
+            parsed.machine.miss_window,
+            allarm_types::MissWindowConfig::default_window()
+        );
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
     fn workload_generation_is_pure() {
         let s =
             Scenario::quick_test(Benchmark::Cholesky, AllocationPolicy::Allarm).with_accesses(200);

@@ -10,31 +10,59 @@
 //! barrier-separated phases:
 //!
 //! 1. **Core phase** (parallel, shard-local state only): every shard first
-//!    applies the directory replies its cores received last round (fills,
-//!    upgrade grants, clock advances, capacity-victim collection), then
-//!    replays each of its cores forward through private-cache hits until
-//!    the core blocks — on a coherence request, on a page fault (a touch
-//!    the NUMA allocator cannot resolve read-only), or on trace end.
-//!    Everything emitted crossing a shard boundary is a timestamped event.
+//!    commits the directory replies its cores received last round (fills,
+//!    upgrade grants, clock advances, capacity-victim collection) in
+//!    per-core [`MergeKey`] order, then replays each of its cores forward
+//!    through private-cache hits *and further coherence misses* until the
+//!    core blocks. A core does not stop at its first miss: it keeps
+//!    issuing requests for independent lines, accumulating an in-flight
+//!    *miss window*, until it touches a line that is already in flight,
+//!    fills its window (`miss_window.depth`, the MSHR count), runs past
+//!    the round's time horizon, page-faults, or exhausts its trace.
 //! 2. **Directory phase** (parallel by home node): pending page faults are
 //!    applied to the allocator in deterministic `(time, core, seq)` order
 //!    by the lead shard; concurrently every shard drains the coherence
 //!    events bound for its home nodes — sorted by the same key — through
 //!    its directory slice, probing remote caches through per-core locks.
 //!
+//! **The time horizon.** Batching several misses per round is what lets a
+//! round carry several rounds' worth of traffic per barrier crossing, but
+//! an unbounded window would let a fast core race arbitrarily far ahead of
+//! the slowest one, reordering directory traffic relative to a short
+//! window. The horizon pins that skew: at the end of every core phase each
+//! shard publishes the minimum clock of its unfinished cores
+//! ([`Exchange::min_clock`]); each shard folds the global minimum and sets
+//! next round's horizon to `min + miss_window.horizon`. A core with a
+//! non-empty window stops issuing once its local time passes the horizon.
+//! A core's *first* miss of a round is never gated — the horizon bounds
+//! window growth, not progress — so the kernel cannot deadlock.
+//!
 //! **Why the result is independent of the shard count.** The core phase
-//! touches only state owned by the running shard (its cores' caches and
-//! cursors) plus read-only views, so its outcome per core is a pure
-//! function of round-start state. The directory phase orders each home
-//! node's events by a total order ([`MergeKey`]) that does not mention
-//! shards, and transactions of *different* homes never touch the same
-//! cache line (a line has exactly one home), so their line-local cache
-//! mutations and counter increments commute. Every merged statistic is a
-//! sum. Hence `sim_threads = N` produces byte-identical reports to
-//! `sim_threads = 1` — the batch-level guarantee of the runner, extended
-//! down into a single simulation.
+//! touches only state owned by the running shard (its cores' caches,
+//! cursors and windows) plus read-only views, so the window a core issues
+//! is a pure function of round-start state and the round horizon. The
+//! horizon itself is a fold (min) over all cores' round-start clocks —
+//! shard-count-invariant because the clocks are. The directory phase
+//! orders each home node's events by a total order ([`MergeKey`]) that
+//! does not mention shards or rounds, and transactions of *different*
+//! homes never touch the same cache line (a line has exactly one home), so
+//! their line-local cache mutations and counter increments commute.
+//! Replies commit to each core in the same key order the requests were
+//! issued in, so the core-side cache mutations replay identically too.
+//! Every merged statistic is a sum, a max, or per-shard-identical. Hence
+//! `sim_threads = N` produces byte-identical reports to `sim_threads = 1`
+//! — the batch-level guarantee of the runner, extended down into a single
+//! simulation.
+//!
+//! With `miss_window.depth = 1` (see [`MissWindowConfig::serial`]) every
+//! window holds at most one miss and the horizon never engages, which
+//! reproduces the unbatched kernel's timing bit-for-bit — the ablation
+//! baseline for the `rounds_executed` counter.
+//!
+//! [`MissWindowConfig::serial`]: allarm_types::MissWindowConfig::serial
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::mem;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use allarm_cache::{AccessOutcome, CoherenceNeed, CoherenceState, CoreCaches};
@@ -75,12 +103,19 @@ struct PageFault {
 /// Each mailbox is written by its source shard in one phase and read by
 /// its destination shard in the next; the phase barriers guarantee the
 /// accesses never overlap, the mutexes make that safe in the type system.
+/// Producers swap their filled buffer with the drained-but-allocated one
+/// left in the mailbox, so in steady state no mailbox traffic allocates.
 struct Exchange {
     /// `events[dst][src]`: coherence events homed on shard `dst`'s nodes.
     events: Vec<Vec<Mutex<Vec<CoherenceEvent>>>>,
     /// `replies[dst][src]`: directory replies for cores pinned to `dst`.
     replies: Vec<Vec<Mutex<Vec<CoherenceReply>>>>,
     faults: Vec<Mutex<Vec<Keyed<PageFault>>>>,
+    /// Per shard: the minimum clock of its live (unfinished) cores at the
+    /// end of its core phase, or `u64::MAX` if none remain. Folded by
+    /// every shard in the directory phase into next round's time horizon.
+    /// Written before and read after a barrier, so never racy.
+    min_clock: Vec<AtomicU64>,
 }
 
 impl Exchange {
@@ -94,16 +129,20 @@ impl Exchange {
             events: matrix(num_shards),
             replies: matrix(num_shards),
             faults: (0..num_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            min_clock: (0..num_shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
         }
     }
 }
 
-/// An in-flight coherence transaction of one core: issued in the core
-/// phase, resolved by a [`CoherenceReply`] next round.
+/// One in-flight coherence transaction of one core: issued in the core
+/// phase, resolved by the [`CoherenceReply`] carrying the same key next
+/// round. The private-hierarchy latency of the triggering access is folded
+/// into the core's clock when the window parks, so the reply only needs to
+/// add the directory's latency.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
+    key: MergeKey,
     line: LineAddr,
-    private_latency: Nanos,
 }
 
 /// One workload slot (a software thread pinned to a core) as a shard sees
@@ -118,7 +157,10 @@ struct Slot {
     /// Monotone event counter; the final tie-breaker of this core's
     /// [`MergeKey`]s.
     seq: u32,
-    pending: Option<Pending>,
+    /// The in-flight miss window, in issue (= key) order. Every reply for
+    /// the window arrives in the next directory phase, so the window is
+    /// always empty again when the core next runs.
+    window: Vec<Pending>,
     faulted: bool,
 }
 
@@ -138,6 +180,9 @@ struct ShardOutput {
     dram_writes: u64,
     clocks: Vec<Nanos>,
     accesses: u64,
+    rounds: u64,
+    events_merged: u64,
+    max_window: u32,
 }
 
 /// The merged outcome of a run, consumed by the report builder.
@@ -149,6 +194,14 @@ pub(crate) struct KernelOutput {
     pub(crate) dram_writes: u64,
     pub(crate) makespan: Nanos,
     pub(crate) total_accesses: u64,
+    /// Barrier-to-barrier rounds the kernel executed; every shard runs the
+    /// same count, so this is also each worker thread's round count.
+    pub(crate) rounds_executed: u64,
+    /// Coherence events drained through directory slices, summed over
+    /// shards and rounds.
+    pub(crate) events_merged: u64,
+    /// Deepest miss window any core accumulated in a single round.
+    pub(crate) max_window_depth: u32,
 }
 
 /// Runs `workload` on the machine with `num_shards` worker threads and
@@ -217,6 +270,9 @@ fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> K
     let mut dram_writes = 0;
     let mut makespan = Nanos::ZERO;
     let mut total_accesses = 0;
+    let mut rounds_executed = 0;
+    let mut events_merged = 0;
+    let mut max_window_depth = 0;
     for output in outputs {
         let output = output.expect("every shard reports an output");
         controllers.extend(output.controllers);
@@ -225,6 +281,11 @@ fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> K
         dram_writes += output.dram_writes;
         makespan = makespan.max(output.clocks.iter().copied().max().unwrap_or(Nanos::ZERO));
         total_accesses += output.accesses;
+        // Every shard crosses the same barriers, so `rounds` agree; the
+        // max is that common value, not a sum.
+        rounds_executed = rounds_executed.max(output.rounds);
+        events_merged += output.events_merged;
+        max_window_depth = max_window_depth.max(output.max_window);
     }
     KernelOutput {
         controllers,
@@ -237,13 +298,15 @@ fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> K
         dram_writes,
         makespan,
         total_accesses,
+        rounds_executed,
+        events_merged,
+        max_window_depth,
     }
 }
 
 /// One shard's execution state for the duration of a run.
 struct ShardWorker<'a> {
     shard_id: usize,
-    num_shards: usize,
     topology: Topology,
     /// Node index -> owning shard, for per-destination event routing.
     shard_of_node: Vec<usize>,
@@ -263,7 +326,25 @@ struct ShardWorker<'a> {
     live_slots: &'a AtomicUsize,
     l1_latency: Nanos,
     l2_latency: Nanos,
+    /// Maximum in-flight misses per core (the MSHR count).
+    depth: usize,
+    /// Window growth allowance beyond the globally slowest live core.
+    horizon_ns: Nanos,
+    /// This round's absolute issue cutoff: `min(live clocks) + horizon_ns`
+    /// as of the previous round's end, identical on every shard.
+    round_horizon: Nanos,
     accesses: u64,
+    rounds: u64,
+    events_merged: u64,
+    max_window: u32,
+    // Round-local buffers, persisted across rounds so the steady state
+    // allocates nothing. The outboxes and `routed` swap with the exchange
+    // mailboxes; the scratch vectors are drained or cleared each round.
+    outboxes: Vec<Vec<CoherenceEvent>>,
+    fault_scratch: Vec<Keyed<PageFault>>,
+    inbox_scratch: Vec<CoherenceEvent>,
+    reply_scratch: Vec<CoherenceReply>,
+    routed_scratch: Vec<Vec<CoherenceReply>>,
 }
 
 impl<'a> ShardWorker<'a> {
@@ -296,7 +377,7 @@ impl<'a> ShardWorker<'a> {
                 node: topology.node_of_core(t.core),
                 cursor: 0,
                 seq: 0,
-                pending: None,
+                window: Vec::new(),
                 faulted: false,
             })
             .collect();
@@ -308,12 +389,12 @@ impl<'a> ShardWorker<'a> {
                 slot.core.index()
             );
         }
-        let shard_of_node = (0..plan.num_nodes())
+        let shard_of_node: Vec<usize> = (0..plan.num_nodes())
             .map(|n| plan.shard_of_node(n))
             .collect();
+        let num_shards = plan.num_shards();
         ShardWorker {
             shard_id,
-            num_shards: plan.num_shards(),
             topology,
             shard_of_node,
             scheduler: CoreScheduler::new(slots.len()),
@@ -334,7 +415,18 @@ impl<'a> ShardWorker<'a> {
             live_slots,
             l1_latency: config.l1d.access_latency,
             l2_latency: config.l2.access_latency,
+            depth: config.miss_window.depth.max(1) as usize,
+            horizon_ns: config.miss_window.horizon,
+            round_horizon: config.miss_window.horizon,
             accesses: 0,
+            rounds: 0,
+            events_merged: 0,
+            max_window: 0,
+            outboxes: vec![Vec::new(); num_shards],
+            fault_scratch: Vec::new(),
+            inbox_scratch: Vec::new(),
+            reply_scratch: Vec::new(),
+            routed_scratch: vec![Vec::new(); num_shards],
         }
     }
 
@@ -343,6 +435,7 @@ impl<'a> ShardWorker<'a> {
     /// and identical for every shard.
     fn run(&mut self) {
         loop {
+            self.rounds += 1;
             self.core_phase();
             self.barrier.wait();
             if self.shard_id == 0 {
@@ -362,12 +455,15 @@ impl<'a> ShardWorker<'a> {
         }
     }
 
-    /// Phase 1: deliver last round's replies to this shard's cores, then
+    /// Phase 1: commit last round's replies to this shard's cores, then
     /// replay each runnable core forward until it blocks. Every emitted
     /// event goes straight into its destination shard's mailbox.
     fn core_phase(&mut self) {
-        let mut outboxes: Vec<Vec<CoherenceEvent>> = vec![Vec::new(); self.num_shards];
-        let mut faults: Vec<Keyed<PageFault>> = Vec::new();
+        let mut outboxes = mem::take(&mut self.outboxes);
+        let mut faults = mem::take(&mut self.fault_scratch);
+        // The fault mailbox is read by cloning (not drained), so the
+        // buffer we swapped back last round still holds stale entries.
+        faults.clear();
         {
             let allocator = self.allocator.read().expect("allocator lock poisoned");
             self.deliver_replies(&allocator, &mut outboxes);
@@ -375,83 +471,140 @@ impl<'a> ShardWorker<'a> {
                 self.run_slot(local, &allocator, &mut outboxes, &mut faults);
             }
         }
-        for (dst, outbox) in outboxes.into_iter().enumerate() {
-            *self.exchange.events[dst][self.shard_id]
+        for (dst, outbox) in outboxes.iter_mut().enumerate() {
+            // Swap rather than assign: the consumer drained the mailbox
+            // with `append`, leaving an empty vector whose capacity we
+            // inherit for next round.
+            let mut mailbox = self.exchange.events[dst][self.shard_id]
                 .lock()
-                .expect("event mailbox poisoned") = outbox;
+                .expect("event mailbox poisoned");
+            mem::swap(&mut *mailbox, outbox);
         }
-        *self.exchange.faults[self.shard_id]
-            .lock()
-            .expect("fault mailbox poisoned") = faults;
+        {
+            let mut mailbox = self.exchange.faults[self.shard_id]
+                .lock()
+                .expect("fault mailbox poisoned");
+            mem::swap(&mut *mailbox, &mut faults);
+        }
+        self.outboxes = outboxes;
+        self.fault_scratch = faults;
+
+        // Publish the minimum clock of this shard's live cores; the fold
+        // across shards (after the barrier) bounds next round's window
+        // growth. `u64::MAX` marks a shard with no live cores left.
+        let mut min = u64::MAX;
+        for local in 0..self.slots.len() {
+            if !self.scheduler.is_finished(local) {
+                min = min.min(self.scheduler.time_of(local).as_u64());
+            }
+        }
+        self.exchange.min_clock[self.shard_id].store(min, Ordering::Release);
     }
 
-    /// Applies every reply addressed to one of this shard's cores: install
-    /// the data, surface capacity victims as eviction notices, advance the
-    /// core's clock by the full access latency, and make it runnable again.
+    /// Commits every reply addressed to one of this shard's cores, in
+    /// per-core issue order: install the data, surface capacity victims as
+    /// eviction notices, advance the core's clock by the directory
+    /// latency, and make the core runnable again.
     fn deliver_replies(
         &mut self,
         allocator: &RwLockReadGuard<'_, NumaAllocator>,
         outboxes: &mut [Vec<CoherenceEvent>],
     ) {
+        let mut replies = mem::take(&mut self.reply_scratch);
+        replies.clear();
         for mailbox in &self.exchange.replies[self.shard_id] {
-            for reply in mailbox.lock().expect("reply mailbox poisoned").iter() {
-                let local = self.slot_of_core[reply.core.index()]
-                    .expect("replies are routed to the shard owning the core");
-                let slot = &mut self.slots[local];
-                let pending = slot
-                    .pending
-                    .take()
-                    .expect("a reply implies an in-flight transaction");
-                let total = pending.private_latency + reply.latency;
-                self.scheduler.advance(local, total);
-                self.scheduler.unpark(local);
-                let completed = self.scheduler.time_of(local);
+            replies.append(&mut mailbox.lock().expect("reply mailbox poisoned"));
+        }
+        // Mailbox (source-shard) order depends on the shard count; commit
+        // order must not. Group by core, then replay each core's replies
+        // in the key order its requests were issued in.
+        replies.sort_by_key(|reply| (reply.core.index(), reply.key));
+        for reply in &replies {
+            let local = self.slot_of_core[reply.core.index()]
+                .expect("replies are routed to the shard owning the core");
+            let slot = &mut self.slots[local];
+            // Window keys are strictly increasing, and the directory
+            // answers every request the round it receives it, so the
+            // sorted replies walk the window front to back.
+            let pending = slot.window.remove(0);
+            assert_eq!(
+                pending.key, reply.key,
+                "replies commit in the order their requests were issued"
+            );
+            // The transaction completes at `arrival + latency`, an absolute
+            // time (the key's timestamp is the arrival). The core clock
+            // advances to the latest completion seen so far — not by the
+            // sum of the window's latencies: the misses overlapped at the
+            // controller, so their queueing delays overlap too. Summing
+            // them would charge the shared wait once per miss, and — since
+            // inflated clocks inflate the next round's arrivals and the
+            // controllers' occupancy horizons — compound round over round.
+            // At window depth 1 the maximum is always the single reply's
+            // completion, reproducing the unbatched kernel's clock exactly.
+            let completion = reply.key.time + reply.latency;
+            let now = self.scheduler.time_of(local);
+            if completion > now {
+                self.scheduler.advance(local, completion - now);
+            }
+            self.scheduler.unpark(local);
+            let completed = self.scheduler.time_of(local);
 
-                let mut caches = self.caches[slot.core.index()]
-                    .lock()
-                    .expect("cache lock poisoned");
-                if reply.carries_data {
-                    caches.fill(pending.line, reply.fill_state);
-                } else if !caches.grant_write(pending.line) {
-                    // The Shared copy was invalidated while the upgrade was
-                    // parked (an earlier-keyed writer won ownership of the
-                    // line this round). The directory has already recorded
-                    // this core as the new owner, so install the line
-                    // Modified — the refetched data a real upgrade-miss
-                    // reply would carry — keeping cache state and directory
-                    // bookkeeping consistent.
-                    caches.fill(pending.line, CoherenceState::Modified);
-                }
-                // Lines displaced entirely out of this core's hierarchy:
-                // dirty (exclusively-owned) victims are written back, which
-                // also notifies the home directory and frees its entry — the
-                // baseline's eviction-notification optimisation. Clean
-                // victims are dropped silently, as in the deployed Hammer
-                // protocol, so their directory entries go stale until the
-                // probe filter's own replacement recycles them. That stale
-                // occupancy is precisely the pressure ALLARM removes for
-                // thread-local data.
-                for victim in caches.take_capacity_victims() {
-                    if victim.state.is_dirty() {
-                        let home = allocator.home_of_line(victim.addr);
-                        let event = CoherenceEvent {
-                            home,
-                            key: slot.next_key(completed),
-                            op: CoherenceOp::EvictNotice {
-                                line: victim.addr,
-                                core: slot.core,
-                                dirty: true,
-                            },
-                        };
-                        outboxes[self.shard_of_node[home.index()]].push(event);
-                    }
+            let mut caches = self.caches[slot.core.index()]
+                .lock()
+                .expect("cache lock poisoned");
+            if reply.carries_data {
+                caches.fill(pending.line, reply.fill_state);
+            } else if !caches.grant_write(pending.line) {
+                // The Shared copy was invalidated while the upgrade was
+                // parked (an earlier-keyed writer won ownership of the
+                // line this round). The directory has already recorded
+                // this core as the new owner, so install the line
+                // Modified — the refetched data a real upgrade-miss
+                // reply would carry — keeping cache state and directory
+                // bookkeeping consistent.
+                caches.fill(pending.line, CoherenceState::Modified);
+            }
+            // Lines displaced entirely out of this core's hierarchy:
+            // dirty (exclusively-owned) victims are written back, which
+            // also notifies the home directory and frees its entry — the
+            // baseline's eviction-notification optimisation. Clean
+            // victims are dropped silently, as in the deployed Hammer
+            // protocol, so their directory entries go stale until the
+            // probe filter's own replacement recycles them. That stale
+            // occupancy is precisely the pressure ALLARM removes for
+            // thread-local data.
+            //
+            // A victim that is itself part of this commit batch — the
+            // just-filled line, or a line the rest of the window is about
+            // to reinstall — must not be reported: its directory entry is
+            // live for the in-flight transaction, and the notice would
+            // free it out from under the reply. (Unreachable at window
+            // depth 1, where the remaining window is always empty.)
+            for victim in caches.take_capacity_victims() {
+                if victim.state.is_dirty()
+                    && victim.addr != pending.line
+                    && !slot.window.iter().any(|p| p.line == victim.addr)
+                {
+                    let home = allocator.home_of_line(victim.addr);
+                    let event = CoherenceEvent {
+                        home,
+                        key: slot.next_key(completed),
+                        op: CoherenceOp::EvictNotice {
+                            line: victim.addr,
+                            core: slot.core,
+                            dirty: true,
+                        },
+                    };
+                    outboxes[self.shard_of_node[home.index()]].push(event);
                 }
             }
         }
+        self.reply_scratch = replies;
     }
 
-    /// Replays one core until it blocks: on a coherence request, on a page
-    /// fault, or on the end of its trace.
+    /// Replays one core until it blocks: on a full or dependent miss
+    /// window, on the round horizon, on a page fault, or on the end of its
+    /// trace.
     fn run_slot(
         &mut self,
         local: usize,
@@ -461,28 +614,54 @@ impl<'a> ShardWorker<'a> {
     ) {
         let slot = &mut self.slots[local];
         slot.faulted = false;
+        debug_assert!(
+            slot.window.is_empty(),
+            "every reply for a window arrives the round after it is issued"
+        );
         let trace = &self.workload.threads[slot.thread];
         let mut caches = self.caches[slot.core.index()]
             .lock()
             .expect("cache lock poisoned");
-        // Hit latencies accumulate locally and commit to the scheduler in
-        // one `advance` when the core blocks, so a long hit-run costs one
-        // heap entry instead of one per access.
+        // Hit latencies — and the private-hierarchy part of every issued
+        // miss — accumulate locally and commit to the scheduler in one
+        // `advance` when the core blocks, so a long run costs one heap
+        // entry instead of one per access. Replies later add only the
+        // directory latency on top.
+        let base = self.scheduler.time_of(local);
         let mut elapsed = Nanos::ZERO;
         loop {
             let Some(access) = trace.accesses.get(slot.cursor) else {
-                self.scheduler.finish(local);
-                self.scheduler.advance(local, elapsed);
-                self.live_slots.fetch_sub(1, Ordering::AcqRel);
+                if slot.window.is_empty() {
+                    self.scheduler.finish(local);
+                    self.scheduler.advance(local, elapsed);
+                    self.live_slots.fetch_sub(1, Ordering::AcqRel);
+                } else {
+                    // The trace ended mid-window; the slot retires next
+                    // round, after the outstanding replies commit.
+                    self.scheduler.park(local);
+                    self.scheduler.advance(local, elapsed);
+                }
                 return;
             };
+
+            // The horizon gates only window *growth*: a core that has
+            // already issued a miss this round stops (even through hits)
+            // once its local time passes the cutoff, so no core races
+            // ahead of the globally slowest one by more than the
+            // configured allowance. Checked before any mutation, so the
+            // access replays verbatim next round.
+            if !slot.window.is_empty() && base + elapsed > self.round_horizon {
+                self.scheduler.park(local);
+                self.scheduler.advance(local, elapsed);
+                return;
+            }
 
             // Virtual-to-physical translation; an unmapped (or policy-
             // pending) page blocks the core until the fault is resolved in
             // the deterministic merge step.
             let Some(frame) = allocator.lookup(access.vaddr) else {
                 faults.push(Keyed::new(
-                    slot.next_key(self.scheduler.time_of(local) + elapsed),
+                    slot.next_key(base + elapsed),
                     PageFault {
                         vaddr: access.vaddr,
                         toucher: slot.node,
@@ -495,6 +674,14 @@ impl<'a> ShardWorker<'a> {
             };
             let line = frame.line(access.vaddr);
 
+            // An access to a line with an in-flight transaction depends on
+            // the reply; stop here without consuming the access.
+            if slot.window.iter().any(|p| p.line == line) {
+                self.scheduler.park(local);
+                self.scheduler.advance(local, elapsed);
+                return;
+            }
+
             // Walk the private hierarchy.
             let need = caches.coherence_need(line, access.write);
             let outcome = caches.access(line, access.write);
@@ -504,9 +691,9 @@ impl<'a> ShardWorker<'a> {
             if outcome != AccessOutcome::L1Hit {
                 latency += self.l2_latency;
             }
+            elapsed += latency;
 
             let Some(need) = need else {
-                elapsed += latency;
                 continue;
             };
             let kind = match need {
@@ -514,23 +701,26 @@ impl<'a> ShardWorker<'a> {
                 CoherenceNeed::WriteMiss => RequestKind::GetX,
                 CoherenceNeed::Upgrade => RequestKind::Upgrade,
             };
-            let arrival = self.scheduler.time_of(local) + elapsed + latency;
+            let arrival = base + elapsed;
+            let key = slot.next_key(arrival);
             let event = CoherenceEvent {
                 home: frame.home,
-                key: slot.next_key(arrival),
+                key,
                 op: CoherenceOp::Request {
                     request: CoherenceRequest::new(line, kind, slot.core, slot.node),
                     arrival,
                 },
             };
             outboxes[self.shard_of_node[frame.home.index()]].push(event);
-            slot.pending = Some(Pending {
-                line,
-                private_latency: latency,
-            });
-            self.scheduler.park(local);
-            self.scheduler.advance(local, elapsed);
-            return;
+            slot.window.push(Pending { key, line });
+            self.max_window = self.max_window.max(slot.window.len() as u32);
+            if slot.window.len() >= self.depth {
+                self.scheduler.park(local);
+                self.scheduler.advance(local, elapsed);
+                return;
+            }
+            // Window not full: keep replaying — the next independent miss
+            // overlaps with this one.
         }
     }
 
@@ -565,24 +755,40 @@ impl<'a> ShardWorker<'a> {
     /// lead shard has resolved their mappings by now... by the
     /// end-of-round barrier, which is what the next core phase waits on).
     fn directory_phase(&mut self) {
+        // Fold next round's horizon from the per-shard minima published at
+        // the end of the core phase (the barrier between the phases orders
+        // the stores before these loads). Identical on every shard, and
+        // independent of the shard count because the per-core clocks are.
+        let mut min = u64::MAX;
+        for clock in &self.exchange.min_clock {
+            min = min.min(clock.load(Ordering::Acquire));
+        }
+        self.round_horizon = Nanos::new(min.saturating_add(self.horizon_ns.as_u64()));
+
         // Drain this shard's own mailbox column: every event here is
         // already known to be ours, so the round costs O(own events), not
         // a scan of every shard's outbox.
-        let mut inbox: Vec<CoherenceEvent> = Vec::new();
+        let mut inbox = mem::take(&mut self.inbox_scratch);
+        inbox.clear();
         for mailbox in &self.exchange.events[self.shard_id] {
             inbox.append(&mut mailbox.lock().expect("event mailbox poisoned"));
         }
-        let replies = self.dir.process(inbox, &mut self.sys);
-        let mut routed: Vec<Vec<CoherenceReply>> = vec![Vec::new(); self.num_shards];
+        self.events_merged += inbox.len() as u64;
+        let replies = self.dir.process(&mut inbox, &mut self.sys);
+        self.inbox_scratch = inbox;
+
+        let mut routed = mem::take(&mut self.routed_scratch);
         for reply in replies {
             let node = self.topology.node_of_core(reply.core);
             routed[self.shard_of_node[node.index()]].push(reply);
         }
-        for (dst, replies) in routed.into_iter().enumerate() {
-            *self.exchange.replies[dst][self.shard_id]
+        for (dst, bin) in routed.iter_mut().enumerate() {
+            let mut mailbox = self.exchange.replies[dst][self.shard_id]
                 .lock()
-                .expect("reply mailbox poisoned") = replies;
+                .expect("reply mailbox poisoned");
+            mem::swap(&mut *mailbox, bin);
         }
+        self.routed_scratch = routed;
 
         for local in 0..self.slots.len() {
             if self.slots[local].faulted {
@@ -601,6 +807,9 @@ impl<'a> ShardWorker<'a> {
             dram_writes,
             clocks: self.scheduler.clocks().to_vec(),
             accesses: self.accesses,
+            rounds: self.rounds,
+            events_merged: self.events_merged,
+            max_window: self.max_window,
         }
     }
 }

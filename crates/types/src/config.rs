@@ -333,6 +333,73 @@ impl Default for CoresPerNode {
     }
 }
 
+/// The per-core miss-batching window of the sharded kernel: a model of the
+/// core's MSHRs (miss-status holding registers).
+///
+/// A core that blocks on a coherence miss may keep issuing further
+/// independent requests — to distinct lines, stopping at any access that
+/// depends on an outstanding one — as long as the window holds fewer than
+/// `depth` misses and the next request's arrival time stays within
+/// `horizon` of the round's base time. One epoch-barrier round then
+/// carries several misses per core instead of exactly one. `depth = 1`
+/// reproduces the historical one-miss-per-round kernel bit for bit.
+///
+/// Scenario documents written before this knob existed deserialize to the
+/// default (the field is `#[serde(default)]` on [`MachineConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MissWindowConfig {
+    /// Maximum outstanding misses per core (the MSHR count). Must be at
+    /// least 1; the first miss of a window always issues regardless of the
+    /// horizon, so forward progress never depends on this knob.
+    pub depth: u32,
+    /// How far past the round's base time (the minimum clock over all
+    /// unfinished cores) a request's arrival may fall while the window is
+    /// non-empty. Larger horizons batch more aggressively; the reply
+    /// commit order is keyed, so results do not depend on this value's
+    /// interaction with thread count.
+    pub horizon: Nanos,
+}
+
+impl MissWindowConfig {
+    /// The window every stock machine uses: eight MSHRs, a 250 ns horizon.
+    pub fn default_window() -> Self {
+        MissWindowConfig {
+            depth: 8,
+            horizon: Nanos::new(250),
+        }
+    }
+
+    /// A single-entry window: the exact historical one-miss-per-round
+    /// behaviour, useful as an ablation baseline.
+    pub fn serial() -> Self {
+        MissWindowConfig {
+            depth: 1,
+            horizon: Nanos::ZERO,
+        }
+    }
+
+    /// Validates the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `depth` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.depth == 0 {
+            return Err(ConfigError::new(
+                "miss_window.depth",
+                "a core needs at least one miss-status register",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MissWindowConfig {
+    fn default() -> Self {
+        MissWindowConfig::default_window()
+    }
+}
+
 /// Full machine description: Table I of the paper as a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -358,6 +425,10 @@ pub struct MachineConfig {
     pub dram: DramConfig,
     /// On-chip network.
     pub noc: NocConfig,
+    /// Per-core miss-batching window (MSHR model) of the sharded kernel.
+    /// Defaults for documents that predate the knob.
+    #[serde(default)]
+    pub miss_window: MissWindowConfig,
 }
 
 impl MachineConfig {
@@ -386,6 +457,7 @@ impl MachineConfig {
             probe_filter: ProbeFilterConfig::new(512 * 1024, 8),
             dram: DramConfig::new(128 * 1024 * 1024, 60),
             noc: NocConfig::mesh(4, 4),
+            miss_window: MissWindowConfig::default(),
         }
     }
 
@@ -426,6 +498,7 @@ impl MachineConfig {
             probe_filter: ProbeFilterConfig::new(32 * 1024, 4),
             dram: DramConfig::new(4 * 1024 * 1024, 60),
             noc: NocConfig::mesh(2, 2),
+            miss_window: MissWindowConfig::default(),
         }
     }
 
@@ -480,6 +553,7 @@ impl MachineConfig {
         self.probe_filter.validate()?;
         self.dram.validate()?;
         self.noc.validate()?;
+        self.miss_window.validate()?;
         if self.noc.num_nodes() != self.num_nodes() {
             return Err(ConfigError::new(
                 "noc.mesh",
@@ -588,6 +662,19 @@ mod tests {
         assert_eq!(CoresPerNode::default().get(), 1);
         assert_eq!(MachineConfig::date2014().cores_per_node, CoresPerNode(1));
         assert_eq!(MachineConfig::date2014().num_nodes(), 16);
+    }
+
+    #[test]
+    fn miss_window_defaults_and_validates() {
+        let m = MachineConfig::date2014();
+        assert_eq!(m.miss_window, MissWindowConfig::default_window());
+        assert_eq!(m.miss_window.depth, 8);
+        assert_eq!(m.miss_window.horizon, Nanos::new(250));
+        assert_eq!(MissWindowConfig::serial().depth, 1);
+
+        let mut m = m;
+        m.miss_window.depth = 0;
+        assert_eq!(m.validate().unwrap_err().field(), "miss_window.depth");
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod topology;
 
 pub use addr::{LineAddr, PageAddr, PhysAddr, VirtAddr};
 pub use config::{
-    CacheConfig, CoresPerNode, DramConfig, MachineConfig, NocConfig, PfReplacement,
-    ProbeFilterConfig, SharerTracking,
+    CacheConfig, CoresPerNode, DramConfig, MachineConfig, MissWindowConfig, NocConfig,
+    PfReplacement, ProbeFilterConfig, SharerTracking,
 };
 pub use error::ConfigError;
 pub use ids::{CoreId, NodeId, ThreadId};

@@ -93,6 +93,46 @@ fn sharded_runs_are_byte_identical_across_every_checked_in_grid() {
     }
 }
 
+/// Miss-window batching under stress: a deep window and a wide horizon on
+/// the most miss-heavy profile (raytrace on the 64-core machine) must stay
+/// byte-identical across shard counts. The grids above already gate the
+/// *default* window; this pins the knob at its aggressive end, where
+/// per-round windows are deepest and the reply-commit ordering does the
+/// most work.
+#[test]
+fn deep_miss_windows_stay_byte_identical_across_shard_counts() {
+    use allarm_core::AllocationPolicy;
+    use allarm_types::{MissWindowConfig, Nanos};
+    use allarm_workloads::Benchmark;
+
+    let mut base = ExperimentConfig::scale64()
+        .with_accesses_per_thread(500)
+        .scenario(Benchmark::Raytrace, AllocationPolicy::Baseline);
+    base.machine.miss_window = MissWindowConfig {
+        depth: 16,
+        horizon: Nanos::new(2_000),
+    };
+
+    let run = |sim_threads: usize| {
+        let scenarios = vec![base.clone().with_sim_threads(sim_threads)];
+        BatchRunner::with_threads(1)
+            .run(&scenarios)
+            .expect("scenario is valid")
+    };
+    let serial = run(1);
+    assert!(
+        serial.entries[0].report.max_window_depth > 1,
+        "the stress profile must actually batch misses"
+    );
+    for sim_threads in [2usize, 4] {
+        let sharded = run(sim_threads);
+        assert_eq!(
+            serial.entries[0].report, sharded.entries[0].report,
+            "sim_threads={sim_threads} diverged under a deep miss window"
+        );
+    }
+}
+
 /// The JSONL a sweep writes must not depend on the shard count either —
 /// this is the exact comparison the CI determinism gate performs with
 /// `scenario_run --sim-threads 4`.
