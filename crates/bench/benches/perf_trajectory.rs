@@ -1,8 +1,8 @@
 //! The committed performance trajectory: a fixed-workload simulator
-//! benchmark whose numbers are written to `BENCH_7.json` at the repo root,
+//! benchmark whose numbers are written to `BENCH_8.json` at the repo root,
 //! so simulator-throughput regressions show up in review as a diff.
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! * `simulate_16c` — the labelled matrix (the iai-callgrind style):
 //!   three benchmarks with distinct sharing behaviour × both allocation
@@ -13,13 +13,24 @@
 //!   **sharded** kernel, at the default window and at the serial
 //!   (depth-1) ablation. The pair makes the batching win — fewer barrier
 //!   crossings per simulated nanosecond — a number the trajectory tracks.
+//! * `fork_from_warm` — the checked-in `scale64_fork_sweep.toml` grid
+//!   through the `BatchRunner`, once with its `[warmup]` stanza honoured
+//!   (the shared prefix is simulated once per policy and every grid point
+//!   forks from the warm image) and once fully cold. The reports are
+//!   asserted identical outside the timed region; the pair of numbers is
+//!   the wall-clock win fork-from-warm buys on a real sweep.
 //!
 //! The workloads are materialized **outside** the timed region — the
 //! numbers measure the coherence simulator, not the trace generator.
+//! The heavyweight groups set an iteration floor (`min_iters`): one run
+//! already exceeds the harness's per-sample duration target, and a floor
+//! of one leaves every scheduling hiccup in a single sample (BENCH_7
+//! recorded `iters: 1` with a ~15% min/max spread).
 //! Skipping the file write: pass any filter (`cargo bench -p allarm-bench
 //! --bench perf_trajectory -- barnes`), which marks the run partial.
 
-use allarm_core::{AllocationPolicy, MachineConfig, SimulationBuilder};
+use allarm_bench::load_scenario_doc;
+use allarm_core::{AllocationPolicy, BatchRunner, MachineConfig, SimulationBuilder};
 use allarm_harness::{benchmark_main, black_box, stats_to_json, Group};
 use allarm_types::MissWindowConfig;
 use allarm_workloads::{Benchmark, TraceGenerator};
@@ -42,7 +53,7 @@ fn trajectory() {
     let mut stats = Vec::new();
     let mut complete = true;
 
-    let mut group = Group::new("simulate_16c").sample_count(5);
+    let mut group = Group::new("simulate_16c").sample_count(5).min_iters(2);
     for (benchmark, label) in MATRIX {
         let workload = TraceGenerator::new(16, ACCESSES, 2014).generate(benchmark);
         for policy in AllocationPolicy::ALL {
@@ -61,7 +72,9 @@ fn trajectory() {
     }
     group.finish();
 
-    let mut group = Group::new("simulate_64c_batched").sample_count(5);
+    let mut group = Group::new("simulate_64c_batched")
+        .sample_count(5)
+        .min_iters(3);
     let workload = TraceGenerator::new(64, ACCESSES_64C, 2014).generate(Benchmark::Raytrace);
     for (window, label) in [
         (MissWindowConfig::default_window(), "raytrace.window8"),
@@ -83,13 +96,47 @@ fn trajectory() {
     }
     group.finish();
 
+    let mut group = Group::new("fork_from_warm").sample_count(5).min_iters(2);
+    let doc_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/scale64_fork_sweep.toml"
+    );
+    let doc = load_scenario_doc(doc_path).expect("the checked-in fork sweep loads");
+    let warm = doc.expand();
+    let cold: Vec<_> = warm
+        .iter()
+        .map(|s| s.clone().with_warmup_accesses(0))
+        .collect();
+    let runner = BatchRunner::with_threads(1);
+    // The win is only worth tracking if warm-forked sweeps report the same
+    // numbers a cold sweep does — assert that once, outside the timed region.
+    let warm_results = runner.run(&warm).expect("the fork sweep runs");
+    let cold_results = runner.run(&cold).expect("the cold sweep runs");
+    assert!(
+        warm_results
+            .entries
+            .iter()
+            .zip(&cold_results.entries)
+            .all(|(w, c)| w.report == c.report),
+        "fork-from-warm changed a report; the trajectory pair would be meaningless"
+    );
+    for (scenarios, label) in [(&warm, "sweep6.warm_forked"), (&cold, "sweep6.cold")] {
+        match group.bench(label, || {
+            black_box(runner.run(scenarios).expect("sweep runs").entries.len());
+        }) {
+            Some(s) => stats.push(s),
+            None => complete = false,
+        }
+    }
+    group.finish();
+
     if complete {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
         std::fs::write(path, stats_to_json("perf_trajectory", &stats))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[perf_trajectory] wrote {path}");
     } else {
-        eprintln!("[perf_trajectory] filtered run: BENCH_7.json not rewritten");
+        eprintln!("[perf_trajectory] filtered run: BENCH_8.json not rewritten");
     }
 }
 

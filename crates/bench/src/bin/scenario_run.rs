@@ -12,6 +12,17 @@
 //! `--accesses` overrides the per-thread trace length (for smoke runs of
 //! checked-in grids; trace-file replays keep their recorded length).
 //!
+//! Checkpointing composes with the resume machinery: `--checkpoint-every
+//! <accesses>` drops a versioned snapshot (`<output>.snap`) of the
+//! in-flight run every N replayed accesses, and `--restore <snap>`
+//! continues a `--resume` sweep from *inside* the interrupted row instead
+//! of replaying it from scratch. Before anything is written, the
+//! snapshot's resume cursor is verified against the rows actually
+//! recorded in the output file — a stale or mismatched snapshot fails
+//! with the file untouched. `--verify-forks` makes fork-from-warm grids
+//! (a `[warmup]` stanza) re-run every forked point cold and assert the
+//! reports are identical.
+//!
 //! ```text
 //! cargo run --release -p allarm-bench --bin scenario_run -- scenarios/fig3_comparison.toml
 //! cargo run --release -p allarm-bench --bin scenario_run -- --json my_scenario.toml
@@ -19,17 +30,24 @@
 //!     --sim-threads 4 --output results.csv scenarios/fig3_comparison.toml
 //! cargo run --release -p allarm-bench --bin scenario_run -- \
 //!     --resume --output results.jsonl scenarios/scale64_pf_sweep.toml
+//! cargo run --release -p allarm-bench --bin scenario_run -- \
+//!     --checkpoint-every 50000 --output results.jsonl scenarios/scale64_pf_sweep.toml
+//! cargo run --release -p allarm-bench --bin scenario_run -- \
+//!     --resume --restore results.jsonl.snap --output results.jsonl scenarios/scale64_pf_sweep.toml
 //! ```
 
 use allarm_bench::load_scenario_doc;
 use allarm_core::{
     verify_resume_rows, BatchRunner, CsvFileSink, JsonlFileSink, JsonlSink, ResultSink, ResumeScan,
+    SimSnapshot,
 };
 use std::collections::HashSet;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage: scenario_run [--json] [--output <path>] [--resume] \
-     [--sim-threads <n>] [--accesses <n>] <scenario.toml|scenario.json>";
+     [--sim-threads <n>] [--accesses <n>] [--checkpoint-every <n>] \
+     [--restore <snap>] [--verify-forks] <scenario.toml|scenario.json>";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -37,12 +55,32 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut sim_threads: Option<usize> = None;
     let mut accesses: Option<usize> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut restore_path: Option<String> = None;
+    let mut verify_forks = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--resume" => resume = true,
+            "--verify-forks" => verify_forks = true,
+            "--checkpoint-every" => {
+                match args.next().and_then(|n| n.parse().ok()).filter(|&n| n > 0) {
+                    Some(n) => checkpoint_every = Some(n),
+                    None => {
+                        eprintln!("--checkpoint-every needs a positive access count\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--restore" => match args.next() {
+                Some(p) => restore_path = Some(p),
+                None => {
+                    eprintln!("--restore needs a snapshot path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--output" => match args.next() {
                 Some(p) => output = Some(p),
                 None => {
@@ -83,6 +121,17 @@ fn main() -> ExitCode {
         eprintln!("--resume needs --output (the file to continue)\n{USAGE}");
         return ExitCode::FAILURE;
     }
+    if checkpoint_every.is_some() && output.is_none() {
+        eprintln!("--checkpoint-every needs --output (the snapshot lands next to it)\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if restore_path.is_some() && !(resume && output.is_some()) {
+        eprintln!(
+            "--restore needs --resume and --output (a snapshot continues an \
+             interrupted sweep, and its cursor is checked against the recorded rows)\n{USAGE}"
+        );
+        return ExitCode::FAILURE;
+    }
 
     // Format sniffing (case-insensitive .json check) and trace-path
     // resolution live in the shared loader.
@@ -112,7 +161,32 @@ fn main() -> ExitCode {
             scenario.workload = scenario.workload.with_accesses(n);
         }
     }
-    let runner = BatchRunner::new();
+    let mut runner = BatchRunner::new().with_verify_forks(verify_forks);
+    if let Some(every) = checkpoint_every {
+        // `--checkpoint-every` was rejected above without `--output`.
+        let output = output.as_deref().expect("checked above");
+        runner = runner.with_checkpoint_every(every, format!("{output}.snap"));
+    }
+    // A corrupt, truncated or version-skewed snapshot is refused here, before
+    // the output file is even opened; the `SnapError` names the bad section.
+    let restore = match &restore_path {
+        Some(p) => match SimSnapshot::read_from(p) {
+            Ok(snap) => {
+                eprintln!(
+                    "[scenario_run] restoring row {} (`{}`) from {p} at {} accesses",
+                    snap.header().row_index,
+                    snap.header().scenario,
+                    snap.accesses_done(),
+                );
+                Some(Arc::new(snap))
+            }
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     eprintln!(
         "[scenario_run] {} scenario(s) on {} threads{}",
         scenarios.len(),
@@ -124,7 +198,7 @@ fn main() -> ExitCode {
     );
 
     if let Some(output) = output {
-        return run_to_file(&runner, &scenarios, &path, &output, resume);
+        return run_to_file(&runner, &scenarios, &path, &output, resume, restore);
     }
 
     if json {
@@ -167,13 +241,17 @@ fn main() -> ExitCode {
 /// first *scanned and verified* against the batch — a file recorded under
 /// different settings (an `--accesses` override, an edited document, the
 /// wrong file) fails here with the output untouched — then the recorded
-/// indices are skipped and new rows append after them.
+/// indices are skipped and new rows append after them. With `restore`, the
+/// snapshot's resume cursor must additionally agree with the scan before
+/// the file is reopened: a snapshot taken after N rows only restores into
+/// a file holding exactly N rows.
 fn run_to_file(
     runner: &BatchRunner,
     scenarios: &[allarm_core::Scenario],
     doc_path: &str,
     output: &str,
     resume: bool,
+    restore: Option<Arc<SimSnapshot>>,
 ) -> ExitCode {
     fn run_into<S: ResultSink>(
         created: Result<(S, HashSet<usize>), String>,
@@ -182,6 +260,7 @@ fn run_to_file(
         scenarios: &[allarm_core::Scenario],
         doc_path: &str,
         output: &str,
+        restore: Option<Arc<SimSnapshot>>,
     ) -> Result<(), String> {
         let (mut sink, completed) = created?;
         if !completed.is_empty() {
@@ -191,13 +270,15 @@ fn run_to_file(
                 scenarios.len()
             );
         }
+        let restore = restore.map(|snap| (snap.header().row_index as usize, snap));
         runner
-            .run_with_sink_resuming(scenarios, &mut sink, &completed)
+            .run_with_sink_restored(scenarios, &mut sink, &completed, restore)
             .map_err(|e| format!("{doc_path}: {e}"))?;
         finish(sink).map_err(|e| format!("writing {output}: {e}"))
     }
 
     /// Scan (read-only) → verify the recorded rows against the batch →
+    /// verify the restore snapshot's cursor against the recorded rows →
     /// reopen for append. A verification failure leaves the output file
     /// byte-identical to how the interruption left it.
     fn resumed<S>(
@@ -205,10 +286,29 @@ fn run_to_file(
         reopen: impl FnOnce(&ResumeScan) -> std::io::Result<S>,
         scenarios: &[allarm_core::Scenario],
         output: &str,
+        restore: Option<&SimSnapshot>,
     ) -> Result<(S, HashSet<usize>), String> {
         let scan = scanned.map_err(|e| format!("cannot read {output}: {e}"))?;
         verify_resume_rows(scenarios, scan.rows())
             .map_err(|e| format!("cannot resume {output}: {e}"))?;
+        if let Some(snap) = restore {
+            let header = snap.header();
+            if !header.is_batch_checkpoint() {
+                return Err(format!(
+                    "cannot restore into {output}: the snapshot does not carry a resume \
+                     cursor (was it written by --checkpoint-every?); nothing was written"
+                ));
+            }
+            if header.row_index as usize != scan.rows().len() {
+                return Err(format!(
+                    "cannot restore into {output}: the snapshot was taken after {} recorded \
+                     row(s) but the file holds {} — a stale snapshot or the wrong output \
+                     file; nothing was written",
+                    header.row_index,
+                    scan.rows().len()
+                ));
+            }
+        }
         let sink = reopen(&scan).map_err(|e| format!("cannot open {output}: {e}"))?;
         Ok((sink, scan.completed()))
     }
@@ -227,6 +327,7 @@ fn run_to_file(
                     |scan| CsvFileSink::resume_scanned(output, scan),
                     scenarios,
                     output,
+                    restore.as_deref(),
                 )
             } else {
                 fresh(CsvFileSink::create(output), output)
@@ -236,6 +337,7 @@ fn run_to_file(
             scenarios,
             doc_path,
             output,
+            restore,
         )
     } else {
         run_into(
@@ -245,6 +347,7 @@ fn run_to_file(
                     |scan| JsonlFileSink::resume_scanned(output, scan),
                     scenarios,
                     output,
+                    restore.as_deref(),
                 )
             } else {
                 fresh(JsonlFileSink::create(output), output)
@@ -254,6 +357,7 @@ fn run_to_file(
             scenarios,
             doc_path,
             output,
+            restore,
         )
     };
     match result {

@@ -237,6 +237,40 @@ impl CoreCaches {
             }
         }
     }
+
+    /// Exports the complete dynamic state of the hierarchy (both levels plus
+    /// any uncollected capacity victims) for checkpointing.
+    pub fn export_state(&self) -> CoreCachesState {
+        CoreCachesState {
+            l1d: self.l1d.export_state(),
+            l2: self.l2.export_state(),
+            pending_victims: self.pending_victims.clone(),
+        }
+    }
+
+    /// Restores state previously captured with [`CoreCaches::export_state`]
+    /// onto a hierarchy of the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either level's geometry does not match the export.
+    pub fn restore_state(&mut self, state: &CoreCachesState) {
+        self.l1d.restore_state(&state.l1d);
+        self.l2.restore_state(&state.l2);
+        self.pending_victims = state.pending_victims.clone();
+    }
+}
+
+/// The complete dynamic state of a [`CoreCaches`] hierarchy, as captured by
+/// [`CoreCaches::export_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreCachesState {
+    /// The L1 data cache.
+    pub l1d: crate::set_assoc::SetAssocState,
+    /// The private exclusive L2.
+    pub l2: crate::set_assoc::SetAssocState,
+    /// L2 capacity victims not yet collected by the simulator.
+    pub pending_victims: Vec<EvictedLine>,
 }
 
 #[cfg(test)]

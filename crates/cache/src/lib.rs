@@ -37,8 +37,8 @@ pub mod set_assoc;
 pub mod state;
 pub mod stats;
 
-pub use hierarchy::{AccessOutcome, CoherenceNeed, CoreCaches, ProbeOutcome};
+pub use hierarchy::{AccessOutcome, CoherenceNeed, CoreCaches, CoreCachesState, ProbeOutcome};
 pub use replacement::ReplacementPolicy;
-pub use set_assoc::{EvictedLine, SetAssocCache};
+pub use set_assoc::{EvictedLine, SetAssocCache, SetAssocState, WayState};
 pub use state::CoherenceState;
 pub use stats::CacheStats;

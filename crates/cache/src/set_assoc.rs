@@ -314,6 +314,90 @@ impl SetAssocCache {
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, CoherenceState)> + '_ {
         (0..self.num_sets).flat_map(|set| self.set_ways(set).iter().map(|w| (w.addr, w.state)))
     }
+
+    /// Exports the complete dynamic state of the array — every occupied way
+    /// in storage order (position within a set is semantic: victim choice
+    /// depends on it), the per-set occupancy counts, the recency clock and
+    /// the statistics — for checkpointing. [`SetAssocCache::restore_state`]
+    /// of the export onto a fresh same-geometry cache reproduces the array
+    /// bit-for-bit.
+    pub fn export_state(&self) -> SetAssocState {
+        SetAssocState {
+            sets: (0..self.num_sets)
+                .map(|set| {
+                    self.set_ways(set)
+                        .iter()
+                        .map(|w| WayState {
+                            addr: w.addr,
+                            state: w.state,
+                            last_touch: w.last_touch,
+                            inserted: w.inserted,
+                        })
+                        .collect()
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state previously captured with [`SetAssocCache::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export's geometry (set count, per-set occupancy vs.
+    /// associativity) does not fit this cache.
+    pub fn restore_state(&mut self, state: &SetAssocState) {
+        assert_eq!(
+            state.sets.len(),
+            self.num_sets,
+            "snapshot set count does not match cache geometry"
+        );
+        self.slab.fill(EMPTY_WAY);
+        for (set, ways) in state.sets.iter().enumerate() {
+            assert!(
+                ways.len() <= self.ways,
+                "snapshot set {set} overfills {}-way cache",
+                self.ways
+            );
+            self.lens[set] = ways.len() as u32;
+            for (pos, w) in ways.iter().enumerate() {
+                self.slab[set * self.ways + pos] = Way {
+                    addr: w.addr,
+                    state: w.state,
+                    last_touch: w.last_touch,
+                    inserted: w.inserted,
+                };
+            }
+        }
+        self.tick = state.tick;
+        self.stats = state.stats;
+    }
+}
+
+/// One occupied way of a checkpointed [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayState {
+    /// The resident line.
+    pub addr: LineAddr,
+    /// Its MOESI state.
+    pub state: CoherenceState,
+    /// Recency stamp (drives LRU victim choice).
+    pub last_touch: u64,
+    /// Insertion stamp (drives FIFO victim choice).
+    pub inserted: u64,
+}
+
+/// The complete dynamic state of a [`SetAssocCache`], as captured by
+/// [`SetAssocCache::export_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetAssocState {
+    /// Occupied ways per set, in storage order.
+    pub sets: Vec<Vec<WayState>>,
+    /// The recency/insertion clock.
+    pub tick: u64,
+    /// Access statistics at capture time.
+    pub stats: CacheStats,
 }
 
 #[cfg(test)]

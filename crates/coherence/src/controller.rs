@@ -154,6 +154,16 @@ impl DirectoryStats {
     }
 }
 
+/// The complete dynamic state of a [`DirectoryController`], as captured by
+/// [`DirectoryController::export_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectoryControllerState {
+    /// The probe-filter array contents.
+    pub probe_filter: crate::probe_filter::ProbeFilterState,
+    /// Controller counters at capture time.
+    pub stats: DirectoryStats,
+}
+
 /// A directory controller plus its probe filter, for one home node.
 #[derive(Debug, Clone)]
 pub struct DirectoryController {
@@ -218,6 +228,26 @@ impl DirectoryController {
     /// [`DirectoryController::probe_filter`]).
     pub fn stats(&self) -> &DirectoryStats {
         &self.stats
+    }
+
+    /// Exports this controller's complete dynamic state (probe-filter
+    /// contents plus the controller's counters) for checkpointing.
+    pub fn export_state(&self) -> DirectoryControllerState {
+        DirectoryControllerState {
+            probe_filter: self.probe_filter.export_state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured with [`DirectoryController::export_state`]
+    /// onto a controller built with the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export's probe-filter geometry does not match.
+    pub fn restore_state(&mut self, state: &DirectoryControllerState) {
+        self.probe_filter.restore_state(&state.probe_filter);
+        self.stats = state.stats;
     }
 
     /// Handles one coherence request, driving probes/invalidations/DRAM

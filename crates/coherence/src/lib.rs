@@ -50,9 +50,11 @@ pub mod request;
 pub mod shard;
 pub mod sharers;
 
-pub use controller::{DirectoryController, DirectoryResponse, DirectoryStats, SystemAccess};
+pub use controller::{
+    DirectoryController, DirectoryControllerState, DirectoryResponse, DirectoryStats, SystemAccess,
+};
 pub use policy::AllocationPolicy;
-pub use probe_filter::{PfEntry, PfEviction, PfStats, ProbeFilter};
+pub use probe_filter::{PfEntry, PfEviction, PfSlotState, PfStats, ProbeFilter, ProbeFilterState};
 pub use request::{CoherenceRequest, RequestKind};
-pub use shard::{CoherenceEvent, CoherenceOp, CoherenceReply, DirectoryShard};
+pub use shard::{CoherenceEvent, CoherenceOp, CoherenceReply, DirectoryNodeState, DirectoryShard};
 pub use sharers::{NodeSet, SharerSet};

@@ -401,6 +401,84 @@ impl ProbeFilter {
     pub fn stats(&self) -> &PfStats {
         &self.stats
     }
+
+    /// Exports the complete dynamic state of the filter for checkpointing:
+    /// every slab position (the valid/invalid *pattern* is semantic —
+    /// first-invalid reuse depends on it), the allocation tick and the
+    /// statistics. [`ProbeFilter::restore_state`] of the export onto a
+    /// fresh same-geometry filter reproduces it bit-for-bit.
+    pub fn export_state(&self) -> ProbeFilterState {
+        ProbeFilterState {
+            slots: self
+                .slab
+                .iter()
+                .map(|s| {
+                    if s.valid {
+                        Some(PfSlotState {
+                            entry: s.entry.clone(),
+                            last_touch: s.last_touch,
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state previously captured with [`ProbeFilter::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export's slot count does not match this filter's
+    /// geometry.
+    pub fn restore_state(&mut self, state: &ProbeFilterState) {
+        assert_eq!(
+            state.slots.len(),
+            self.slab.len(),
+            "snapshot slot count does not match probe-filter geometry"
+        );
+        for (slot, restored) in self.slab.iter_mut().zip(&state.slots) {
+            match restored {
+                Some(s) => {
+                    slot.entry = s.entry.clone();
+                    slot.last_touch = s.last_touch;
+                    slot.valid = true;
+                }
+                None => {
+                    slot.entry = PfEntry::new(LineAddr::new(0), CoreId::new(0));
+                    slot.last_touch = 0;
+                    slot.valid = false;
+                }
+            }
+        }
+        self.tick = state.tick;
+        self.stats = state.stats;
+    }
+}
+
+/// One valid slab slot of a checkpointed [`ProbeFilter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PfSlotState {
+    /// The directory entry.
+    pub entry: PfEntry,
+    /// Recency stamp (drives LRU victim choice).
+    pub last_touch: u64,
+}
+
+/// The complete dynamic state of a [`ProbeFilter`], as captured by
+/// [`ProbeFilter::export_state`]. One element per slab position, `None` for
+/// invalid slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFilterState {
+    /// Every slab position in storage order.
+    pub slots: Vec<Option<PfSlotState>>,
+    /// The allocation/recency tick.
+    pub tick: u64,
+    /// Activity statistics at capture time.
+    pub stats: PfStats,
 }
 
 #[cfg(test)]

@@ -98,6 +98,16 @@ pub struct CoherenceReply {
     pub carries_data: bool,
 }
 
+/// The checkpointed state of one home node's directory: its controller
+/// (probe filter + counters) and its occupancy clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectoryNodeState {
+    /// The controller's dynamic state.
+    pub controller: crate::controller::DirectoryControllerState,
+    /// The controller occupancy clock (queueing model).
+    pub busy_until: Nanos,
+}
+
 /// The directory slice of one shard: the controllers, probe filters and
 /// occupancy clocks of a contiguous block of home nodes.
 ///
@@ -180,6 +190,40 @@ impl DirectoryShard {
     /// (for end-of-run statistics merging).
     pub fn into_controllers(self) -> Vec<DirectoryController> {
         self.controllers
+    }
+
+    /// Exports the complete dynamic state of this slice: each controller
+    /// (probe filter + counters) and its occupancy clock, in home-node
+    /// order starting at the slice's first node.
+    pub fn export_state(&self) -> Vec<DirectoryNodeState> {
+        self.controllers
+            .iter()
+            .zip(&self.busy_until)
+            .map(|(c, &busy)| DirectoryNodeState {
+                controller: c.export_state(),
+                busy_until: busy,
+            })
+            .collect()
+    }
+
+    /// Restores the state of the directory homed on `node`, which must be
+    /// owned by this slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside this slice or the probe-filter geometry
+    /// does not match.
+    pub fn restore_node_state(&mut self, node: NodeId, state: &DirectoryNodeState) {
+        assert!(
+            self.owns(node),
+            "restore for node {} routed to shard {}..{}",
+            node.index(),
+            self.first_node,
+            self.first_node + self.controllers.len(),
+        );
+        let idx = node.index() - self.first_node;
+        self.controllers[idx].restore_state(&state.controller);
+        self.busy_until[idx] = state.busy_until;
     }
 
     /// Drains a batch of events through this shard's directories, in

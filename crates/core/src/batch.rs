@@ -13,12 +13,21 @@
 //! shared between scenarios via [`Arc`], so a policy-comparison grid does
 //! not pay trace generation twice per benchmark.
 //!
+//! Scenarios that declare a [`crate::Scenario::warmup_accesses`] prefix are
+//! additionally grouped by machine, policies, seed and workload shape:
+//! the runner executes the shared prefix **once** per group, snapshots the
+//! simulator in memory, and forks every member from the warm image
+//! (fork-from-warm). Forked reports are byte-identical to cold runs — the
+//! kernel snapshot is exact — and [`BatchRunner::with_verify_forks`] turns
+//! that guarantee into an assertion by re-running each member cold.
+//!
 //! Results can stay in memory ([`VecSink`], [`JsonlSink`]) or stream to
 //! disk as they complete ([`JsonlFileSink`], [`CsvFileSink`]), so long
 //! sweeps persist partial results instead of losing everything on an
 //! interruption.
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -27,6 +36,7 @@ use allarm_workloads::Workload;
 
 use crate::metrics::{Comparison, SimReport};
 use crate::scenario::Scenario;
+use crate::snapshot::SimSnapshot;
 
 /// One completed scenario: the descriptor and its report.
 #[derive(Debug, Clone, PartialEq)]
@@ -723,16 +733,26 @@ fn same_but_policy(a: &Scenario, b: &Scenario) -> bool {
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
     num_threads: usize,
+    verify_forks: bool,
+    checkpoint: Option<CheckpointCfg>,
+}
+
+/// Mid-run checkpointing of a batch: the active run's full simulator state
+/// is written (atomically) to `path` every `every` accesses.
+#[derive(Debug, Clone)]
+struct CheckpointCfg {
+    every: u64,
+    path: PathBuf,
 }
 
 impl BatchRunner {
     /// Creates a runner using every available hardware thread.
     pub fn new() -> Self {
-        BatchRunner {
-            num_threads: std::thread::available_parallelism()
+        BatchRunner::with_threads(
+            std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-        }
+        )
     }
 
     /// Creates a runner with an explicit worker count (clamped to ≥ 1).
@@ -740,12 +760,42 @@ impl BatchRunner {
     pub fn with_threads(num_threads: usize) -> Self {
         BatchRunner {
             num_threads: num_threads.max(1),
+            verify_forks: false,
+            checkpoint: None,
         }
     }
 
     /// The worker count this runner uses.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Returns a copy that re-runs every fork-from-warm scenario cold and
+    /// asserts the forked report equals the cold one byte for byte — the
+    /// CI equivalence gate. The batch's *recorded* rows are the forked
+    /// ones either way; this only adds the cross-check (and its cost).
+    pub fn with_verify_forks(mut self, verify: bool) -> Self {
+        self.verify_forks = verify;
+        self
+    }
+
+    /// Returns a copy that checkpoints the active run's simulator state to
+    /// `path` each time its access total crosses a multiple of `every`
+    /// (atomic overwrite, so an interruption always leaves the previous
+    /// complete snapshot). Checkpointing forces **serial** execution — a
+    /// single snapshot file identifies a single in-flight row — and
+    /// disables fork-from-warm for the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_checkpoint_every(mut self, every: u64, path: impl Into<PathBuf>) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint = Some(CheckpointCfg {
+            every,
+            path: path.into(),
+        });
+        self
     }
 
     /// Validates and runs every scenario, returning ordered results.
@@ -804,7 +854,38 @@ impl BatchRunner {
         sink: &mut dyn ResultSink,
         completed: &HashSet<usize>,
     ) -> Result<(), ConfigError> {
-        self.run_inner(scenarios, sink, completed, None).map(|_| ())
+        self.run_inner(scenarios, sink, completed, None, None)
+            .map(|_| ())
+    }
+
+    /// Like [`BatchRunner::run_with_sink_resuming`], but the scenario at
+    /// `restore.0` continues from a mid-run snapshot instead of starting
+    /// over — the `--restore` path of a sweep whose interrupted run had
+    /// written a checkpoint (see [`BatchRunner::with_checkpoint_every`]).
+    /// Restoring forces serial execution, like checkpointing.
+    ///
+    /// The snapshot must be a batch checkpoint
+    /// ([`crate::SnapHeader::row_index`]) naming a still-pending scenario
+    /// whose name matches; the simulator additionally asserts the machine
+    /// fingerprint and workload checksum when it resumes. Callers that
+    /// also pass `completed` rows from a partially-written output file
+    /// should first cross-check the snapshot's cursor against those rows
+    /// (`row_index == rows recorded`) **before** reopening the file.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::run_with_sink_resuming`], plus a `restore`
+    /// [`ConfigError`] when the snapshot does not name a pending row of
+    /// this batch; the sink is untouched on any validation error.
+    pub fn run_with_sink_restored(
+        &self,
+        scenarios: &[Scenario],
+        sink: &mut dyn ResultSink,
+        completed: &HashSet<usize>,
+        restore: Option<(usize, Arc<SimSnapshot>)>,
+    ) -> Result<(), ConfigError> {
+        self.run_inner(scenarios, sink, completed, None, restore)
+            .map(|_| ())
     }
 
     /// Like [`BatchRunner::run_with_sink`], but polls `cancel` **between
@@ -827,7 +908,7 @@ impl BatchRunner {
         sink: &mut dyn ResultSink,
         cancel: &AtomicBool,
     ) -> Result<RunOutcome, ConfigError> {
-        self.run_inner(scenarios, sink, &HashSet::new(), Some(cancel))
+        self.run_inner(scenarios, sink, &HashSet::new(), Some(cancel), None)
     }
 
     fn run_inner(
@@ -836,6 +917,7 @@ impl BatchRunner {
         sink: &mut dyn ResultSink,
         completed: &HashSet<usize>,
         cancel: Option<&AtomicBool>,
+        restore: Option<(usize, Arc<SimSnapshot>)>,
     ) -> Result<RunOutcome, ConfigError> {
         for scenario in scenarios {
             scenario.validate()?;
@@ -849,6 +931,45 @@ impl BatchRunner {
                     scenarios.len()
                 ),
             ));
+        }
+        if let Some((index, snap)) = &restore {
+            if !snap.header().is_batch_checkpoint() {
+                return Err(ConfigError::new(
+                    "restore",
+                    "the snapshot does not identify a batch row — was it written by \
+                     --checkpoint-every?",
+                ));
+            }
+            let Some(scenario) = scenarios.get(*index) else {
+                return Err(ConfigError::new(
+                    "restore",
+                    format!(
+                        "the snapshot records scenario index {index} but the batch has only \
+                         {} scenario(s) — restoring against the wrong snapshot?",
+                        scenarios.len()
+                    ),
+                ));
+            };
+            if completed.contains(index) {
+                return Err(ConfigError::new(
+                    "restore",
+                    format!(
+                        "scenario index {index} is already recorded in the output — the \
+                         snapshot is stale"
+                    ),
+                ));
+            }
+            if snap.header().scenario != scenario.name {
+                return Err(ConfigError::new(
+                    "restore",
+                    format!(
+                        "the snapshot was taken from scenario `{}` but index {index} of this \
+                         batch is `{}` — was the scenario document edited?",
+                        snap.header().scenario,
+                        scenario.name
+                    ),
+                ));
+            }
         }
 
         // Materialize each distinct (spec, seed) workload exactly once, in
@@ -873,6 +994,17 @@ impl BatchRunner {
             }
         }
 
+        // Execute each warm-up group's shared prefix once and keep the
+        // image in memory; members fork from it instead of replaying the
+        // prefix. Checkpointed batches skip the optimisation — the
+        // checkpoint stream of a run must describe that run from access
+        // zero.
+        let warm = if self.checkpoint.is_some() {
+            vec![None; scenarios.len()]
+        } else {
+            self.plan_warm_images(scenarios, &workloads)
+        };
+
         // Split the thread budget between scenario-level workers and the
         // intra-run shards each simulation will spawn: a batch of scenarios
         // that each shard 4-wide gets a quarter of the workers. Sizing by
@@ -886,7 +1018,11 @@ impl BatchRunner {
             .max()
             .unwrap_or(1)
             .max(1);
-        let workers = (self.num_threads / max_sim_threads).clamp(1, scenarios.len().max(1));
+        let workers = if self.checkpoint.is_some() || restore.is_some() {
+            1 // a single snapshot file identifies a single in-flight row
+        } else {
+            (self.num_threads / max_sim_threads).clamp(1, scenarios.len().max(1))
+        };
         let pending_total = scenarios.len() - completed.len();
         let was_cancelled = |c: Option<&AtomicBool>| c.is_some_and(|c| c.load(Ordering::Relaxed));
         if workers <= 1 {
@@ -898,7 +1034,12 @@ impl BatchRunner {
                 if was_cancelled(cancel) {
                     return Ok(RunOutcome::Cancelled);
                 }
-                let report = scenario.build().expect("validated above").run(workload);
+                let restored = restore
+                    .as_ref()
+                    .filter(|(i, _)| *i == index)
+                    .map(|(_, snap)| snap);
+                let report =
+                    self.run_serial_one(index, scenario, workload, warm[index].as_ref(), restored)?;
                 sink.record(&BatchEntry {
                     index,
                     scenario: scenario.clone(),
@@ -916,6 +1057,7 @@ impl BatchRunner {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let workloads = &workloads;
+                let warm = &warm;
                 scope.spawn(move || loop {
                     // Cancellation is checked before a worker claims its
                     // next row; rows already claimed run to completion.
@@ -929,10 +1071,7 @@ impl BatchRunner {
                     let Some(workload) = &workloads[index] else {
                         continue; // already completed by the resumed sweep
                     };
-                    let report = scenarios[index]
-                        .build()
-                        .expect("validated above")
-                        .run(workload);
+                    let report = self.run_one(&scenarios[index], workload, warm[index].as_ref());
                     // The receiver outlives the scope; a send failure means
                     // the main thread panicked, so just stop.
                     if tx.send((index, report)).is_err() {
@@ -973,6 +1112,187 @@ impl BatchRunner {
         });
         Ok(outcome(recorded, pending_total, was_cancelled(cancel)))
     }
+
+    /// Plans fork-from-warm for a batch: groups the still-pending
+    /// scenarios that can share a warm image (see [`same_warm_group`]),
+    /// executes each group's shared prefix once, and returns the image
+    /// every member forks from (`None`: run cold). The longest member
+    /// hosts the warm-up run — the prefix must not exhaust its trace —
+    /// and each member is admitted only if [`forkable`] proves the
+    /// consumed prefix exists verbatim in its own workload; anything else
+    /// falls back to a cold run, never to a wrong one.
+    fn plan_warm_images(
+        &self,
+        scenarios: &[Scenario],
+        workloads: &[Option<Arc<Workload>>],
+    ) -> Vec<Option<Arc<SimSnapshot>>> {
+        let mut warm: Vec<Option<Arc<SimSnapshot>>> = vec![None; scenarios.len()];
+        let mut grouped = vec![false; scenarios.len()];
+        for i in 0..scenarios.len() {
+            if grouped[i] || workloads[i].is_none() || scenarios[i].warmup_accesses == 0 {
+                continue;
+            }
+            let members: Vec<usize> = (i..scenarios.len())
+                .filter(|&j| {
+                    !grouped[j]
+                        && workloads[j].is_some()
+                        && same_warm_group(&scenarios[i], &scenarios[j])
+                })
+                .collect();
+            for &j in &members {
+                grouped[j] = true;
+            }
+            let &host = members
+                .iter()
+                .max_by_key(|&&j| {
+                    workloads[j]
+                        .as_ref()
+                        .expect("filtered above")
+                        .total_accesses()
+                })
+                .expect("the group contains at least scenario i");
+            let host_workload = workloads[host].as_ref().expect("filtered above");
+            let warmup = scenarios[host].warmup_accesses;
+            if warmup >= host_workload.total_accesses() as u64 {
+                continue; // the warm-up would finish even the longest member: all run cold
+            }
+            let simulator = scenarios[host].build().expect("validated above");
+            let Some(snap) = simulator.try_run_until(host_workload, warmup) else {
+                continue; // the workload finished first (final-round edge): all run cold
+            };
+            let snap = Arc::new(snap);
+            for &j in &members {
+                if forkable(
+                    &snap,
+                    host_workload,
+                    workloads[j].as_ref().expect("filtered above"),
+                ) {
+                    warm[j] = Some(snap.clone());
+                }
+            }
+        }
+        warm
+    }
+
+    /// Runs one scenario: forked from its warm image when one applies,
+    /// cold otherwise. Under [`BatchRunner::with_verify_forks`] a forked
+    /// scenario additionally runs cold and the two reports are asserted
+    /// byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when verify-forks finds a divergence (a kernel snapshot bug
+    /// — the recorded result could not be trusted).
+    fn run_one(
+        &self,
+        scenario: &Scenario,
+        workload: &Workload,
+        warm: Option<&Arc<SimSnapshot>>,
+    ) -> SimReport {
+        let simulator = scenario.build().expect("validated above");
+        match warm {
+            Some(snap) => {
+                let forked = simulator.resume_forked(snap, workload);
+                if self.verify_forks {
+                    let cold = simulator.run(workload);
+                    assert_eq!(
+                        forked, cold,
+                        "fork-from-warm diverged from the cold run for `{}`",
+                        scenario.name
+                    );
+                }
+                forked
+            }
+            None => simulator.run(workload),
+        }
+    }
+
+    /// The serial path of one scenario, wiring in mid-run restore and
+    /// checkpoint emission when configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `checkpoint` [`ConfigError`] if a snapshot write failed
+    /// (the run itself completed; its report is discarded so the sweep
+    /// stops at a well-defined row).
+    fn run_serial_one(
+        &self,
+        index: usize,
+        scenario: &Scenario,
+        workload: &Workload,
+        warm: Option<&Arc<SimSnapshot>>,
+        restored: Option<&Arc<SimSnapshot>>,
+    ) -> Result<SimReport, ConfigError> {
+        let Some(cfg) = &self.checkpoint else {
+            return Ok(match restored {
+                Some(snap) => scenario
+                    .build()
+                    .expect("validated above")
+                    .resume(snap, workload),
+                None => self.run_one(scenario, workload, warm),
+            });
+        };
+        let simulator = scenario.build().expect("validated above");
+        let mut write_error: Option<crate::snapshot::SnapError> = None;
+        let emit = |snap: SimSnapshot| {
+            if write_error.is_some() {
+                return; // keep the last good snapshot on disk
+            }
+            let snap = snap.with_row(index as u64, &scenario.name);
+            if let Err(e) = snap.write_to(&cfg.path) {
+                write_error = Some(e);
+            }
+        };
+        let report = match restored {
+            Some(snap) => simulator.resume_with_checkpoints(snap, workload, cfg.every, emit),
+            None => simulator.run_with_checkpoints(workload, cfg.every, emit),
+        };
+        match write_error {
+            Some(e) => Err(ConfigError::new(
+                "checkpoint",
+                format!("failed to write snapshot `{}`: {e}", cfg.path.display()),
+            )),
+            None => Ok(report),
+        }
+    }
+}
+
+/// True if two scenarios can fork from one warm image: identical machine,
+/// allocation and NUMA policies, seed and warm-up length, and workload
+/// specs that differ at most in trace length — generated traces of the
+/// same `(benchmark, threads, seed)` are exact prefixes of their longer
+/// siblings, so the shared warm-up replays identical references for every
+/// member (and [`forkable`] verifies exactly that before admitting one).
+fn same_warm_group(a: &Scenario, b: &Scenario) -> bool {
+    a.warmup_accesses == b.warmup_accesses
+        && a.machine == b.machine
+        && a.policy == b.policy
+        && a.numa_policy == b.numa_policy
+        && a.seed == b.seed
+        && a.workload.with_accesses(0) == b.workload.with_accesses(0)
+}
+
+/// True if `workload` can fork from `snap` (taken while replaying `host`):
+/// per thread, the consumed prefix must sit strictly inside the member's
+/// own trace (`cursor < len`, so no thread sits exactly at an end the warm
+/// run did not observe), be byte-identical to what the warm run actually
+/// replayed, and keep the same core pinning. Anything else — including a
+/// warm image whose host finished a thread — disqualifies the member.
+fn forkable(snap: &SimSnapshot, host: &Workload, workload: &Workload) -> bool {
+    let threads = &snap.state().threads;
+    threads.len() == workload.threads.len()
+        && threads.iter().all(|t| {
+            let (Some(h), Some(w)) = (host.threads.get(t.thread), workload.threads.get(t.thread))
+            else {
+                return false;
+            };
+            !t.finished
+                && t.cursor < w.accesses.len()
+                && t.cursor <= h.accesses.len()
+                && h.accesses[..t.cursor] == w.accesses[..t.cursor]
+                && h.core == w.core
+                && h.thread == w.thread
+        })
 }
 
 impl Default for BatchRunner {
@@ -1560,6 +1880,212 @@ mod tests {
             } else {
                 RunOutcome::Completed
             }
+        );
+    }
+
+    /// A warm-fork grid: two trace lengths under both policies, sharing
+    /// one warm-up prefix per policy.
+    fn warm_grid() -> Vec<Scenario> {
+        ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ))
+        .accesses(vec![300, 500])
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+        .warmup(800)
+        .expand()
+    }
+
+    #[test]
+    fn fork_from_warm_reports_are_byte_identical_to_cold_runs() {
+        let scenarios = warm_grid();
+        assert_eq!(scenarios.len(), 4);
+        // Every grid point actually gets a warm image (the planner did
+        // not silently fall back cold).
+        let runner = BatchRunner::with_threads(1);
+        let workloads: Vec<Option<Arc<Workload>>> = scenarios
+            .iter()
+            .map(|s| Some(Arc::new(s.workload())))
+            .collect();
+        let warm = runner.plan_warm_images(&scenarios, &workloads);
+        assert!(warm.iter().all(Option::is_some), "a member fell back cold");
+        // Each policy forms its own group: baseline points share one
+        // image, ALLARM points another.
+        assert!(Arc::ptr_eq(
+            warm[0].as_ref().unwrap(),
+            warm[2].as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            warm[1].as_ref().unwrap(),
+            warm[3].as_ref().unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            warm[0].as_ref().unwrap(),
+            warm[1].as_ref().unwrap()
+        ));
+
+        // The forked sweep equals the cold sweep byte for byte — asserted
+        // internally by verify-forks and externally against a run with
+        // the warm-up hint stripped.
+        let forked = runner
+            .clone()
+            .with_verify_forks(true)
+            .run(&scenarios)
+            .unwrap();
+        let cold_scenarios: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| s.clone().with_warmup_accesses(0))
+            .collect();
+        let cold = BatchRunner::with_threads(1).run(&cold_scenarios).unwrap();
+        for (f, c) in forked.entries.iter().zip(&cold.entries) {
+            assert_eq!(f.report, c.report, "{} diverged", f.scenario.name);
+        }
+    }
+
+    #[test]
+    fn oversized_warmups_fall_back_to_cold_runs() {
+        // A warm-up longer than every member's trace cannot be honoured;
+        // the batch must still complete, cold and correct.
+        let scenarios: Vec<Scenario> = warm_grid()
+            .into_iter()
+            .map(|s| s.with_warmup_accesses(1_000_000))
+            .collect();
+        let runner = BatchRunner::with_threads(1);
+        let workloads: Vec<Option<Arc<Workload>>> = scenarios
+            .iter()
+            .map(|s| Some(Arc::new(s.workload())))
+            .collect();
+        let warm = runner.plan_warm_images(&scenarios, &workloads);
+        assert!(warm.iter().all(Option::is_none));
+        let results = runner.run(&scenarios).unwrap();
+        let cold: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| s.clone().with_warmup_accesses(0))
+            .collect();
+        let reference = BatchRunner::with_threads(1).run(&cold).unwrap();
+        for (f, c) in results.entries.iter().zip(&reference.entries) {
+            assert_eq!(f.report, c.report);
+        }
+    }
+
+    #[test]
+    fn checkpointed_sweeps_restore_mid_run_and_match_a_full_run() {
+        let scenarios = ScenarioGrid::new(
+            Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline).with_accesses(300),
+        )
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+        .expand();
+        let dir = std::env::temp_dir().join(format!("allarm-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl_path = dir.join("sweep.jsonl");
+        let snap_path = dir.join("sweep.jsonl.snap");
+
+        // Reference: the full sweep, no checkpointing.
+        let mut reference = JsonlSink::new();
+        BatchRunner::with_threads(1)
+            .run_with_sink(&scenarios, &mut reference)
+            .unwrap();
+        let reference = reference.into_string();
+
+        // A checkpointed sweep records identical rows and leaves the last
+        // row's snapshot on disk.
+        let mut sink = JsonlFileSink::create(&jsonl_path).unwrap();
+        BatchRunner::with_threads(1)
+            .with_checkpoint_every(900, &snap_path)
+            .run_with_sink(&scenarios, &mut sink)
+            .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&jsonl_path).unwrap(), reference);
+        let last = SimSnapshot::read_from(&snap_path).unwrap();
+        assert_eq!(last.header().row_index, 1);
+        assert_eq!(last.header().scenario, scenarios[1].name);
+
+        // Emulate an interruption during row 1: the output holds row 0,
+        // the snapshot holds row 1 mid-run. Restoring and resuming must
+        // finish the file byte-identical to the uninterrupted sweep.
+        std::fs::write(
+            &jsonl_path,
+            format!("{}\n", reference.lines().next().unwrap()),
+        )
+        .unwrap();
+        let mut mid: Option<SimSnapshot> = None;
+        scenarios[1]
+            .build()
+            .unwrap()
+            .run_with_checkpoints(&scenarios[1].workload(), 900, |s| {
+                if mid.is_none() {
+                    mid = Some(s);
+                }
+            });
+        let snap = Arc::new(mid.unwrap().with_row(1, &scenarios[1].name));
+        let scan = JsonlFileSink::scan(&jsonl_path).unwrap();
+        verify_resume_rows(&scenarios, scan.rows()).unwrap();
+        assert_eq!(snap.header().row_index as usize, scan.rows().len());
+        let mut sink = JsonlFileSink::resume_scanned(&jsonl_path, &scan).unwrap();
+        BatchRunner::with_threads(1)
+            .run_with_sink_restored(&scenarios, &mut sink, &scan.completed(), Some((1, snap)))
+            .unwrap();
+        sink.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&jsonl_path).unwrap(), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_snapshots_that_do_not_name_a_pending_row() {
+        let scenarios: Vec<Scenario> = tiny_grid().into_iter().take(2).collect();
+        let mut mid: Option<SimSnapshot> = None;
+        scenarios[0]
+            .build()
+            .unwrap()
+            .run_with_checkpoints(&scenarios[0].workload(), 900, |s| {
+                if mid.is_none() {
+                    mid = Some(s);
+                }
+            });
+        let plain = Arc::new(mid.unwrap());
+        let runner = BatchRunner::with_threads(1);
+
+        // Not a batch checkpoint at all.
+        let mut sink = VecSink::new();
+        let err = runner
+            .run_with_sink_restored(
+                &scenarios,
+                &mut sink,
+                &HashSet::new(),
+                Some((0, plain.clone())),
+            )
+            .unwrap_err();
+        assert_eq!(err.field(), "restore");
+        assert!(err.reason().contains("checkpoint-every"), "{err}");
+
+        // Stale: the named row is already recorded.
+        let tagged = Arc::new((*plain).clone().with_row(0, &scenarios[0].name));
+        let err = runner
+            .run_with_sink_restored(
+                &scenarios,
+                &mut sink,
+                &HashSet::from([0]),
+                Some((0, tagged.clone())),
+            )
+            .unwrap_err();
+        assert!(err.reason().contains("stale"), "{err}");
+
+        // Renamed: the snapshot's scenario is not the batch's at that
+        // index.
+        let renamed = Arc::new((*plain).clone().with_row(0, "someone-else/baseline"));
+        let err = runner
+            .run_with_sink_restored(&scenarios, &mut sink, &HashSet::new(), Some((0, renamed)))
+            .unwrap_err();
+        assert!(err.reason().contains("edited"), "{err}");
+
+        // Out of range.
+        let err = runner
+            .run_with_sink_restored(&scenarios, &mut sink, &HashSet::new(), Some((9, tagged)))
+            .unwrap_err();
+        assert!(err.reason().contains("wrong snapshot"), "{err}");
+        assert!(
+            sink.into_entries().is_empty(),
+            "the sink must stay untouched"
         );
     }
 

@@ -108,6 +108,7 @@ impl ExperimentConfig {
             workload: WorkloadSpec::threads(benchmark, self.threads, self.accesses_per_thread),
             seed: self.seed,
             sim_threads: crate::scenario::SimThreads(self.sim_threads),
+            warmup_accesses: 0,
         }
     }
 
@@ -131,6 +132,7 @@ impl ExperimentConfig {
             ),
             seed: self.seed,
             sim_threads: crate::scenario::SimThreads(self.sim_threads),
+            warmup_accesses: 0,
         }
     }
 }

@@ -57,6 +57,7 @@ pub mod report;
 pub mod scenario;
 mod sharded;
 pub mod simulator;
+pub mod snapshot;
 pub mod system;
 
 pub use batch::{
@@ -76,6 +77,7 @@ pub use jobs::{
 pub use metrics::{Comparison, SimReport};
 pub use scenario::{Scenario, ScenarioGrid, SimThreads};
 pub use simulator::Simulator;
+pub use snapshot::{SimSnapshot, SnapError, SnapHeader, SNAP_VERSION};
 
 // Re-export the vocabulary types callers need to drive the API without
 // importing every substrate crate.

@@ -63,6 +63,16 @@ pub struct Scenario {
     /// fast the host executes it.
     #[serde(default)]
     pub sim_threads: SimThreads,
+    /// Shared warm-up prefix in total accesses (summed across threads);
+    /// `0` — the default — disables fork-from-warm. Batch members that
+    /// agree on machine, policies, seed, workload shape and this value
+    /// execute the prefix once and fork every member from the in-memory
+    /// warm image ([`crate::BatchRunner`]). Like [`Scenario::sim_threads`],
+    /// this never changes a report — forked runs are byte-identical to
+    /// cold ones — so it is a scheduling hint, not an experiment axis;
+    /// a standalone [`Scenario::run`] ignores it.
+    #[serde(default)]
+    pub warmup_accesses: u64,
 }
 
 /// The intra-run parallelism knob of a [`Scenario`]: how many worker
@@ -115,6 +125,7 @@ impl Scenario {
             workload: WorkloadSpec::threads(benchmark, 16, 250_000),
             seed: 2014,
             sim_threads: SimThreads::default(),
+            warmup_accesses: 0,
         }
     }
 
@@ -168,6 +179,14 @@ impl Scenario {
     /// unaffected; only wall-clock time changes.
     pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = SimThreads(sim_threads);
+        self
+    }
+
+    /// Returns a copy with a different warm-up prefix length (total
+    /// accesses; `0` disables fork-from-warm). Purely a batch-scheduling
+    /// hint — see [`Scenario::warmup_accesses`].
+    pub fn with_warmup_accesses(mut self, accesses: u64) -> Self {
+        self.warmup_accesses = accesses;
         self
     }
 
@@ -287,10 +306,31 @@ pub struct ScenarioGrid {
     pub pf_coverages: Vec<u64>,
     /// NUMA policies to sweep (empty: keep the base).
     pub numa_policies: Vec<NumaPolicy>,
+    /// Per-thread / per-process trace lengths to sweep (empty: keep the
+    /// base workload's). Varies second-fastest — just above the policy
+    /// axis — so the points sharing one fork-from-warm image (same
+    /// machine/policy, different length) sit next to each other.
+    #[serde(default)]
+    pub accesses: Vec<usize>,
     /// Allocation policies to sweep (empty: keep the base). This is the
     /// fastest-varying axis, so each configuration's policy pair is
     /// adjacent in the expansion.
     pub policies: Vec<AllocationPolicy>,
+    /// Optional shared warm-up prefix: every expanded scenario gets its
+    /// [`Scenario::warmup_accesses`] set to `warmup.accesses`, so the
+    /// batch runner executes the prefix once per machine/workload group
+    /// and forks each grid point from the warm image. In TOML:
+    /// `warmup = { accesses = 20000 }` (or a `[warmup]` table).
+    #[serde(default)]
+    pub warmup: Option<Warmup>,
+}
+
+/// The shared warm-up stanza of a [`ScenarioGrid`]: the prefix every grid
+/// point replays identically before the swept axes can diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warmup {
+    /// Warm-up length in total accesses, summed across all threads.
+    pub accesses: u64,
 }
 
 impl ScenarioGrid {
@@ -301,7 +341,9 @@ impl ScenarioGrid {
             benchmarks: Vec::new(),
             pf_coverages: Vec::new(),
             numa_policies: Vec::new(),
+            accesses: Vec::new(),
             policies: Vec::new(),
+            warmup: None,
         }
     }
 
@@ -329,12 +371,25 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the trace-length axis (per-thread / per-process accesses).
+    pub fn accesses(mut self, accesses: Vec<usize>) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Sets the shared warm-up prefix (total accesses across threads).
+    pub fn warmup(mut self, accesses: u64) -> Self {
+        self.warmup = Some(Warmup { accesses });
+        self
+    }
+
     /// Number of scenarios the grid expands to.
     pub fn len(&self) -> usize {
         [
             self.benchmarks.len(),
             self.pf_coverages.len(),
             self.numa_policies.len(),
+            self.accesses.len(),
             self.policies.len(),
         ]
         .iter()
@@ -349,35 +404,45 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid into concrete scenarios, slowest axis first:
-    /// benchmarks, then coverages, then NUMA policies, then allocation
-    /// policies. Scenario names encode the swept axes, e.g.
-    /// `"barnes/512kB/baseline"`.
+    /// benchmarks, then coverages, then NUMA policies, then trace
+    /// lengths, then allocation policies. Scenario names encode the swept
+    /// axes, e.g. `"barnes/512kB/baseline"` or
+    /// `"raytrace/1600acc/allarm"`.
     pub fn expand(&self) -> Vec<Scenario> {
         let benchmarks: Vec<Option<Benchmark>> = axis(&self.benchmarks);
         let coverages: Vec<Option<u64>> = axis(&self.pf_coverages);
         let numas: Vec<Option<NumaPolicy>> = axis(&self.numa_policies);
+        let lengths: Vec<Option<usize>> = axis(&self.accesses);
         let policies: Vec<Option<AllocationPolicy>> = axis(&self.policies);
 
         let mut scenarios = Vec::with_capacity(self.len());
         for &bench in &benchmarks {
             for &coverage in &coverages {
                 for &numa in &numas {
-                    for &policy in &policies {
-                        let mut s = self.base.clone();
-                        if let Some(b) = bench {
-                            s.workload = s.workload.with_benchmark(b);
+                    for &length in &lengths {
+                        for &policy in &policies {
+                            let mut s = self.base.clone();
+                            if let Some(b) = bench {
+                                s.workload = s.workload.with_benchmark(b);
+                            }
+                            if let Some(c) = coverage {
+                                s.machine = s.machine.with_probe_filter_coverage(c);
+                            }
+                            if let Some(n) = numa {
+                                s.numa_policy = n;
+                            }
+                            if let Some(a) = length {
+                                s.workload = s.workload.with_accesses(a);
+                            }
+                            if let Some(p) = policy {
+                                s.policy = p;
+                            }
+                            if let Some(w) = self.warmup {
+                                s.warmup_accesses = w.accesses;
+                            }
+                            s.name = grid_point_name(&s, bench, coverage, numa, length, policy);
+                            scenarios.push(s);
                         }
-                        if let Some(c) = coverage {
-                            s.machine = s.machine.with_probe_filter_coverage(c);
-                        }
-                        if let Some(n) = numa {
-                            s.numa_policy = n;
-                        }
-                        if let Some(p) = policy {
-                            s.policy = p;
-                        }
-                        s.name = grid_point_name(&s, bench, coverage, numa, policy);
-                        scenarios.push(s);
                     }
                 }
             }
@@ -398,6 +463,13 @@ impl ScenarioGrid {
             return Err(ConfigError::new(
                 "benchmarks",
                 "cannot sweep the benchmark axis over a trace-replay workload — the \
+                 trace file fixes the reference stream",
+            ));
+        }
+        if !self.accesses.is_empty() && self.base.workload.benchmark().is_none() {
+            return Err(ConfigError::new(
+                "accesses",
+                "cannot sweep the trace-length axis over a trace-replay workload — the \
                  trace file fixes the reference stream",
             ));
         }
@@ -435,15 +507,16 @@ fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
     }
 }
 
-/// Builds the `workload[/coverage][/numa]/policy` name of one grid point;
-/// axes that are not swept are omitted (except the workload label — the
-/// benchmark name, or a replayed trace's recorded name — and the policy,
-/// which always appear so reports stay self-describing).
+/// Builds the `workload[/coverage][/numa][/accesses]/policy` name of one
+/// grid point; axes that are not swept are omitted (except the workload
+/// label — the benchmark name, or a replayed trace's recorded name — and
+/// the policy, which always appear so reports stay self-describing).
 fn grid_point_name(
     scenario: &Scenario,
     bench: Option<Benchmark>,
     coverage: Option<u64>,
     numa: Option<NumaPolicy>,
+    length: Option<usize>,
     _policy: Option<AllocationPolicy>,
 ) -> String {
     let mut parts: Vec<String> = Vec::new();
@@ -457,6 +530,9 @@ fn grid_point_name(
     }
     if let Some(n) = numa {
         parts.push(n.name().to_string());
+    }
+    if let Some(a) = length {
+        parts.push(format!("{a}acc"));
     }
     parts.push(scenario.policy.name().to_string());
     parts.join("/")
@@ -589,6 +665,73 @@ mod tests {
         assert_eq!(scenarios[0].name, "barnes/512kB/baseline");
         assert_eq!(scenarios[1].name, "barnes/64kB/baseline");
         assert_eq!(scenarios[1].machine.probe_filter.coverage_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn accesses_axis_and_warmup_flow_into_every_point() {
+        let grid = ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ))
+        .accesses(vec![400, 800])
+        .policies(vec![AllocationPolicy::Baseline, AllocationPolicy::Allarm])
+        .warmup(1_000);
+        assert_eq!(grid.len(), 4);
+        let scenarios = grid.expand();
+        assert_eq!(scenarios[0].name, "barnes/400acc/baseline");
+        assert_eq!(scenarios[3].name, "barnes/800acc/allarm");
+        // The length axis varies just above the policy axis, so both
+        // policies of one length are adjacent (paired comparisons) and
+        // both lengths of one policy share a warm image group.
+        assert_eq!(scenarios[1].workload.accesses(), 400);
+        assert_eq!(scenarios[2].workload.accesses(), 800);
+        for s in &scenarios {
+            assert_eq!(s.warmup_accesses, 1_000);
+        }
+        grid.validate().unwrap();
+    }
+
+    #[test]
+    fn warmup_grids_round_trip_and_old_documents_still_parse() {
+        let grid = ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ))
+        .accesses(vec![500])
+        .warmup(2_000);
+        let text = grid.to_toml().unwrap();
+        assert!(text.contains("[warmup]"), "{text}");
+        assert_eq!(ScenarioGrid::from_toml(&text).unwrap(), grid);
+
+        // A document written before the warmup/accesses fields existed
+        // has neither key; it must keep parsing with the defaults.
+        let plain = ScenarioGrid::new(Scenario::quick_test(
+            Benchmark::Barnes,
+            AllocationPolicy::Baseline,
+        ));
+        let stripped: String = plain
+            .to_toml()
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("accesses = ") && !l.starts_with("warmup_accesses = "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(!stripped.contains("warmup"));
+        let parsed = ScenarioGrid::from_toml(&stripped).unwrap();
+        assert_eq!(parsed, plain);
+        assert_eq!(parsed.base.warmup_accesses, 0);
+        assert!(parsed.warmup.is_none());
+    }
+
+    #[test]
+    fn accesses_axis_over_a_trace_replay_is_rejected() {
+        let mut base = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
+        base.workload =
+            WorkloadSpec::trace_file("capture.trace", allarm_workloads::TraceFormat::Binary);
+        let grid = ScenarioGrid::new(base).accesses(vec![100, 200]);
+        let err = grid.validate().unwrap_err();
+        assert_eq!(err.field(), "accesses");
+        assert!(err.reason().contains("trace"), "{err}");
     }
 
     #[test]

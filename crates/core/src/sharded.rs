@@ -62,16 +62,16 @@
 //! [`MissWindowConfig::serial`]: allarm_types::MissWindowConfig::serial
 
 use std::mem;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
-use allarm_cache::{AccessOutcome, CoherenceNeed, CoherenceState, CoreCaches};
+use allarm_cache::{AccessOutcome, CoherenceNeed, CoherenceState, CoreCaches, CoreCachesState};
 use allarm_coherence::{
     AllocationPolicy, CoherenceEvent, CoherenceOp, CoherenceReply, CoherenceRequest,
-    DirectoryController, DirectoryShard, RequestKind,
+    DirectoryController, DirectoryNodeState, DirectoryShard, RequestKind,
 };
 use allarm_engine::{merge_events, CoreScheduler, Keyed, MergeKey, PhaseBarrier, ShardPlan};
-use allarm_mem::{NumaAllocator, NumaPolicy};
+use allarm_mem::{NumaAllocator, NumaAllocatorState, NumaPolicy};
 use allarm_noc::NocStats;
 use allarm_types::addr::{LineAddr, VirtAddr};
 use allarm_types::config::MachineConfig;
@@ -139,10 +139,10 @@ impl Exchange {
 /// round. The private-hierarchy latency of the triggering access is folded
 /// into the core's clock when the window parks, so the reply only needs to
 /// add the directory's latency.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    key: MergeKey,
-    line: LineAddr,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Pending {
+    pub(crate) key: MergeKey,
+    pub(crate) line: LineAddr,
 }
 
 /// One workload slot (a software thread pinned to a core) as a shard sees
@@ -169,6 +169,162 @@ impl Slot {
         let key = MergeKey::new(time, u32::from(self.core.raw()), self.seq);
         self.seq += 1;
         key
+    }
+}
+
+/// One workload thread's execution state, as captured at a checkpoint and
+/// keyed by its index into `workload.threads` — canonical (per thread, not
+/// per shard), so a snapshot restores onto any shard count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ThreadState {
+    /// Index into `workload.threads`.
+    pub(crate) thread: usize,
+    /// The core the thread is pinned to (for cross-checking the workload).
+    pub(crate) core: CoreId,
+    /// The core's local clock.
+    pub(crate) clock: Nanos,
+    /// True if the core is parked (full/dependent window, horizon, or a
+    /// trace that ended mid-window).
+    pub(crate) parked: bool,
+    /// True if the trace is exhausted and the window has drained.
+    pub(crate) finished: bool,
+    /// True if the core parked on a page fault this round.
+    pub(crate) faulted: bool,
+    /// Next access to replay.
+    pub(crate) cursor: usize,
+    /// Monotone event counter (MergeKey tie-breaker).
+    pub(crate) seq: u32,
+    /// The in-flight miss window, in issue order; its replies are in
+    /// [`KernelState::replies`].
+    pub(crate) window: Vec<Pending>,
+}
+
+/// The complete mid-run state of the kernel, captured at a frozen point
+/// (the end of a round, after every directory phase and before any core
+/// phase). Canonical: every collection is keyed by thread, node or core
+/// index — never by shard — so the capture is byte-identical for every
+/// `sim_threads` value and restores onto any.
+#[derive(Debug, Clone)]
+pub(crate) struct KernelState {
+    /// Per-thread execution state, sorted by thread index.
+    pub(crate) threads: Vec<ThreadState>,
+    /// Per-home-node directory state (probe filter, counters, occupancy),
+    /// indexed by node.
+    pub(crate) dirs: Vec<DirectoryNodeState>,
+    /// Per-core private-hierarchy state, indexed by core.
+    pub(crate) caches: Vec<CoreCachesState>,
+    /// The NUMA page table and allocation cursors.
+    pub(crate) allocator: NumaAllocatorState,
+    /// Directory replies produced in the checkpoint round and not yet
+    /// committed, sorted by `(core, key)` — the exact order the next core
+    /// phase commits them in.
+    pub(crate) replies: Vec<CoherenceReply>,
+    /// Next round's issue cutoff (identical on every shard).
+    pub(crate) round_horizon: Nanos,
+    /// Accesses replayed so far (all shards, plus any earlier resume base).
+    pub(crate) accesses: u64,
+    /// Rounds executed so far.
+    pub(crate) rounds: u64,
+    /// Coherence events drained so far.
+    pub(crate) events_merged: u64,
+    /// Deepest miss window seen so far.
+    pub(crate) max_window: u32,
+    /// Network traffic accumulated so far.
+    pub(crate) noc: NocStats,
+    /// DRAM line reads so far.
+    pub(crate) dram_reads: u64,
+    /// DRAM writebacks so far.
+    pub(crate) dram_writes: u64,
+}
+
+/// Counters a restored run starts from. Workers count from zero; the base
+/// is added back when merging the final report *and* when assembling a
+/// later checkpoint, so totals stay true across any number of
+/// checkpoint/restore generations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ResumeBase {
+    accesses: u64,
+    rounds: u64,
+    events_merged: u64,
+    max_window: u32,
+    noc: NocStats,
+    dram_reads: u64,
+    dram_writes: u64,
+}
+
+impl ResumeBase {
+    fn from_state(state: &KernelState) -> Self {
+        ResumeBase {
+            accesses: state.accesses,
+            rounds: state.rounds,
+            events_merged: state.events_merged,
+            max_window: state.max_window,
+            noc: state.noc.clone(),
+            dram_reads: state.dram_reads,
+            dram_writes: state.dram_writes,
+        }
+    }
+}
+
+/// The shard-local slice of a checkpoint, captured by each worker at the
+/// frozen point and assembled into a [`KernelState`] by shard 0.
+struct ShardPart {
+    threads: Vec<ThreadState>,
+    dirs: Vec<DirectoryNodeState>,
+    noc: NocStats,
+    dram_reads: u64,
+    dram_writes: u64,
+    events_merged: u64,
+    max_window: u32,
+}
+
+/// Shared checkpoint coordination. The decision to checkpoint is taken at
+/// the frozen point from `total` and `next_target`, which every shard reads
+/// between the same two barriers — so the decision is uniform and every
+/// shard performs the same barrier sequence.
+struct CheckpointCtl {
+    /// Capture whenever total accesses cross a multiple of this (0 = off).
+    every: u64,
+    /// Capture once total accesses reach this, then stop (`u64::MAX` = off).
+    stop_at: u64,
+    /// The next access total that triggers a capture.
+    next_target: AtomicU64,
+    /// Accesses replayed so far across all shards (including the resume
+    /// base); shards add their per-round delta during the core phase, so
+    /// the value is stable from the mid-round barrier to the next core
+    /// phase — which covers the frozen point.
+    total: AtomicU64,
+    /// Set by shard 0 when `stop_at` was reached; every shard exits.
+    stop: AtomicBool,
+    /// Per-shard capture slots for the round being checkpointed.
+    parts: Vec<Mutex<Option<ShardPart>>>,
+    /// Where a `stop_at` capture lands for the caller.
+    stashed: Mutex<Option<KernelState>>,
+    /// Counters the run started from (non-zero after a restore).
+    base: ResumeBase,
+}
+
+impl CheckpointCtl {
+    fn new(every: u64, stop_at: u64, num_shards: usize, base: ResumeBase) -> Self {
+        let first_every = match base.accesses.checked_div(every) {
+            Some(done) => (done + 1) * every,
+            None => u64::MAX,
+        };
+        CheckpointCtl {
+            every,
+            stop_at,
+            next_target: AtomicU64::new(first_every.min(stop_at)),
+            total: AtomicU64::new(base.accesses),
+            stop: AtomicBool::new(false),
+            parts: (0..num_shards).map(|_| Mutex::new(None)).collect(),
+            stashed: Mutex::new(None),
+            base,
+        }
+    }
+
+    /// True if this run can ever checkpoint (gates the per-round atomics).
+    fn active(&self) -> bool {
+        self.every > 0 || self.stop_at != u64::MAX
     }
 }
 
@@ -204,32 +360,101 @@ pub(crate) struct KernelOutput {
     pub(crate) max_window_depth: u32,
 }
 
+/// The result of a kernel run: the merged output (partial if the run was
+/// stopped by a `stop_at` checkpoint) plus the stopping checkpoint, if one
+/// was taken.
+pub(crate) struct KernelRun {
+    pub(crate) output: KernelOutput,
+    pub(crate) stopped: Option<KernelState>,
+}
+
 /// Runs `workload` on the machine with `num_shards` worker threads and
 /// returns the merged state. The output is byte-identical for every
 /// `num_shards` value.
-pub(crate) fn execute(
+///
+/// This is the general kernel entry: it optionally restores a mid-run state, emits a
+/// checkpoint through `emit` whenever the access total crosses a multiple
+/// of `every` (0 = never), and stops — stashing a final checkpoint in the
+/// returned [`KernelRun`] — once the total reaches `stop_at`
+/// (`u64::MAX` = run to completion).
+///
+/// # Panics
+///
+/// Panics if a restore state's geometry (threads, nodes, cores) does not
+/// match the machine and workload; callers validate compatibility against
+/// the snapshot header first.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_kernel(
     config: &MachineConfig,
     policy: AllocationPolicy,
     numa_policy: NumaPolicy,
     workload: &Workload,
     num_shards: usize,
-) -> KernelOutput {
+    restore: Option<&KernelState>,
+    every: u64,
+    stop_at: u64,
+    emit: &mut dyn FnMut(KernelState),
+) -> KernelRun {
     let num_nodes = config.num_nodes() as usize;
+    let topology = config.topology();
     let plan = ShardPlan::new(num_nodes, num_shards);
     let num_shards = plan.num_shards();
 
     let caches = shared_caches(config);
-    let allocator = RwLock::new(NumaAllocator::new(num_nodes, config.dram, numa_policy));
+    let mut numa = NumaAllocator::new(num_nodes, config.dram, numa_policy);
+    let mut live = workload.threads.len();
+    let mut base = ResumeBase::default();
+    if let Some(state) = restore {
+        assert_eq!(
+            state.threads.len(),
+            workload.threads.len(),
+            "snapshot thread count does not match the workload"
+        );
+        assert_eq!(
+            state.caches.len(),
+            caches.len(),
+            "snapshot core count does not match the machine"
+        );
+        assert_eq!(
+            state.dirs.len(),
+            num_nodes,
+            "snapshot node count does not match the machine"
+        );
+        numa.restore_state(&state.allocator);
+        for (cache, cache_state) in caches.iter().zip(&state.caches) {
+            cache
+                .lock()
+                .expect("cache lock poisoned")
+                .restore_state(cache_state);
+        }
+        live = state.threads.iter().filter(|t| !t.finished).count();
+        base = ResumeBase::from_state(state);
+    }
+    let allocator = RwLock::new(numa);
     let exchange = Exchange::new(num_shards);
+    if let Some(state) = restore {
+        // The checkpoint round's un-committed replies go back into the
+        // mailboxes of the shards owning their cores. All into source
+        // column 0: the consumer drains every column before sorting, so
+        // the column split carries no information.
+        for &reply in &state.replies {
+            let dst = plan.shard_of_node(topology.node_of_core(reply.core).index());
+            exchange.replies[dst][0]
+                .lock()
+                .expect("reply mailbox poisoned")
+                .push(reply);
+        }
+    }
     let barrier = PhaseBarrier::new(num_shards);
-    let live_slots = AtomicUsize::new(workload.threads.len());
+    let live_slots = AtomicUsize::new(live);
+    let ctl = CheckpointCtl::new(every, stop_at, num_shards, base);
 
     let mut outputs: Vec<Option<ShardOutput>> = Vec::new();
     outputs.resize_with(num_shards, || None);
     let outputs = Mutex::new(outputs);
 
     std::thread::scope(|scope| {
-        let run_shard = |shard_id: usize| {
+        let run_shard = |shard_id: usize, emit: Option<&mut dyn FnMut(KernelState)>| {
             let mut worker = ShardWorker::new(
                 shard_id,
                 &plan,
@@ -241,38 +466,54 @@ pub(crate) fn execute(
                 &exchange,
                 &barrier,
                 &live_slots,
+                &ctl,
+                restore,
             );
-            worker.run();
+            worker.run(emit);
             outputs.lock().expect("output collection poisoned")[shard_id] =
                 Some(worker.into_output());
         };
-        // Shard 0 (the fault leader) runs on the calling thread; a serial
-        // run (`num_shards == 1`) therefore spawns nothing.
+        // Shard 0 (the fault and checkpoint leader) runs on the calling
+        // thread — which is why it alone gets the emit callback — and a
+        // serial run (`num_shards == 1`) spawns nothing.
         let handles: Vec<_> = (1..num_shards)
-            .map(|shard_id| scope.spawn(move || run_shard(shard_id)))
+            .map(|shard_id| scope.spawn(move || run_shard(shard_id, None)))
             .collect();
-        run_shard(0);
+        run_shard(0, Some(emit));
         for handle in handles {
             handle.join().expect("a shard worker panicked");
         }
     });
 
-    merge(caches, outputs.into_inner().expect("outputs poisoned"))
+    let output = merge(
+        caches,
+        outputs.into_inner().expect("outputs poisoned"),
+        &ctl.base,
+    );
+    KernelRun {
+        output,
+        stopped: ctl.stashed.into_inner().expect("checkpoint stash poisoned"),
+    }
 }
 
 /// Folds the per-shard outputs (in shard order, which is node order) into
 /// the single-machine view. Every field is a commutative sum or a max, so
-/// the merge order is immaterial to the values — it is fixed anyway.
-fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> KernelOutput {
+/// the merge order is immaterial to the values — it is fixed anyway. The
+/// resume base is added back so a restored run reports whole-run totals.
+fn merge(
+    caches: Vec<Mutex<CoreCaches>>,
+    outputs: Vec<Option<ShardOutput>>,
+    base: &ResumeBase,
+) -> KernelOutput {
     let mut controllers = Vec::new();
-    let mut noc = NocStats::new();
-    let mut dram_reads = 0;
-    let mut dram_writes = 0;
+    let mut noc = base.noc.clone();
+    let mut dram_reads = base.dram_reads;
+    let mut dram_writes = base.dram_writes;
     let mut makespan = Nanos::ZERO;
-    let mut total_accesses = 0;
+    let mut total_accesses = base.accesses;
     let mut rounds_executed = 0;
-    let mut events_merged = 0;
-    let mut max_window_depth = 0;
+    let mut events_merged = base.events_merged;
+    let mut max_window_depth = base.max_window;
     for output in outputs {
         let output = output.expect("every shard reports an output");
         controllers.extend(output.controllers);
@@ -298,7 +539,7 @@ fn merge(caches: Vec<Mutex<CoreCaches>>, outputs: Vec<Option<ShardOutput>>) -> K
         dram_writes,
         makespan,
         total_accesses,
-        rounds_executed,
+        rounds_executed: rounds_executed + base.rounds,
         events_merged,
         max_window_depth,
     }
@@ -324,6 +565,12 @@ struct ShardWorker<'a> {
     /// Count of slots that have not yet exhausted their traces, across all
     /// shards; the shared termination condition.
     live_slots: &'a AtomicUsize,
+    /// Shared checkpoint coordination (targets, access total, capture
+    /// slots).
+    ckpt: &'a CheckpointCtl,
+    /// The value of `accesses` already folded into `ckpt.total`, so each
+    /// core phase publishes only its delta.
+    accesses_reported: u64,
     l1_latency: Nanos,
     l2_latency: Nanos,
     /// Maximum in-flight misses per core (the MSHR count).
@@ -360,13 +607,15 @@ impl<'a> ShardWorker<'a> {
         exchange: &'a Exchange,
         barrier: &'a PhaseBarrier,
         live_slots: &'a AtomicUsize,
+        ckpt: &'a CheckpointCtl,
+        restore: Option<&KernelState>,
     ) -> Self {
         let topology = config.topology();
         let nodes = plan.nodes_of_shard(shard_id);
         // A slot belongs to the shard owning the node its core is pinned
         // to; with several cores per node, a node's whole core block moves
         // together, so the determinism argument is untouched.
-        let slots: Vec<Slot> = workload
+        let mut slots: Vec<Slot> = workload
             .threads
             .iter()
             .enumerate()
@@ -393,19 +642,54 @@ impl<'a> ShardWorker<'a> {
             .map(|n| plan.shard_of_node(n))
             .collect();
         let num_shards = plan.num_shards();
+        let mut dir = DirectoryShard::hierarchical(
+            nodes.clone(),
+            &config.probe_filter,
+            policy,
+            topology.cores_per_node(),
+        );
+        let mut scheduler = CoreScheduler::new(slots.len());
+        let mut round_horizon = config.miss_window.horizon;
+        if let Some(state) = restore {
+            // Snapshot threads are sorted by thread index, so each slot's
+            // state is at its own index. The scheduler rebuild is
+            // equivalent to the captured one (lazy heap, see
+            // `CoreScheduler::import`).
+            let mut clocks = Vec::with_capacity(slots.len());
+            let mut finished = Vec::with_capacity(slots.len());
+            let mut parked = Vec::with_capacity(slots.len());
+            for slot in &mut slots {
+                let thread = &state.threads[slot.thread];
+                assert_eq!(
+                    thread.thread, slot.thread,
+                    "snapshot threads are sorted by thread index"
+                );
+                assert_eq!(
+                    thread.core, slot.core,
+                    "snapshot thread is pinned to a different core"
+                );
+                slot.cursor = thread.cursor;
+                slot.seq = thread.seq;
+                slot.window = thread.window.clone();
+                slot.faulted = thread.faulted;
+                clocks.push(thread.clock);
+                finished.push(thread.finished);
+                parked.push(thread.parked);
+            }
+            scheduler = CoreScheduler::import(clocks, finished, parked);
+            for node in nodes {
+                dir.restore_node_state(NodeId::new(node as u16), &state.dirs[node]);
+            }
+            round_horizon = state.round_horizon;
+        }
         ShardWorker {
             shard_id,
             topology,
             shard_of_node,
-            scheduler: CoreScheduler::new(slots.len()),
+            scheduler,
             slots,
             slot_of_core,
-            dir: DirectoryShard::hierarchical(
-                nodes,
-                &config.probe_filter,
-                policy,
-                topology.cores_per_node(),
-            ),
+            dir,
             sys: ShardSystem::new(caches, config),
             workload,
             caches,
@@ -413,11 +697,13 @@ impl<'a> ShardWorker<'a> {
             exchange,
             barrier,
             live_slots,
+            ckpt,
+            accesses_reported: 0,
             l1_latency: config.l1d.access_latency,
             l2_latency: config.l2.access_latency,
             depth: config.miss_window.depth.max(1) as usize,
             horizon_ns: config.miss_window.horizon,
-            round_horizon: config.miss_window.horizon,
+            round_horizon,
             accesses: 0,
             rounds: 0,
             events_merged: 0,
@@ -433,7 +719,7 @@ impl<'a> ShardWorker<'a> {
     /// The round loop. Both phases of a round end on the shared barrier;
     /// the termination condition is read between rounds, when it is stable
     /// and identical for every shard.
-    fn run(&mut self) {
+    fn run(&mut self, mut emit: Option<&mut dyn FnMut(KernelState)>) {
         loop {
             self.rounds += 1;
             self.core_phase();
@@ -447,11 +733,154 @@ impl<'a> ShardWorker<'a> {
             // retire slots. Reading *after* the end-of-round barrier would
             // race with faster shards already decrementing it in their next
             // core phase, leaving shards disagreeing on whether to exit.
+            // The checkpoint decision is read at the same frozen point —
+            // `total` and `next_target` are stable here — so every shard
+            // takes the same branch and the same barrier sequence.
             let done = self.live_slots.load(Ordering::Acquire) == 0;
+            let ckpt = !done
+                && self.ckpt.active()
+                && self.ckpt.total.load(Ordering::Acquire)
+                    >= self.ckpt.next_target.load(Ordering::Acquire);
             self.barrier.wait();
             if done {
                 return;
             }
+            if ckpt && self.checkpoint_round(&mut emit) {
+                return;
+            }
+        }
+    }
+
+    /// Captures the frozen end-of-round state across all shards. Each
+    /// shard deposits its slice; shard 0 — while every other shard idles
+    /// at the middle barrier, so the shared caches, allocator and reply
+    /// mailboxes are safe to walk — assembles the canonical
+    /// [`KernelState`], emits or stashes it, and advances the trigger.
+    /// Returns true if the run should stop (a `stop_at` capture).
+    fn checkpoint_round(&mut self, emit: &mut Option<&mut dyn FnMut(KernelState)>) -> bool {
+        let part = self.capture_part();
+        *self.ckpt.parts[self.shard_id]
+            .lock()
+            .expect("checkpoint part poisoned") = Some(part);
+        self.barrier.wait();
+        if self.shard_id == 0 {
+            let state = self.assemble();
+            let total = state.accesses;
+            if total >= self.ckpt.stop_at {
+                *self.ckpt.stashed.lock().expect("checkpoint stash poisoned") = Some(state);
+                self.ckpt.stop.store(true, Ordering::Release);
+            } else if let Some(emit) = emit {
+                (*emit)(state);
+            }
+            let next_every = match total.checked_div(self.ckpt.every) {
+                Some(done) => (done + 1) * self.ckpt.every,
+                None => u64::MAX,
+            };
+            self.ckpt
+                .next_target
+                .store(next_every.min(self.ckpt.stop_at), Ordering::Release);
+        }
+        self.barrier.wait();
+        self.ckpt.stop.load(Ordering::Acquire)
+    }
+
+    /// This shard's slice of a checkpoint: its threads, its home nodes'
+    /// directory state, and its private counters.
+    fn capture_part(&self) -> ShardPart {
+        let threads = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(local, slot)| ThreadState {
+                thread: slot.thread,
+                core: slot.core,
+                clock: self.scheduler.time_of(local),
+                parked: self.scheduler.is_parked(local),
+                finished: self.scheduler.is_finished(local),
+                faulted: slot.faulted,
+                cursor: slot.cursor,
+                seq: slot.seq,
+                window: slot.window.clone(),
+            })
+            .collect();
+        let (noc, dram_reads, dram_writes) = self.sys.stats_view();
+        ShardPart {
+            threads,
+            dirs: self.dir.export_state(),
+            noc,
+            dram_reads,
+            dram_writes,
+            events_merged: self.events_merged,
+            max_window: self.max_window,
+        }
+    }
+
+    /// Shard 0 only: folds the deposited parts and the shared state into
+    /// the canonical [`KernelState`]. Parts concatenate in shard order,
+    /// which is node order; threads are re-sorted by thread index; replies
+    /// are cloned out of the mailboxes (not drained — the next core phase
+    /// still commits them) and sorted by the order they commit in.
+    fn assemble(&self) -> KernelState {
+        let base = &self.ckpt.base;
+        let mut threads: Vec<ThreadState> = Vec::new();
+        let mut dirs = Vec::new();
+        let mut noc = base.noc.clone();
+        let mut dram_reads = base.dram_reads;
+        let mut dram_writes = base.dram_writes;
+        let mut events_merged = base.events_merged;
+        let mut max_window = base.max_window;
+        for part in &self.ckpt.parts {
+            let part = part
+                .lock()
+                .expect("checkpoint part poisoned")
+                .take()
+                .expect("every shard deposits a part before the barrier");
+            threads.extend(part.threads);
+            dirs.extend(part.dirs);
+            noc.merge(&part.noc);
+            dram_reads += part.dram_reads;
+            dram_writes += part.dram_writes;
+            events_merged += part.events_merged;
+            max_window = max_window.max(part.max_window);
+        }
+        threads.sort_by_key(|t| t.thread);
+        let caches = self
+            .caches
+            .iter()
+            .map(|c| c.lock().expect("cache lock poisoned").export_state())
+            .collect();
+        let allocator = self
+            .allocator
+            .read()
+            .expect("allocator lock poisoned")
+            .export_state();
+        let mut replies = Vec::new();
+        for column in &self.exchange.replies {
+            for mailbox in column {
+                replies.extend(
+                    mailbox
+                        .lock()
+                        .expect("reply mailbox poisoned")
+                        .iter()
+                        .copied(),
+                );
+            }
+        }
+        replies.sort_by_key(|r| (r.core.index(), r.key));
+        KernelState {
+            threads,
+            dirs,
+            caches,
+            allocator,
+            replies,
+            round_horizon: self.round_horizon,
+            accesses: self.ckpt.total.load(Ordering::Acquire),
+            rounds: self.rounds + base.rounds,
+            events_merged,
+            max_window,
+            noc,
+            dram_reads,
+            dram_writes,
         }
     }
 
@@ -499,6 +928,17 @@ impl<'a> ShardWorker<'a> {
             }
         }
         self.exchange.min_clock[self.shard_id].store(min, Ordering::Release);
+
+        // Publish this round's access delta. `total` is then stable from
+        // the mid-round barrier to the next core phase, which covers the
+        // frozen point where the checkpoint decision reads it.
+        if self.ckpt.active() {
+            let delta = self.accesses - self.accesses_reported;
+            self.accesses_reported = self.accesses;
+            if delta > 0 {
+                self.ckpt.total.fetch_add(delta, Ordering::AcqRel);
+            }
+        }
     }
 
     /// Commits every reply addressed to one of this shard's cores, in

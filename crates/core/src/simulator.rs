@@ -1,7 +1,8 @@
 //! The trace-driven, cycle-approximate multicore simulator.
 
 use crate::metrics::SimReport;
-use crate::sharded::{self, KernelOutput};
+use crate::sharded::{self, KernelOutput, KernelRun, KernelState};
+use crate::snapshot::{config_fingerprint, SimSnapshot, SnapHeader};
 use allarm_coherence::{AllocationPolicy, DirectoryStats, PfStats};
 use allarm_energy::EnergyModel;
 use allarm_mem::NumaPolicy;
@@ -113,6 +114,183 @@ impl Simulator {
     /// Panics if the workload needs more cores than the machine has, or if
     /// the machine configuration is invalid.
     pub fn run(&self, workload: &Workload) -> SimReport {
+        let run = self.run_inner(workload, None, 0, u64::MAX, &mut |_| {});
+        self.build_report(workload, run.output)
+    }
+
+    /// Replays `workload` like [`Simulator::run`], additionally emitting a
+    /// [`SimSnapshot`] through `emit` each time the access total crosses a
+    /// multiple of `every`. Snapshots land at the end-of-round boundary
+    /// *after* the crossing, so consecutive checkpoints of the same run are
+    /// monotone in `accesses_done`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`], plus if `every` is zero.
+    pub fn run_with_checkpoints(
+        &self,
+        workload: &Workload,
+        every: u64,
+        mut emit: impl FnMut(SimSnapshot),
+    ) -> SimReport {
+        assert!(every > 0, "checkpoint interval must be positive");
+        let mut wrap = |state: KernelState| emit(self.wrap_snapshot(workload, state));
+        let run = self.run_inner(workload, None, every, u64::MAX, &mut wrap);
+        self.build_report(workload, run.output)
+    }
+
+    /// Replays `workload` until the access total reaches `accesses`, then
+    /// stops at the next end-of-round boundary and returns the frozen
+    /// state as a [`SimSnapshot`]. The warm-up primitive behind
+    /// fork-from-warm grid sweeps.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`], plus if the workload finishes before
+    /// `accesses` references were replayed (callers bound `accesses` by
+    /// the workload's length), or if `accesses` is zero.
+    pub fn run_until(&self, workload: &Workload, accesses: u64) -> SimSnapshot {
+        self.try_run_until(workload, accesses).unwrap_or_else(|| {
+            panic!(
+                "workload '{}' finished ({} accesses) before the run_until target of {}",
+                workload.name,
+                workload.total_accesses(),
+                accesses
+            )
+        })
+    }
+
+    /// Like [`Simulator::run_until`], but answers `None` instead of
+    /// panicking when the workload completes before the target is crossed
+    /// at a stoppable round boundary (including the edge where the
+    /// crossing round is also the finishing one). The batch runner's
+    /// fork-from-warm planner treats `None` as "run this group cold".
+    pub(crate) fn try_run_until(&self, workload: &Workload, accesses: u64) -> Option<SimSnapshot> {
+        assert!(accesses > 0, "run_until needs a positive access target");
+        let run = self.run_inner(workload, None, 0, accesses, &mut |_| {});
+        run.stopped.map(|state| self.wrap_snapshot(workload, state))
+    }
+
+    /// Resumes a snapshot of `workload` and runs it to completion,
+    /// returning the same report an uninterrupted [`Simulator::run`] would
+    /// have produced — byte-identical, for every `sim_threads` value.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`], plus if the snapshot does not belong to this
+    /// exact machine/policy configuration or this exact workload (the
+    /// header's fingerprint and workload checksum are both verified).
+    pub fn resume(&self, snapshot: &SimSnapshot, workload: &Workload) -> SimReport {
+        self.check_fingerprint(snapshot);
+        assert_eq!(
+            snapshot.header().workload_checksum,
+            workload.checksum(),
+            "snapshot was taken from a different workload \
+             (checksum mismatch; use resume_forked for a prefix-compatible workload)"
+        );
+        let run = self.run_inner(workload, Some(snapshot), 0, u64::MAX, &mut |_| {});
+        self.build_report(workload, run.output)
+    }
+
+    /// As [`Simulator::resume`] with periodic checkpoint emission (see
+    /// [`Simulator::run_with_checkpoints`]). The emitted snapshots carry
+    /// whole-run access totals, so checkpointing composes across restore
+    /// generations.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::resume`], plus if `every` is zero.
+    pub fn resume_with_checkpoints(
+        &self,
+        snapshot: &SimSnapshot,
+        workload: &Workload,
+        every: u64,
+        mut emit: impl FnMut(SimSnapshot),
+    ) -> SimReport {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.check_fingerprint(snapshot);
+        assert_eq!(
+            snapshot.header().workload_checksum,
+            workload.checksum(),
+            "snapshot was taken from a different workload"
+        );
+        let mut wrap = |state: KernelState| emit(self.wrap_snapshot(workload, state));
+        let run = self.run_inner(workload, Some(snapshot), every, u64::MAX, &mut wrap);
+        self.build_report(workload, run.output)
+    }
+
+    /// Resumes a snapshot onto a *different* workload that shares the
+    /// snapshot's consumed prefix — the fork-from-warm path, where one
+    /// warm image seeds several measured-region lengths. Only structural
+    /// compatibility is verified here (thread count, core pinning, cursor
+    /// bounds); the caller owns proving that the new workload's prefix
+    /// matches what the snapshot consumed (the batch runner compares the
+    /// reference streams directly).
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`], plus on a configuration-fingerprint
+    /// mismatch, a thread-shape mismatch, or a snapshot cursor past the
+    /// end of the new workload's trace.
+    pub fn resume_forked(&self, snapshot: &SimSnapshot, workload: &Workload) -> SimReport {
+        self.check_fingerprint(snapshot);
+        let state = snapshot.state();
+        assert_eq!(
+            state.threads.len(),
+            workload.threads.len(),
+            "snapshot thread count does not match the forked workload"
+        );
+        for thread in &state.threads {
+            let trace = &workload.threads[thread.thread];
+            assert_eq!(
+                trace.core, thread.core,
+                "forked workload pins thread {} to a different core",
+                thread.thread
+            );
+            assert!(
+                thread.cursor <= trace.accesses.len(),
+                "snapshot cursor {} of thread {} is past the forked trace ({} accesses)",
+                thread.cursor,
+                thread.thread,
+                trace.accesses.len()
+            );
+        }
+        let run = self.run_inner(workload, Some(snapshot), 0, u64::MAX, &mut |_| {});
+        self.build_report(workload, run.output)
+    }
+
+    fn check_fingerprint(&self, snapshot: &SimSnapshot) {
+        assert_eq!(
+            snapshot.header().config_fingerprint,
+            config_fingerprint(&self.config, self.policy, self.numa_policy),
+            "snapshot was taken under a different machine/policy configuration"
+        );
+    }
+
+    fn wrap_snapshot(&self, workload: &Workload, state: KernelState) -> SimSnapshot {
+        let header = SnapHeader {
+            config_fingerprint: config_fingerprint(&self.config, self.policy, self.numa_policy),
+            num_cores: self.config.num_cores,
+            num_nodes: self.config.num_nodes(),
+            policy: self.policy.name().to_string(),
+            workload_name: workload.name.clone(),
+            workload_checksum: workload.checksum(),
+            workload_total: workload.total_accesses() as u64,
+            accesses_done: state.accesses,
+            row_index: u64::MAX,
+            scenario: String::new(),
+        };
+        SimSnapshot::from_kernel(header, state)
+    }
+
+    fn run_inner(
+        &self,
+        workload: &Workload,
+        restore: Option<&SimSnapshot>,
+        every: u64,
+        stop_at: u64,
+        emit: &mut dyn FnMut(KernelState),
+    ) -> KernelRun {
         assert!(
             workload.cores_required() <= self.config.num_cores as usize,
             "workload needs {} cores but the machine has {}",
@@ -124,14 +302,17 @@ impl Simulator {
             .unwrap_or_else(|e| panic!("invalid machine configuration: {e}"));
 
         let shards = crate::scenario::SimThreads(self.sim_threads).resolve();
-        let output = sharded::execute(
+        sharded::run_kernel(
             &self.config,
             self.policy,
             self.numa_policy,
             workload,
             shards,
-        );
-        self.build_report(workload, output)
+            restore.map(|s| s.state()),
+            every,
+            stop_at,
+            emit,
+        )
     }
 
     fn build_report(&self, workload: &Workload, output: KernelOutput) -> SimReport {

@@ -209,6 +209,16 @@ impl<'a> ShardSystem<'a> {
             self.dram.total_writes(),
         )
     }
+
+    /// Mid-run copy of the accumulated statistics, for checkpoint capture
+    /// without tearing the view down.
+    pub(crate) fn stats_view(&self) -> (NocStats, u64, u64) {
+        (
+            self.network.stats().clone(),
+            self.dram.total_reads(),
+            self.dram.total_writes(),
+        )
+    }
 }
 
 impl SystemAccess for ShardSystem<'_> {

@@ -169,6 +169,33 @@ impl CoreScheduler {
     pub fn clocks(&self) -> &[Nanos] {
         &self.clocks
     }
+
+    /// Reconstructs a scheduler from checkpointed per-actor state.
+    ///
+    /// The heap is rebuilt by pushing every runnable actor at its current
+    /// clock — equivalent to any heap the original scheduler could have
+    /// held, because stale entries are skipped on pop and fresh entries are
+    /// pushed on every [`CoreScheduler::advance`]/[`CoreScheduler::unpark`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices have different lengths.
+    pub fn import(clocks: Vec<Nanos>, finished: Vec<bool>, parked: Vec<bool>) -> Self {
+        assert_eq!(clocks.len(), finished.len(), "scheduler state length skew");
+        assert_eq!(clocks.len(), parked.len(), "scheduler state length skew");
+        let heap = clocks
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !finished[i] && !parked[i])
+            .map(|(i, &t)| Reverse((t, i)))
+            .collect();
+        CoreScheduler {
+            clocks,
+            finished,
+            parked,
+            heap,
+        }
+    }
 }
 
 #[cfg(test)]

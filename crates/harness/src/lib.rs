@@ -34,6 +34,7 @@ pub struct Group {
     filter: Option<String>,
     sample_count: usize,
     min_duration: Duration,
+    min_iters: u64,
     printed_header: bool,
 }
 
@@ -47,6 +48,7 @@ impl Group {
             filter,
             sample_count: 10,
             min_duration: Duration::from_millis(20),
+            min_iters: 1,
             printed_header: false,
         }
     }
@@ -61,6 +63,17 @@ impl Group {
     /// iteration count adapts until one sample takes at least this long.
     pub fn min_duration_ms(mut self, ms: u64) -> Self {
         self.min_duration = Duration::from_millis(ms);
+        self
+    }
+
+    /// Sets a floor on iterations per timed sample (default 1). The
+    /// adaptive warm-up stops growing the count as soon as one sample
+    /// clears [`Group::min_duration_ms`], so a benchmark whose single
+    /// iteration already takes that long is sampled at `iters = 1` and
+    /// every scheduling hiccup lands in exactly one sample. A floor of a
+    /// few iterations averages that noise away for such benchmarks.
+    pub fn min_iters(mut self, iters: u64) -> Self {
+        self.min_iters = iters.max(1);
         self
     }
 
@@ -82,8 +95,8 @@ impl Group {
         }
 
         // Warm up and find an iteration count where one sample is long
-        // enough to time reliably.
-        let mut iters = 1u64;
+        // enough to time reliably, never dropping below the caller's floor.
+        let mut iters = self.min_iters;
         loop {
             let start = Instant::now();
             for _ in 0..iters {
@@ -234,6 +247,23 @@ mod tests {
         );
         assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
         assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn min_iters_floors_the_adaptive_count() {
+        // One iteration already clears the 0 ms duration target, so without
+        // the floor the warm-up would settle at iters = 1.
+        let mut group = Group::new("selftest")
+            .sample_count(2)
+            .min_duration_ms(0)
+            .min_iters(5);
+        let stats = group
+            .bench("floored", || {
+                black_box(std::hint::black_box(1u64) + 1);
+            })
+            .expect("unfiltered benchmarks report stats");
+        group.finish();
+        assert!(stats.iters >= 5, "floor ignored: {} iters", stats.iters);
     }
 
     #[test]

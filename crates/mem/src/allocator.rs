@@ -87,6 +87,35 @@ struct PageMapping {
     touches: u32,
 }
 
+/// One mapped virtual page of a checkpointed [`NumaAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageEntryState {
+    /// The virtual page.
+    pub vpage: PageAddr,
+    /// The physical frame backing it.
+    pub phys_page: PageAddr,
+    /// The page's home node.
+    pub home: NodeId,
+    /// The node that first touched the page (drives next-touch).
+    pub first_toucher: NodeId,
+    /// Touch count (next-touch arms while this is 1).
+    pub touches: u32,
+}
+
+/// The complete dynamic state of a [`NumaAllocator`], as captured by
+/// [`NumaAllocator::export_state`]. Canonical: pages sorted by virtual page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaAllocatorState {
+    /// Every mapped page, sorted by virtual page number.
+    pub pages: Vec<PageEntryState>,
+    /// Next free slot within each node's DRAM slice.
+    pub next_slot: Vec<u64>,
+    /// Round-robin cursor (interleaved placement and spill).
+    pub round_robin: u64,
+    /// Allocation statistics at capture time.
+    pub stats: NumaStats,
+}
+
 impl NumaAllocator {
     /// Creates an allocator for `num_nodes` nodes whose DRAM slices follow
     /// `dram`, homing pages according to `policy`.
@@ -200,6 +229,63 @@ impl NumaAllocator {
     /// Total number of mapped virtual pages.
     pub fn mapped_pages(&self) -> usize {
         self.page_table.len()
+    }
+
+    /// Exports the complete dynamic state of the allocator for
+    /// checkpointing. Page-table entries are emitted sorted by virtual page
+    /// so the export is canonical (independent of `HashMap` iteration
+    /// order).
+    pub fn export_state(&self) -> NumaAllocatorState {
+        let mut pages: Vec<PageEntryState> = self
+            .page_table
+            .iter()
+            .map(|(&vpage, m)| PageEntryState {
+                vpage,
+                phys_page: m.phys_page,
+                home: m.home,
+                first_toucher: m.first_toucher,
+                touches: m.touches,
+            })
+            .collect();
+        pages.sort_by_key(|p| p.vpage.raw());
+        NumaAllocatorState {
+            pages,
+            next_slot: self.next_slot.clone(),
+            round_robin: self.round_robin as u64,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restores state captured with [`NumaAllocator::export_state`] onto an
+    /// allocator built with the same node count and DRAM geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export's node count does not match.
+    pub fn restore_state(&mut self, state: &NumaAllocatorState) {
+        assert_eq!(
+            state.next_slot.len(),
+            self.num_nodes,
+            "snapshot node count does not match allocator geometry"
+        );
+        self.page_table = state
+            .pages
+            .iter()
+            .map(|p| {
+                (
+                    p.vpage,
+                    PageMapping {
+                        phys_page: p.phys_page,
+                        home: p.home,
+                        first_toucher: p.first_toucher,
+                        touches: p.touches,
+                    },
+                )
+            })
+            .collect();
+        self.next_slot = state.next_slot.clone();
+        self.round_robin = state.round_robin as usize;
+        self.stats = state.stats.clone();
     }
 
     fn retouch(&mut self, vpage: PageAddr, mapping: PageMapping, toucher: NodeId) -> Frame {

@@ -37,6 +37,6 @@ pub mod allocator;
 pub mod dram;
 pub mod policy;
 
-pub use allocator::{Frame, NumaAllocator, NumaStats};
+pub use allocator::{Frame, NumaAllocator, NumaAllocatorState, NumaStats, PageEntryState};
 pub use dram::{DramModel, DramStats};
 pub use policy::NumaPolicy;

@@ -36,5 +36,5 @@ pub mod topology;
 
 pub use message::MessageClass;
 pub use network::Network;
-pub use stats::NocStats;
+pub use stats::{NocStats, NocStatsExport};
 pub use topology::Mesh;

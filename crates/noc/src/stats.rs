@@ -77,6 +77,31 @@ impl NocStats {
         self.local_deliveries.get()
     }
 
+    /// Exports every counter as raw values for checkpointing: per-class
+    /// `(messages, bytes, hops)` triples in [`MessageClass::ALL`] order,
+    /// then `flit_hops` and `local_deliveries`.
+    pub fn export_counts(&self) -> NocStatsExport {
+        NocStatsExport {
+            messages: self.messages.map(|c| c.get()),
+            bytes: self.bytes.map(|c| c.get()),
+            hops: self.hops.map(|c| c.get()),
+            flit_hops: self.flit_hops.get(),
+            local_deliveries: self.local_deliveries.get(),
+        }
+    }
+
+    /// Rebuilds a statistics block from raw values captured with
+    /// [`NocStats::export_counts`].
+    pub fn import_counts(export: &NocStatsExport) -> Self {
+        NocStats {
+            messages: export.messages.map(Counter::from),
+            bytes: export.bytes.map(Counter::from),
+            hops: export.hops.map(Counter::from),
+            flit_hops: Counter::from(export.flit_hops),
+            local_deliveries: Counter::from(export.local_deliveries),
+        }
+    }
+
     /// Accumulates another statistics block into this one.
     pub fn merge(&mut self, other: &NocStats) {
         for i in 0..MessageClass::ALL.len() {
@@ -87,6 +112,23 @@ impl NocStats {
         self.flit_hops += other.flit_hops;
         self.local_deliveries += other.local_deliveries;
     }
+}
+
+/// Raw counter values of a [`NocStats`] block, as captured by
+/// [`NocStats::export_counts`]. Per-class arrays are in
+/// [`MessageClass::ALL`] order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocStatsExport {
+    /// Messages per class.
+    pub messages: [u64; MessageClass::ALL.len()],
+    /// Bytes per class.
+    pub bytes: [u64; MessageClass::ALL.len()],
+    /// Link traversals per class.
+    pub hops: [u64; MessageClass::ALL.len()],
+    /// Total flit-link traversals.
+    pub flit_hops: u64,
+    /// Zero-hop deliveries.
+    pub local_deliveries: u64,
 }
 
 #[cfg(test)]

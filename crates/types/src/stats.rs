@@ -74,6 +74,12 @@ impl From<Counter> for u64 {
     }
 }
 
+impl From<u64> for Counter {
+    fn from(value: u64) -> Self {
+        Counter(value)
+    }
+}
+
 /// A running arithmetic mean over `f64` samples.
 ///
 /// # Examples

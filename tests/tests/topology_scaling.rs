@@ -178,6 +178,7 @@ fn scale64_reports_are_identical_across_sim_thread_counts() {
         workload: WorkloadSpec::threads(Benchmark::Raytrace, 64, 600),
         seed: 2014,
         sim_threads: SimThreads::SERIAL,
+        warmup_accesses: 0,
     };
     let grid = ScenarioGrid::new(base).policies(AllocationPolicy::ALL.to_vec());
     let scenarios = grid.expand();
@@ -218,6 +219,7 @@ fn single_node_multicore_machines_have_no_inter_node_traffic() {
         workload: WorkloadSpec::threads(Benchmark::Barnes, 16, 500),
         seed: 7,
         sim_threads: SimThreads::SERIAL,
+        warmup_accesses: 0,
     };
     let report = scenario.run().unwrap();
     // Messages exist (coherence still happens) but none cross a link.
