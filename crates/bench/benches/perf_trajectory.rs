@@ -1,8 +1,8 @@
 //! The committed performance trajectory: a fixed-workload simulator
-//! benchmark whose numbers are written to `BENCH_8.json` at the repo root,
+//! benchmark whose numbers are written to `BENCH_9.json` at the repo root,
 //! so simulator-throughput regressions show up in review as a diff.
 //!
-//! Three groups:
+//! Four groups:
 //!
 //! * `simulate_16c` — the labelled matrix (the iai-callgrind style):
 //!   three benchmarks with distinct sharing behaviour × both allocation
@@ -19,6 +19,11 @@
 //!   forks from the warm image) and once fully cold. The reports are
 //!   asserted identical outside the timed region; the pair of numbers is
 //!   the wall-clock win fork-from-warm buys on a real sweep.
+//! * `simulate_256c_llc` — the NUCA profile: raytrace on the 256-core
+//!   (64-node torus) machine through the sharded kernel, with the shared
+//!   per-node LLC slices on and off. The pair prices the slice lookup on
+//!   the miss path against the directory traffic it absorbs, and tracks
+//!   how the kernel scales to the largest committed machine.
 //!
 //! The workloads are materialized **outside** the timed region — the
 //! numbers measure the coherence simulator, not the trace generator.
@@ -32,6 +37,7 @@
 use allarm_bench::load_scenario_doc;
 use allarm_core::{AllocationPolicy, BatchRunner, MachineConfig, SimulationBuilder};
 use allarm_harness::{benchmark_main, black_box, stats_to_json, Group};
+use allarm_types::config::LlcConfig;
 use allarm_types::MissWindowConfig;
 use allarm_workloads::{Benchmark, TraceGenerator};
 
@@ -42,6 +48,10 @@ const ACCESSES: usize = 2_000;
 /// Accesses per thread for the 64-core batching group — 64 threads make
 /// each sample ~2× the 16-core points at this length.
 const ACCESSES_64C: usize = 1_000;
+
+/// Accesses per thread for the 256-core NUCA group: 256 threads at this
+/// length match the 64-core group's total access count per sample.
+const ACCESSES_256C: usize = 500;
 
 const MATRIX: [(Benchmark, &str); 3] = [
     (Benchmark::Barnes, "barnes"),
@@ -130,13 +140,35 @@ fn trajectory() {
     }
     group.finish();
 
+    let mut group = Group::new("simulate_256c_llc").sample_count(5).min_iters(2);
+    let workload = TraceGenerator::new(256, ACCESSES_256C, 2014).generate(Benchmark::Raytrace);
+    for (llc, label) in [(true, "raytrace.llc_on"), (false, "raytrace.llc_off")] {
+        let mut machine = MachineConfig::scale256();
+        machine.noc = allarm_types::config::NocConfig::torus(8, 8);
+        if llc {
+            machine.llc = LlcConfig::shared_slice(4 * 1024 * 1024, 16);
+        }
+        let simulator = SimulationBuilder::new(machine)
+            .policy(AllocationPolicy::Allarm)
+            .sim_threads(4)
+            .build()
+            .expect("the 256-core machine is valid");
+        match group.bench(label, || {
+            black_box(simulator.run(&workload).runtime);
+        }) {
+            Some(s) => stats.push(s),
+            None => complete = false,
+        }
+    }
+    group.finish();
+
     if complete {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
         std::fs::write(path, stats_to_json("perf_trajectory", &stats))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[perf_trajectory] wrote {path}");
     } else {
-        eprintln!("[perf_trajectory] filtered run: BENCH_8.json not rewritten");
+        eprintln!("[perf_trajectory] filtered run: BENCH_9.json not rewritten");
     }
 }
 

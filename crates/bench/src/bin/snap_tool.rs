@@ -1,7 +1,8 @@
 //! Inspects versioned simulator snapshot files (`allarm_core::snapshot`).
 //!
 //! `info` prints the identifying header — format version, machine shape,
-//! policy, workload identity, and how far along the run was — without
+//! policy, workload identity, and how far along the run was — plus the
+//! section table (every section's name, version, and payload size) without
 //! decoding any state section, though every section's frame and checksum
 //! *is* verified, so a truncated or bit-flipped file is refused with an
 //! error naming the offending section. Files written by a different
@@ -11,7 +12,7 @@
 //! cargo run --release -p allarm-bench --bin snap_tool -- info results.jsonl.snap
 //! ```
 
-use allarm_core::snapshot::read_header;
+use allarm_core::snapshot::{read_header, read_section_table};
 use allarm_core::SNAP_VERSION;
 use std::process::ExitCode;
 
@@ -60,6 +61,18 @@ fn info(args: &[String]) -> ExitCode {
         );
     } else {
         println!("batch cursor:   (not a batch checkpoint)");
+    }
+    match read_section_table(path) {
+        Ok(sections) => {
+            println!("sections:");
+            for s in &sections {
+                println!("  {:<12} v{:<3} {} byte(s)", s.name, s.version, s.len);
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -10,6 +10,7 @@
 use allarm_core::{
     AllocationPolicy, BatchRunner, Comparison, ExperimentConfig, Scenario, ScenarioGrid,
 };
+use allarm_types::config::{LlcConfig, NocConfig};
 use allarm_workloads::{Benchmark, TraceFormat, WorkloadSpec};
 
 // Scenario-document loading lives in `allarm_core::doc` (one shared parse
@@ -90,6 +91,43 @@ pub fn scale64_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
 pub fn scale64_pf_sweep_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
     ScenarioGrid::new(cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Baseline))
         .pf_coverages(allarm_core::SCALE64_COVERAGES.to_vec())
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
+/// The 256-core comparison grid: 64 NUMA nodes × 4 cores wired as an 8×8
+/// torus, every node fronting its directory with a shared 4 MiB LLC slice
+/// — the NUCA machine the LLC work targets — running the scale64 trio
+/// under both allocation policies. Built from
+/// [`ExperimentConfig::scale256`] and also checked in as
+/// `scenarios/scale256_comparison.toml`.
+pub fn scale256_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    let mut base = cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Baseline);
+    base.machine = base
+        .machine
+        .with_noc(NocConfig::torus(8, 8))
+        .with_llc(LlcConfig::shared_slice(4 * 1024 * 1024, 16));
+    ScenarioGrid::new(base)
+        .benchmarks(vec![
+            Benchmark::Barnes,
+            Benchmark::OceanContiguous,
+            Benchmark::Raytrace,
+        ])
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
+/// The 256-core directory-pressure sweep: `raytrace` across the
+/// [`allarm_core::SCALE256_COVERAGES`] per-node probe-filter coverages on
+/// a 4×4 concentrated mesh (four nodes per router) with the shared LLC
+/// slices enabled — the third fabric family exercised end to end. Also
+/// checked in as `scenarios/scale256_pf_sweep.toml`.
+pub fn scale256_pf_sweep_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    let mut base = cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Baseline);
+    base.machine = base
+        .machine
+        .with_noc(NocConfig::cmesh(4, 4, 4))
+        .with_llc(LlcConfig::shared_slice(4 * 1024 * 1024, 16));
+    ScenarioGrid::new(base)
+        .pf_coverages(allarm_core::SCALE256_COVERAGES.to_vec())
         .policies(AllocationPolicy::ALL.to_vec())
 }
 
@@ -197,6 +235,29 @@ mod tests {
         assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
         sweep.validate().unwrap();
         assert_eq!(sweep.pf_coverages, allarm_core::SCALE64_COVERAGES.to_vec());
+    }
+
+    #[test]
+    fn scale256_grids_run_the_nuca_machine_on_the_new_fabrics() {
+        use allarm_types::config::FabricKind;
+        let cfg = ExperimentConfig::scale256();
+
+        let grid = scale256_grid(&cfg);
+        assert_eq!(grid.len(), 6); // 3 benchmarks x 2 policies
+        grid.validate().unwrap();
+        assert_eq!(grid.base.machine.num_cores, 256);
+        assert_eq!(grid.base.machine.num_nodes(), 64);
+        assert_eq!(grid.base.machine.noc.fabric, FabricKind::Torus);
+        assert!(grid.base.machine.llc.enabled);
+        assert_eq!(grid.base.workload.cores_required(), 256);
+
+        let sweep = scale256_pf_sweep_grid(&cfg);
+        assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
+        sweep.validate().unwrap();
+        assert_eq!(sweep.base.machine.noc.fabric, FabricKind::CMesh);
+        assert_eq!(sweep.base.machine.noc.concentration.get(), 4);
+        assert!(sweep.base.machine.llc.enabled);
+        assert_eq!(sweep.pf_coverages, allarm_core::SCALE256_COVERAGES.to_vec());
     }
 
     #[test]

@@ -32,12 +32,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod hierarchy;
+pub mod llc;
 pub mod replacement;
 pub mod set_assoc;
 pub mod state;
 pub mod stats;
 
 pub use hierarchy::{AccessOutcome, CoherenceNeed, CoreCaches, CoreCachesState, ProbeOutcome};
+pub use llc::LlcSlice;
 pub use replacement::ReplacementPolicy;
 pub use set_assoc::{EvictedLine, SetAssocCache, SetAssocState, WayState};
 pub use state::CoherenceState;

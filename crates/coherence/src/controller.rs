@@ -67,6 +67,18 @@ pub trait SystemAccess {
 
     /// Latency of probing a core's cache array (the on-die SRAM lookup).
     fn cache_access_latency(&self) -> Nanos;
+
+    /// Probes `node`'s shared LLC slice for `line`, removing the copy when
+    /// `invalidate` is true. Returns whether the slice held the line.
+    ///
+    /// The default is the LLC-less machine: no slice, never resident. A
+    /// non-invalidating probe must not observably mutate the slice (no
+    /// recency or statistics updates) — the sharded kernel calls it from
+    /// the directory phase, where cross-shard ordering is not defined.
+    fn probe_llc(&mut self, node: NodeId, line: LineAddr, invalidate: bool) -> bool {
+        let _ = (node, line, invalidate);
+        false
+    }
 }
 
 /// What the directory tells the requesting core when a request completes.
@@ -304,7 +316,13 @@ impl DirectoryController {
         if dirty {
             latency += sys.dram_write(self.home);
         }
-        self.probe_filter.remove_sharer(line, core);
+        // If the core's node still holds the line in its shared LLC slice,
+        // the node-level presence must survive the private eviction — keep
+        // the core tracked so ownership invalidations and back-invalidations
+        // keep reaching the slice (slice-resident ⇒ probe-filter-tracked).
+        if !sys.probe_llc(src, line, false) {
+            self.probe_filter.remove_sharer(line, core);
+        }
         latency
     }
 
@@ -351,7 +369,12 @@ impl DirectoryController {
                             // speculative memory read supplies the data; the
                             // probe round trip overlaps with it.
                             let ack = sys.send(owner_node, self.home, MessageClass::ProbeAck);
-                            self.probe_filter.remove_sharer(req.line, owner);
+                            // Same invariant as note_cache_eviction: the
+                            // owner's node slice may still hold the line even
+                            // though the private copy was silently dropped.
+                            if !sys.probe_llc(owner_node, req.line, false) {
+                                self.probe_filter.remove_sharer(req.line, owner);
+                            }
                             let dram = sys.dram_read(self.home);
                             self.stats.dram_fills.incr();
                             let probe_path = probe + sys.cache_access_latency() + ack;
@@ -464,12 +487,22 @@ impl DirectoryController {
                     node_had_dirty = true;
                 }
             }
+            // The node's shared LLC slice loses its clean copy off the same
+            // invalidation message (no extra traffic, no extra latency — the
+            // slice is looked up alongside the member caches).
+            sys.probe_llc(target_node, req.line, true);
             let ack = sys.send(target_node, self.home, MessageClass::InvalidateAck);
             if node_had_dirty {
                 dirty_source = Some(target_node);
             }
             inval_path = inval_path.max(inv + sys.cache_access_latency() + ack);
         }
+
+        // The requester's own node slice may also hold a clean copy (the
+        // requester is excluded from the target groups): it must die before
+        // the requester takes Modified ownership, or a same-node reader
+        // could later be served stale data from the slice.
+        sys.probe_llc(req.requester_node, req.line, true);
 
         // Data delivery (GetX only). A dirty copy is forwarded
         // cache-to-cache; otherwise memory supplies it, overlapping with the
@@ -661,6 +694,9 @@ impl DirectoryController {
                     }
                 }
             }
+            // Once the directory stops tracking the line, the node's shared
+            // LLC slice may no longer serve it either.
+            sys.probe_llc(target_node, line, true);
             sys.send(target_node, self.home, MessageClass::InvalidateAck);
             self.stats.eviction_messages.incr();
             for _ in 0..writebacks {

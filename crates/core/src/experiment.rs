@@ -67,6 +67,22 @@ impl ExperimentConfig {
         }
     }
 
+    /// The scaled 256-core experiment: the [`MachineConfig::scale256`]
+    /// machine (64 NUMA nodes × 4 cores on an 8×8 fabric) with one thread
+    /// per core. The trace length keeps a full grid affordable: sixteen
+    /// times the paper's thread count issues requests, so every directory
+    /// still sees thousands of transactions at a fraction of the per-thread
+    /// length.
+    pub fn scale256() -> Self {
+        ExperimentConfig {
+            machine: MachineConfig::scale256(),
+            threads: 256,
+            accesses_per_thread: 20_000,
+            seed: 2014,
+            sim_threads: 1,
+        }
+    }
+
     /// A scaled-down configuration for unit and integration tests: the 16
     /// core machine but with short traces.
     pub fn quick_test() -> Self {
@@ -284,6 +300,12 @@ pub const FIG4_COVERAGES: [u64; 5] = [512 * 1024, 256 * 1024, 128 * 1024, 64 * 1
 /// node's directory makes sparse-directory pressure visible.
 pub const SCALE64_COVERAGES: [u64; 4] = [2 * 1024 * 1024, 1024 * 1024, 512 * 1024, 256 * 1024];
 
+/// The per-node probe-filter coverages of the 256-core directory-pressure
+/// sweep. Each node keeps the scale64 shape — four cores sharing one
+/// directory and the same aggregate L2 — so the interesting per-node
+/// coverage range is unchanged; only the node count and the fabric grow.
+pub const SCALE256_COVERAGES: [u64; 4] = SCALE64_COVERAGES;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +407,19 @@ mod tests {
             cfg.machine.probe_filter.coverage_bytes
         );
         assert!(SCALE64_COVERAGES.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn scale256_config_runs_one_thread_per_core() {
+        let cfg = ExperimentConfig::scale256();
+        assert_eq!(cfg.threads, 256);
+        assert_eq!(cfg.threads, cfg.machine.num_cores as usize);
+        assert_eq!(cfg.machine.num_nodes(), 64);
+        let s = cfg.scenario(Benchmark::Raytrace, AllocationPolicy::Allarm);
+        s.validate().unwrap();
+        assert_eq!(s.name, "raytrace/allarm");
+        // The LLC is an opt-in: the stock scale256 machine reports exactly
+        // like an LLC-less one until a scenario enables it.
+        assert!(!cfg.machine.llc.enabled);
     }
 }

@@ -68,7 +68,8 @@ pub use builder::SimulationBuilder;
 pub use doc::{load_scenario_doc, parse_scenario_doc, ScenarioDoc};
 pub use experiment::{
     compare_benchmark, multiprocess_sweep, pf_size_sweep, run_benchmark, run_workload,
-    ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES, SCALE64_COVERAGES,
+    ExperimentConfig, SweepPoint, FIG3H_COVERAGES, FIG4_COVERAGES, SCALE256_COVERAGES,
+    SCALE64_COVERAGES,
 };
 pub use jobs::{
     JobId, JobScheduler, JobState, JobStatus, RowsChunk, SchedulerConfig, SchedulerMetrics,

@@ -54,7 +54,23 @@ pub struct SimReport {
     pub local_probe_hits: u64,
     /// Local probes that stayed off the critical path (Fig. 3g).
     pub local_probes_hidden: u64,
-    /// Dynamic energy consumed by the NoC and probe filters (Fig. 3f).
+    /// Read misses served by the node's shared LLC slice without a
+    /// directory transaction. Zero on machines without an LLC.
+    #[serde(default)]
+    pub llc_hits: u64,
+    /// Read misses that consulted the local slice and fell through to the
+    /// home directory.
+    #[serde(default)]
+    pub llc_misses: u64,
+    /// Clean capacity victims dropped from the LLC slices.
+    #[serde(default)]
+    pub llc_evictions: u64,
+    /// Slice lines removed by directory-initiated invalidations (ownership
+    /// transfers and probe-filter evictions).
+    #[serde(default)]
+    pub llc_invalidations: u64,
+    /// Dynamic energy consumed by the NoC, probe filters and LLC slices
+    /// (Fig. 3f reports the first two).
     pub energy: DynamicEnergy,
     /// Barrier-to-barrier rounds the sharded kernel executed. Miss-window
     /// batching exists to shrink this: the deeper the windows, the more
@@ -86,7 +102,8 @@ impl SimReport {
          remote_requests,pf_allocations,pf_evictions,eviction_messages,\
          eviction_invalidations,allarm_allocation_skips,noc_bytes,noc_messages,\
          dram_reads,dram_writes,local_probes,local_probe_hits,local_probes_hidden,\
-         noc_pj,probe_filter_pj,rounds_executed,events_merged,max_window_depth,\
+         llc_hits,llc_misses,llc_evictions,llc_invalidations,\
+         noc_pj,probe_filter_pj,llc_pj,rounds_executed,events_merged,max_window_depth,\
          workload_checksum";
 
     /// Renders the report as one flat CSV row matching
@@ -95,7 +112,7 @@ impl SimReport {
     /// applied here.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:016x}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:016x}",
             self.workload,
             self.policy,
             self.pf_coverage_bytes,
@@ -119,8 +136,13 @@ impl SimReport {
             self.local_probes,
             self.local_probe_hits,
             self.local_probes_hidden,
+            self.llc_hits,
+            self.llc_misses,
+            self.llc_evictions,
+            self.llc_invalidations,
             self.energy.noc_pj,
             self.energy.probe_filter_pj,
+            self.energy.llc_pj,
             self.rounds_executed,
             self.events_merged,
             self.max_window_depth,
@@ -158,6 +180,12 @@ impl SimReport {
     /// L2 miss rate over all references.
     pub fn miss_rate(&self) -> f64 {
         ratio(self.l2_misses, self.total_accesses)
+    }
+
+    /// Fraction of slice-consulting read misses served by the node's
+    /// shared LLC slice. Zero on machines without an LLC.
+    pub fn llc_hit_rate(&self) -> f64 {
+        ratio(self.llc_hits, self.llc_hits + self.llc_misses)
     }
 }
 
@@ -278,9 +306,14 @@ mod tests {
             local_probes: 0,
             local_probe_hits: 0,
             local_probes_hidden: 0,
+            llc_hits: 30,
+            llc_misses: 70,
+            llc_evictions: 5,
+            llc_invalidations: 2,
             energy: DynamicEnergy {
                 noc_pj: 100.0,
                 probe_filter_pj: 60.0,
+                llc_pj: 20.0,
             },
             rounds_executed: 12,
             events_merged: 250,
@@ -309,6 +342,7 @@ mod tests {
         assert!((r.hit_rate() - 0.9).abs() < 1e-12);
         assert!((r.miss_rate() - 0.1).abs() < 1e-12);
         assert_eq!(r.hidden_probe_fraction(), 0.0);
+        assert!((r.llc_hit_rate() - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -321,6 +355,7 @@ mod tests {
         allarm.energy = DynamicEnergy {
             noc_pj: 90.0,
             probe_filter_pj: 45.0,
+            llc_pj: 0.0,
         };
         let cmp = Comparison::new(baseline, allarm);
         assert!((cmp.speedup() - 1.0 / 0.9).abs() < 1e-9);

@@ -65,7 +65,10 @@ use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
-use allarm_cache::{AccessOutcome, CoherenceNeed, CoherenceState, CoreCaches, CoreCachesState};
+use allarm_cache::{
+    AccessOutcome, CoherenceNeed, CoherenceState, CoreCaches, CoreCachesState, LlcSlice,
+    SetAssocState,
+};
 use allarm_coherence::{
     AllocationPolicy, CoherenceEvent, CoherenceOp, CoherenceReply, CoherenceRequest,
     DirectoryController, DirectoryNodeState, DirectoryShard, RequestKind,
@@ -80,7 +83,7 @@ use allarm_types::topology::Topology;
 use allarm_types::Nanos;
 use allarm_workloads::Workload;
 
-use crate::system::{shared_caches, ShardSystem};
+use crate::system::{shared_caches, shared_llc, ShardSystem};
 
 /// A touch the allocator could not resolve read-only: a first touch of a
 /// page, or a pending next-touch re-homing decision. Carried as a
@@ -213,6 +216,10 @@ pub(crate) struct KernelState {
     pub(crate) dirs: Vec<DirectoryNodeState>,
     /// Per-core private-hierarchy state, indexed by core.
     pub(crate) caches: Vec<CoreCachesState>,
+    /// Per-node shared LLC slice state, indexed by node. Empty when the
+    /// machine's LLC is disabled — and then absent from the snapshot file,
+    /// keeping LLC-less snapshots byte-identical to the previous format.
+    pub(crate) llc: Vec<SetAssocState>,
     /// The NUMA page table and allocation cursors.
     pub(crate) allocator: NumaAllocatorState,
     /// Directory replies produced in the checkpoint round and not yet
@@ -345,6 +352,8 @@ struct ShardOutput {
 pub(crate) struct KernelOutput {
     pub(crate) controllers: Vec<DirectoryController>,
     pub(crate) caches: Vec<CoreCaches>,
+    /// Per-node shared LLC slices (empty when the LLC is disabled).
+    pub(crate) llc: Vec<LlcSlice>,
     pub(crate) noc: NocStats,
     pub(crate) dram_reads: u64,
     pub(crate) dram_writes: u64,
@@ -401,6 +410,7 @@ pub(crate) fn run_kernel(
     let num_shards = plan.num_shards();
 
     let caches = shared_caches(config);
+    let llc = shared_llc(config);
     let mut numa = NumaAllocator::new(num_nodes, config.dram, numa_policy);
     let mut live = workload.threads.len();
     let mut base = ResumeBase::default();
@@ -420,12 +430,23 @@ pub(crate) fn run_kernel(
             num_nodes,
             "snapshot node count does not match the machine"
         );
+        assert_eq!(
+            state.llc.len(),
+            llc.len(),
+            "snapshot LLC slice count does not match the machine"
+        );
         numa.restore_state(&state.allocator);
         for (cache, cache_state) in caches.iter().zip(&state.caches) {
             cache
                 .lock()
                 .expect("cache lock poisoned")
                 .restore_state(cache_state);
+        }
+        for (slice, slice_state) in llc.iter().zip(&state.llc) {
+            slice
+                .lock()
+                .expect("LLC slice lock poisoned")
+                .restore_state(slice_state);
         }
         live = state.threads.iter().filter(|t| !t.finished).count();
         base = ResumeBase::from_state(state);
@@ -462,6 +483,7 @@ pub(crate) fn run_kernel(
                 policy,
                 workload,
                 &caches,
+                &llc,
                 &allocator,
                 &exchange,
                 &barrier,
@@ -487,6 +509,7 @@ pub(crate) fn run_kernel(
 
     let output = merge(
         caches,
+        llc,
         outputs.into_inner().expect("outputs poisoned"),
         &ctl.base,
     );
@@ -502,6 +525,7 @@ pub(crate) fn run_kernel(
 /// resume base is added back so a restored run reports whole-run totals.
 fn merge(
     caches: Vec<Mutex<CoreCaches>>,
+    llc: Vec<Mutex<LlcSlice>>,
     outputs: Vec<Option<ShardOutput>>,
     base: &ResumeBase,
 ) -> KernelOutput {
@@ -534,6 +558,10 @@ fn merge(
             .into_iter()
             .map(|c| c.into_inner().expect("cache lock poisoned"))
             .collect(),
+        llc: llc
+            .into_iter()
+            .map(|s| s.into_inner().expect("LLC slice lock poisoned"))
+            .collect(),
         noc,
         dram_reads,
         dram_writes,
@@ -559,6 +587,10 @@ struct ShardWorker<'a> {
     sys: ShardSystem<'a>,
     workload: &'a Workload,
     caches: &'a [Mutex<CoreCaches>],
+    /// Per-node shared LLC slices (empty when disabled). The core phase
+    /// only ever locks this shard's own nodes' slices; remote shards reach
+    /// them through [`ShardSystem::probe_llc`] in the directory phase.
+    llc: &'a [Mutex<LlcSlice>],
     allocator: &'a RwLock<NumaAllocator>,
     exchange: &'a Exchange,
     barrier: &'a PhaseBarrier,
@@ -573,6 +605,10 @@ struct ShardWorker<'a> {
     accesses_reported: u64,
     l1_latency: Nanos,
     l2_latency: Nanos,
+    /// LLC slice lookup latency, added to every read miss that consults
+    /// the local slice (hit or miss). [`Nanos::ZERO`]-cost when disabled.
+    llc_latency: Nanos,
+    llc_enabled: bool,
     /// Maximum in-flight misses per core (the MSHR count).
     depth: usize,
     /// Window growth allowance beyond the globally slowest live core.
@@ -603,6 +639,7 @@ impl<'a> ShardWorker<'a> {
         policy: AllocationPolicy,
         workload: &'a Workload,
         caches: &'a [Mutex<CoreCaches>],
+        llc: &'a [Mutex<LlcSlice>],
         allocator: &'a RwLock<NumaAllocator>,
         exchange: &'a Exchange,
         barrier: &'a PhaseBarrier,
@@ -690,9 +727,10 @@ impl<'a> ShardWorker<'a> {
             slots,
             slot_of_core,
             dir,
-            sys: ShardSystem::new(caches, config),
+            sys: ShardSystem::new(caches, llc, config),
             workload,
             caches,
+            llc,
             allocator,
             exchange,
             barrier,
@@ -701,6 +739,8 @@ impl<'a> ShardWorker<'a> {
             accesses_reported: 0,
             l1_latency: config.l1d.access_latency,
             l2_latency: config.l2.access_latency,
+            llc_latency: config.llc.access_latency,
+            llc_enabled: config.llc.enabled,
             depth: config.miss_window.depth.max(1) as usize,
             horizon_ns: config.miss_window.horizon,
             round_horizon,
@@ -849,6 +889,11 @@ impl<'a> ShardWorker<'a> {
             .iter()
             .map(|c| c.lock().expect("cache lock poisoned").export_state())
             .collect();
+        let llc = self
+            .llc
+            .iter()
+            .map(|s| s.lock().expect("LLC slice lock poisoned").export_state())
+            .collect();
         let allocator = self
             .allocator
             .read()
@@ -871,6 +916,7 @@ impl<'a> ShardWorker<'a> {
             threads,
             dirs,
             caches,
+            llc,
             allocator,
             replies,
             round_horizon: self.round_horizon,
@@ -994,6 +1040,18 @@ impl<'a> ShardWorker<'a> {
                 .expect("cache lock poisoned");
             if reply.carries_data {
                 caches.fill(pending.line, reply.fill_state);
+                // A Shared data reply also fills the node's LLC slice, so
+                // later read misses from any core on this node are served
+                // locally. Exclusive/Modified fills never enter the slice:
+                // a resident copy could go stale through a silent E→M
+                // upgrade that no directory message announces. The slice
+                // is this shard's own node's — shard-local, deterministic.
+                if self.llc_enabled && reply.fill_state == CoherenceState::Shared {
+                    self.llc[slot.node.index()]
+                        .lock()
+                        .expect("LLC slice lock poisoned")
+                        .fill(pending.line);
+                }
             } else if !caches.grant_write(pending.line) {
                 // The Shared copy was invalidated while the upgrade was
                 // parked (an earlier-keyed writer won ownership of the
@@ -1141,6 +1199,51 @@ impl<'a> ShardWorker<'a> {
                 CoherenceNeed::WriteMiss => RequestKind::GetX,
                 CoherenceNeed::Upgrade => RequestKind::Upgrade,
             };
+            // A read miss consults the node's shared LLC slice before the
+            // home directory. The slice is node-pinned and a node's whole
+            // core block lives on this shard, so the lookup (which moves
+            // recency and counts a hit or miss) touches shard-local state
+            // only — the order same-node cores run in is fixed by the
+            // scheduler and independent of the shard count. Writes and
+            // upgrades bypass the slice: it holds only clean Shared lines,
+            // which cannot satisfy an ownership request.
+            if self.llc_enabled && kind == RequestKind::GetS {
+                elapsed += self.llc_latency;
+                let hit = self.llc[slot.node.index()]
+                    .lock()
+                    .expect("LLC slice lock poisoned")
+                    .lookup(line);
+                if hit {
+                    // Served locally: fill the private hierarchy Shared
+                    // and keep replaying — no directory transaction, no
+                    // window entry. The directory already tracks this
+                    // node (slice-resident ⇒ probe-filter-tracked), so no
+                    // sharer bookkeeping is lost.
+                    caches.fill(line, CoherenceState::Shared);
+                    let completed = base + elapsed;
+                    for victim in caches.take_capacity_victims() {
+                        if victim.state.is_dirty()
+                            && victim.addr != line
+                            && !slot.window.iter().any(|p| p.line == victim.addr)
+                        {
+                            let home = allocator.home_of_line(victim.addr);
+                            let event = CoherenceEvent {
+                                home,
+                                key: slot.next_key(completed),
+                                op: CoherenceOp::EvictNotice {
+                                    line: victim.addr,
+                                    core: slot.core,
+                                    dirty: true,
+                                },
+                            };
+                            outboxes[self.shard_of_node[home.index()]].push(event);
+                        }
+                    }
+                    continue;
+                }
+                // Slice miss: fall through to the directory, with the
+                // slice lookup latency already folded into the arrival.
+            }
             let arrival = base + elapsed;
             let key = slot.next_key(arrival);
             let event = CoherenceEvent {

@@ -84,10 +84,14 @@ const SEC_ALLOC: u16 = 3;
 const SEC_CORES: u16 = 4;
 const SEC_REPLIES: u16 = 5;
 const SEC_KERNEL: u16 = 6;
+/// Per-node shared LLC slice state. Written only when the machine's LLC is
+/// enabled, so LLC-less snapshots stay byte-identical to the pre-LLC
+/// format.
+const SEC_LLC: u16 = 7;
 
 /// Per-section payload versions this build writes (and the only ones it
 /// reads).
-const SECTION_VERSIONS: [(u16, u16); 7] = [
+const SECTION_VERSIONS: [(u16, u16); 8] = [
     (SEC_HEADER, 1),
     (SEC_CACHES, 1),
     (SEC_DIRS, 1),
@@ -95,6 +99,7 @@ const SECTION_VERSIONS: [(u16, u16); 7] = [
     (SEC_CORES, 1),
     (SEC_REPLIES, 1),
     (SEC_KERNEL, 1),
+    (SEC_LLC, 1),
 ];
 
 /// Cap on embedded strings while parsing untrusted files.
@@ -109,6 +114,7 @@ fn section_name(id: u16) -> &'static str {
         SEC_CORES => "cores",
         SEC_REPLIES => "replies",
         SEC_KERNEL => "kernel",
+        SEC_LLC => "llc",
         _ => "unknown",
     }
 }
@@ -270,9 +276,11 @@ impl SimSnapshot {
         self
     }
 
-    /// Serializes the snapshot into the versioned section format.
+    /// Serializes the snapshot into the versioned section format. The LLC
+    /// section is written only when the machine has slices, so snapshots
+    /// of LLC-less machines are byte-identical to the pre-LLC format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let sections: Vec<(u16, Vec<u8>)> = vec![
+        let mut sections: Vec<(u16, Vec<u8>)> = vec![
             (SEC_HEADER, encode_header(&self.header)),
             (SEC_CACHES, encode_caches(&self.state.caches)),
             (SEC_DIRS, encode_dirs(&self.state.dirs)),
@@ -281,6 +289,9 @@ impl SimSnapshot {
             (SEC_REPLIES, encode_replies(&self.state.replies)),
             (SEC_KERNEL, encode_kernel(&self.state)),
         ];
+        if !self.state.llc.is_empty() {
+            sections.push((SEC_LLC, encode_llc(&self.state.llc)));
+        }
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
@@ -317,7 +328,8 @@ impl SimSnapshot {
         let mut threads = None;
         let mut replies = None;
         let mut kernel = None;
-        for (id, payload) in &sections {
+        let mut llc = None;
+        for (id, _, payload) in &sections {
             match *id {
                 SEC_HEADER => header = Some(decode_header(payload)?),
                 SEC_CACHES => caches = Some(decode_caches(payload)?),
@@ -326,6 +338,7 @@ impl SimSnapshot {
                 SEC_CORES => threads = Some(decode_threads(payload)?),
                 SEC_REPLIES => replies = Some(decode_replies(payload)?),
                 SEC_KERNEL => kernel = Some(decode_kernel(payload)?),
+                SEC_LLC => llc = Some(decode_llc(payload)?),
                 other => {
                     return Err(SnapError::new(format!(
                         "unknown section id {other} (a newer writer?)"
@@ -340,6 +353,8 @@ impl SimSnapshot {
             threads: threads.ok_or_else(|| missing("cores"))?,
             dirs: dirs.ok_or_else(|| missing("directories"))?,
             caches: caches.ok_or_else(|| missing("caches"))?,
+            // Absent section == LLC disabled; the two encode identically.
+            llc: llc.unwrap_or_default(),
             allocator: alloc.ok_or_else(|| missing("allocator"))?,
             replies: replies.ok_or_else(|| missing("replies"))?,
             round_horizon,
@@ -398,7 +413,7 @@ impl SimSnapshot {
 pub fn read_header(path: impl AsRef<Path>) -> Result<SnapHeader, SnapError> {
     let bytes = std::fs::read(path)?;
     let sections = split_sections(&bytes)?;
-    for (id, payload) in &sections {
+    for (id, _, payload) in &sections {
         if *id == SEC_HEADER {
             return decode_header(payload);
         }
@@ -406,10 +421,47 @@ pub fn read_header(path: impl AsRef<Path>) -> Result<SnapHeader, SnapError> {
     Err(SnapError::new("missing section 'header'"))
 }
 
-/// Splits a snapshot byte stream into `(id, payload)` sections, verifying
-/// the magic, the file version, each section's declared version, frame
-/// bounds and checksum.
-fn split_sections(bytes: &[u8]) -> Result<Vec<(u16, Vec<u8>)>, SnapError> {
+/// One row of a snapshot file's section table, as reported by
+/// [`read_section_table`]: enough for an inspection tool to list what the
+/// file contains without decoding any state payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// The section identifier.
+    pub id: u16,
+    /// The section's human name (`"llc"`, `"caches"`, …; `"unknown"` for
+    /// ids this build does not know).
+    pub name: &'static str,
+    /// The payload version the writer declared.
+    pub version: u16,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// Reads and validates a snapshot file's section table: every frame and
+/// checksum is checked, but no state section is decoded.
+///
+/// # Errors
+///
+/// Returns a [`SnapError`] for unreadable files and everything
+/// [`SimSnapshot::from_bytes`] would reject at the framing layer.
+pub fn read_section_table(path: impl AsRef<Path>) -> Result<Vec<SectionInfo>, SnapError> {
+    let bytes = std::fs::read(path)?;
+    Ok(split_sections(&bytes)?
+        .into_iter()
+        .map(|(id, version, payload)| SectionInfo {
+            id,
+            name: section_name(id),
+            version,
+            len: payload.len() as u64,
+        })
+        .collect())
+}
+
+/// Splits a snapshot byte stream into `(id, version, payload)` sections,
+/// verifying the magic, the file version, each section's declared version,
+/// frame bounds and checksum.
+#[allow(clippy::type_complexity)]
+fn split_sections(bytes: &[u8]) -> Result<Vec<(u16, u16, Vec<u8>)>, SnapError> {
     if bytes.len() < MAGIC.len() + 4 {
         return Err(SnapError::new("file too short for a snapshot header"));
     }
@@ -459,10 +511,10 @@ fn split_sections(bytes: &[u8]) -> Result<Vec<(u16, Vec<u8>)>, SnapError> {
                 "checksum mismatch (corrupt payload)",
             ));
         }
-        if sections.iter().any(|(sid, _)| *sid == id) {
+        if sections.iter().any(|(sid, _, _)| *sid == id) {
             return Err(SnapError::in_section(name, "duplicate section"));
         }
-        sections.push((id, payload.to_vec()));
+        sections.push((id, sec_version, payload.to_vec()));
     }
     if pos != bytes.len() {
         return Err(SnapError::new("trailing bytes after the last section"));
@@ -489,6 +541,16 @@ fn validate_consistency(header: &SnapHeader, state: &KernelState) -> Result<(), 
             format!(
                 "{} per-node entries but the header declares {} nodes",
                 state.dirs.len(),
+                header.num_nodes
+            ),
+        ));
+    }
+    if !state.llc.is_empty() && state.llc.len() != header.num_nodes as usize {
+        return Err(SnapError::in_section(
+            "llc",
+            format!(
+                "{} per-node slices but the header declares {} nodes",
+                state.llc.len(),
                 header.num_nodes
             ),
         ));
@@ -791,6 +853,26 @@ fn decode_caches(payload: &[u8]) -> Result<Vec<CoreCachesState>, SnapError> {
     }
     d.done()?;
     Ok(caches)
+}
+
+fn encode_llc(slices: &[SetAssocState]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(slices.len() as u32);
+    for s in slices {
+        encode_set_assoc(&mut e, s);
+    }
+    e.finish()
+}
+
+fn decode_llc(payload: &[u8]) -> Result<Vec<SetAssocState>, SnapError> {
+    let mut d = Dec::new(payload, "llc");
+    let n = d.count32(2, "node slice")?;
+    let mut slices = Vec::with_capacity(n);
+    for _ in 0..n {
+        slices.push(decode_set_assoc(&mut d)?);
+    }
+    d.done()?;
+    Ok(slices)
 }
 
 fn encode_dirs(dirs: &[DirectoryNodeState]) -> Vec<u8> {

@@ -14,7 +14,7 @@
 
 use std::sync::Mutex;
 
-use allarm_cache::{CoreCaches, ProbeOutcome};
+use allarm_cache::{CoreCaches, LlcSlice, ProbeOutcome};
 use allarm_coherence::SystemAccess;
 use allarm_mem::DramModel;
 use allarm_noc::{MessageClass, Network, NocStats};
@@ -166,6 +166,22 @@ pub(crate) fn shared_caches(config: &MachineConfig) -> Vec<Mutex<CoreCaches>> {
         .collect()
 }
 
+/// Builds the lock-guarded per-node LLC slices the shards of one simulation
+/// share — one slice per node when the LLC is enabled, empty otherwise.
+///
+/// A slice is node-pinned: the core phase only ever touches a shard's own
+/// nodes' slices, and the directory phase reaches remote slices through the
+/// pure/commutative [`LlcSlice::probe`]/[`LlcSlice::invalidate`] paths, so
+/// shard count cannot change what any slice observes.
+pub(crate) fn shared_llc(config: &MachineConfig) -> Vec<Mutex<LlcSlice>> {
+    if !config.llc.enabled {
+        return Vec::new();
+    }
+    (0..config.num_nodes())
+        .map(|_| Mutex::new(LlcSlice::new(&config.llc)))
+        .collect()
+}
+
 /// One shard's machine access in the parallel kernel.
 ///
 /// The per-core caches are shared across shards (a directory transaction
@@ -182,6 +198,7 @@ pub(crate) fn shared_caches(config: &MachineConfig) -> Vec<Mutex<CoreCaches>> {
 #[derive(Debug)]
 pub(crate) struct ShardSystem<'a> {
     caches: &'a [Mutex<CoreCaches>],
+    llc: &'a [Mutex<LlcSlice>],
     network: Network,
     dram: DramModel,
     topology: Topology,
@@ -189,10 +206,15 @@ pub(crate) struct ShardSystem<'a> {
 }
 
 impl<'a> ShardSystem<'a> {
-    /// Creates one shard's view over the shared caches.
-    pub(crate) fn new(caches: &'a [Mutex<CoreCaches>], config: &MachineConfig) -> Self {
+    /// Creates one shard's view over the shared caches and LLC slices.
+    pub(crate) fn new(
+        caches: &'a [Mutex<CoreCaches>],
+        llc: &'a [Mutex<LlcSlice>],
+        config: &MachineConfig,
+    ) -> Self {
         ShardSystem {
             caches,
+            llc,
             network: Network::new(config.noc),
             dram: DramModel::new(config.num_nodes() as usize, config.dram),
             topology: config.topology(),
@@ -265,6 +287,20 @@ impl SystemAccess for ShardSystem<'_> {
 
     fn cache_access_latency(&self) -> Nanos {
         self.cache_latency
+    }
+
+    fn probe_llc(&mut self, node: NodeId, line: LineAddr, invalidate: bool) -> bool {
+        if self.llc.is_empty() {
+            return false;
+        }
+        let mut slice = self.llc[node.index()]
+            .lock()
+            .expect("an LLC slice lock holder panicked");
+        if invalidate {
+            slice.invalidate(line)
+        } else {
+            slice.probe(line)
+        }
     }
 }
 
@@ -346,7 +382,8 @@ mod tests {
     fn shard_system_reaches_shared_caches_and_private_accounting() {
         let cfg = MachineConfig::small_test();
         let caches = shared_caches(&cfg);
-        let mut sys = ShardSystem::new(&caches, &cfg);
+        let llc = shared_llc(&cfg);
+        let mut sys = ShardSystem::new(&caches, &llc, &cfg);
         let line = LineAddr::new(42);
         assert_eq!(
             sys.probe_cache(CoreId::new(2), line, false, false),
@@ -369,5 +406,35 @@ mod tests {
         let (noc, reads, writes) = sys.into_stats();
         assert_eq!(noc.total_messages(), 1);
         assert_eq!((reads, writes), (1, 0));
+    }
+
+    #[test]
+    fn llc_disabled_machines_have_no_slices_and_probes_miss() {
+        let cfg = MachineConfig::small_test();
+        assert!(!cfg.llc.enabled);
+        let caches = shared_caches(&cfg);
+        let llc = shared_llc(&cfg);
+        assert!(llc.is_empty());
+        let mut sys = ShardSystem::new(&caches, &llc, &cfg);
+        assert!(!sys.probe_llc(NodeId::new(0), LineAddr::new(7), false));
+        assert!(!sys.probe_llc(NodeId::new(0), LineAddr::new(7), true));
+    }
+
+    #[test]
+    fn llc_probe_and_invalidate_reach_the_named_node_slice() {
+        let mut cfg = MachineConfig::small_test();
+        cfg.llc = allarm_types::config::LlcConfig::shared_slice(64 * 1024, 16);
+        let caches = shared_caches(&cfg);
+        let llc = shared_llc(&cfg);
+        assert_eq!(llc.len(), cfg.num_nodes() as usize);
+        let line = LineAddr::new(11);
+        llc[2].lock().unwrap().fill(line);
+        let mut sys = ShardSystem::new(&caches, &llc, &cfg);
+        assert!(!sys.probe_llc(NodeId::new(1), line, false));
+        assert!(sys.probe_llc(NodeId::new(2), line, false));
+        // A pure probe leaves the line resident; an invalidate removes it.
+        assert!(sys.probe_llc(NodeId::new(2), line, true));
+        assert!(!sys.probe_llc(NodeId::new(2), line, false));
+        assert!(llc[2].lock().unwrap().is_empty());
     }
 }

@@ -4,20 +4,25 @@ use allarm_coherence::PfStats;
 use allarm_noc::NocStats;
 use serde::{Deserialize, Serialize};
 
-/// Dynamic energy consumed by the two components the paper reports
-/// (Fig. 3f), in picojoules.
+/// Dynamic energy consumed by the components the reports break out, in
+/// picojoules: the paper's two (Fig. 3f) plus the optional shared LLC
+/// slices of the scaled machines.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct DynamicEnergy {
     /// Energy spent in the on-chip network (routers + links).
     pub noc_pj: f64,
     /// Energy spent in the probe-filter arrays.
     pub probe_filter_pj: f64,
+    /// Energy spent in the shared per-node LLC slices (zero when the
+    /// machine has none, as on the paper's configuration).
+    #[serde(default)]
+    pub llc_pj: f64,
 }
 
 impl DynamicEnergy {
-    /// Total dynamic energy across both components.
+    /// Total dynamic energy across all components.
     pub fn total_pj(&self) -> f64 {
-        self.noc_pj + self.probe_filter_pj
+        self.noc_pj + self.probe_filter_pj + self.llc_pj
     }
 }
 
@@ -45,6 +50,11 @@ pub struct EnergyModel {
     pub router_flit_pj: f64,
     /// Energy per flit per link traversal, pJ.
     pub link_flit_pj: f64,
+    /// Energy per shared-LLC-slice array access (lookup, fill, eviction
+    /// read-out or invalidation), pJ. A multi-megabyte SRAM slice costs
+    /// several times a probe-filter entry access.
+    #[serde(default)]
+    pub llc_access_pj: f64,
 }
 
 impl EnergyModel {
@@ -57,6 +67,7 @@ impl EnergyModel {
             pf_node_vector_pj: 1.5,
             router_flit_pj: 1.2,
             link_flit_pj: 0.8,
+            llc_access_pj: 18.0,
         }
     }
 
@@ -71,6 +82,19 @@ impl EnergyModel {
     /// node-vector reads are charged on top; flat filters report zero such
     /// accesses, so the term vanishes on the paper's machine.
     pub fn dynamic_energy(&self, noc: &NocStats, pf: &PfStats) -> DynamicEnergy {
+        self.dynamic_energy_with_llc(noc, pf, 0)
+    }
+
+    /// As [`EnergyModel::dynamic_energy`], additionally charging
+    /// `llc_accesses` shared-LLC-slice array events (lookups that hit or
+    /// missed, eviction read-outs and invalidations — each touches the
+    /// array once). Machines without an LLC pass zero and report zero.
+    pub fn dynamic_energy_with_llc(
+        &self,
+        noc: &NocStats,
+        pf: &PfStats,
+        llc_accesses: u64,
+    ) -> DynamicEnergy {
         let flit_hops = noc.total_flit_hops() as f64;
         let noc_pj = flit_hops * (self.router_flit_pj + self.link_flit_pj);
         let pf_pj = pf.array_accesses.get() as f64 * self.pf_access_pj
@@ -79,6 +103,7 @@ impl EnergyModel {
         DynamicEnergy {
             noc_pj,
             probe_filter_pj: pf_pj,
+            llc_pj: llc_accesses as f64 * self.llc_access_pj,
         }
     }
 }
@@ -153,6 +178,18 @@ mod tests {
         let e_base = model.dynamic_energy(&NocStats::new(), &baseline);
         let e_allarm = model.dynamic_energy(&NocStats::new(), &allarm);
         assert!(e_allarm.probe_filter_pj < e_base.probe_filter_pj);
+    }
+
+    #[test]
+    fn llc_accesses_are_charged_per_event() {
+        let model = EnergyModel::mcpat_32nm();
+        let e = model.dynamic_energy_with_llc(&NocStats::new(), &PfStats::default(), 7);
+        assert!((e.llc_pj - 7.0 * model.llc_access_pj).abs() < 1e-9);
+        assert_eq!(e.total_pj(), e.llc_pj);
+        // The two-argument form charges nothing — LLC-less machines
+        // report exactly what they did before the slice existed.
+        let none = model.dynamic_energy(&NocStats::new(), &PfStats::default());
+        assert_eq!(none.llc_pj, 0.0);
     }
 
     #[test]

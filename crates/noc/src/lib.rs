@@ -1,4 +1,5 @@
-//! On-chip network model: mesh topology, XY routing, message accounting.
+//! On-chip network model: pluggable fabrics (mesh, torus, concentrated
+//! mesh), XY routing, message accounting.
 //!
 //! The paper's machine connects sixteen nodes in a 4x4 mesh with 10 ns,
 //! 8 GB/s links, 8-byte control messages and 72-byte data messages
@@ -37,4 +38,4 @@ pub mod topology;
 pub use message::MessageClass;
 pub use network::Network;
 pub use stats::{NocStats, NocStatsExport};
-pub use topology::Mesh;
+pub use topology::{CMesh, Coord, Fabric, Mesh, Torus};

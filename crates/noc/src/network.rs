@@ -2,8 +2,9 @@
 
 use crate::message::MessageClass;
 use crate::stats::NocStats;
-use crate::topology::Mesh;
+use crate::topology::Fabric;
 use allarm_types::config::NocConfig;
+use allarm_types::error::ConfigError;
 use allarm_types::ids::NodeId;
 use allarm_types::Nanos;
 
@@ -29,7 +30,7 @@ use allarm_types::Nanos;
 #[derive(Debug, Clone)]
 pub struct Network {
     config: NocConfig,
-    mesh: Mesh,
+    fabric: Fabric,
     stats: NocStats,
 }
 
@@ -38,18 +39,29 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the mesh dimensions are zero.
+    /// Panics on degenerate geometry (zero dimensions or concentration);
+    /// [`Network::try_new`] returns the typed error instead.
     pub fn new(config: NocConfig) -> Self {
-        Network {
-            mesh: Mesh::new(config.mesh_x, config.mesh_y),
-            config,
-            stats: NocStats::new(),
-        }
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The mesh topology.
-    pub fn topology(&self) -> &Mesh {
-        &self.mesh
+    /// Creates a network from its configuration, rejecting degenerate
+    /// geometry with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the fabric geometry is degenerate.
+    pub fn try_new(config: NocConfig) -> Result<Self, ConfigError> {
+        Ok(Network {
+            fabric: Fabric::from_config(&config)?,
+            config,
+            stats: NocStats::new(),
+        })
+    }
+
+    /// The fabric the network routes over.
+    pub fn topology(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// The configuration the network was built from.
@@ -75,7 +87,7 @@ impl Network {
     /// Latency of a message from `src` to `dst` without recording it
     /// (useful for "what-if" critical-path calculations).
     pub fn latency(&self, src: NodeId, dst: NodeId, class: MessageClass) -> Nanos {
-        let hops = self.mesh.hops(src, dst);
+        let hops = self.fabric.hops(src, dst);
         if hops == 0 {
             return Nanos::ZERO;
         }
@@ -93,7 +105,7 @@ impl Network {
     /// interface: they still count toward byte traffic but traverse zero
     /// links, so they add no latency and no flit-hop (link) energy.
     pub fn send(&mut self, src: NodeId, dst: NodeId, class: MessageClass) -> Nanos {
-        let hops = self.mesh.hops(src, dst);
+        let hops = self.fabric.hops(src, dst);
         let bytes = self.message_bytes(class);
         let flits = self.message_flits(class);
         self.stats.record(class, bytes, hops, flits);
@@ -122,7 +134,7 @@ impl Network {
         self.stats = NocStats::new();
     }
 
-    /// Replaces the traffic statistics with checkpointed values (the mesh
+    /// Replaces the traffic statistics with checkpointed values (the fabric
     /// and configuration are pure functions of the machine config, so the
     /// statistics are the network's only dynamic state).
     pub fn restore_stats(&mut self, stats: NocStats) {
@@ -216,5 +228,37 @@ mod tests {
         let n = net();
         assert_eq!(n.config().mesh_x, 4);
         assert_eq!(n.topology().num_nodes(), 16);
+        assert_eq!(n.topology().name(), "mesh");
+    }
+
+    #[test]
+    fn degenerate_geometry_is_a_typed_error() {
+        let err = Network::try_new(NocConfig::mesh(0, 4)).unwrap_err();
+        assert_eq!(err.field(), "noc.mesh");
+        let err = Network::try_new(NocConfig::cmesh(4, 4, 0)).unwrap_err();
+        assert_eq!(err.field(), "noc.concentration");
+    }
+
+    #[test]
+    fn torus_network_shortens_edge_to_edge_latency() {
+        let mesh = Network::new(NocConfig::mesh(4, 4));
+        let torus = Network::new(NocConfig::torus(4, 4));
+        assert_eq!(torus.topology().name(), "torus");
+        // Node 0 to node 3: 3 mesh hops, 1 torus hop.
+        let m = mesh.latency(NodeId::new(0), NodeId::new(3), MessageClass::Request);
+        let t = torus.latency(NodeId::new(0), NodeId::new(3), MessageClass::Request);
+        assert_eq!(m, Nanos::new(31));
+        assert_eq!(t, Nanos::new(11));
+    }
+
+    #[test]
+    fn cmesh_network_makes_same_router_traffic_free() {
+        let mut n = Network::new(NocConfig::cmesh(2, 2, 4));
+        assert_eq!(n.topology().num_nodes(), 16);
+        // Nodes 0 and 3 share router 0: zero hops, but bytes still count.
+        let lat = n.send(NodeId::new(0), NodeId::new(3), MessageClass::Data);
+        assert_eq!(lat, Nanos::ZERO);
+        assert_eq!(n.stats().total_bytes(), 72);
+        assert_eq!(n.stats().total_hops(), 0);
     }
 }

@@ -245,12 +245,50 @@ impl DramConfig {
     }
 }
 
+/// The interconnect topology family a [`NocConfig`] selects.
+///
+/// Scenario documents written before fabrics existed do not carry the
+/// field; the serde default is the historical 2-D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// 2-D mesh, dimension-ordered (X-then-Y) routing (default).
+    #[default]
+    Mesh,
+    /// 2-D torus: the mesh with wrap-around links, so each axis distance is
+    /// `min(d, n - d)`.
+    Torus,
+    /// Concentrated mesh: `concentration` nodes share each router of a
+    /// smaller mesh; same-router traffic takes zero hops.
+    CMesh,
+}
+
+/// Number of nodes sharing one router of a concentrated mesh.
+///
+/// A newtype so documents that predate fabrics — which do not carry the
+/// field — deserialize to one node per router ([`Concentration::default`]
+/// is 1, not 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Concentration(pub u32);
+
+impl Concentration {
+    /// The raw count.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Concentration {
+    fn default() -> Self {
+        Concentration(1)
+    }
+}
+
 /// On-chip network parameters (Table I, "Network").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NocConfig {
-    /// Mesh width (number of columns).
+    /// Router grid width (number of columns).
     pub mesh_x: u32,
-    /// Mesh height (number of rows).
+    /// Router grid height (number of rows).
     pub mesh_y: u32,
     /// Flit size in bytes.
     pub flit_bytes: u64,
@@ -262,6 +300,12 @@ pub struct NocConfig {
     pub link_bandwidth_bytes_per_ns: u64,
     /// Per-hop link latency.
     pub link_latency: Nanos,
+    /// Topology family the `mesh_x` × `mesh_y` router grid is wired as.
+    #[serde(default)]
+    pub fabric: FabricKind,
+    /// Nodes per router (> 1 only with [`FabricKind::CMesh`]).
+    #[serde(default)]
+    pub concentration: Concentration,
 }
 
 impl NocConfig {
@@ -275,12 +319,33 @@ impl NocConfig {
             data_msg_bytes: 72,
             link_bandwidth_bytes_per_ns: 8,
             link_latency: Nanos::new(10),
+            fabric: FabricKind::Mesh,
+            concentration: Concentration::default(),
         }
     }
 
-    /// Total number of nodes in the mesh.
+    /// Creates a torus configuration with the paper's message sizes.
+    pub fn torus(x: u32, y: u32) -> Self {
+        NocConfig {
+            fabric: FabricKind::Torus,
+            ..NocConfig::mesh(x, y)
+        }
+    }
+
+    /// Creates a concentrated-mesh configuration: an `x` × `y` router grid
+    /// with `concentration` nodes per router, paper message sizes.
+    pub fn cmesh(x: u32, y: u32, concentration: u32) -> Self {
+        NocConfig {
+            fabric: FabricKind::CMesh,
+            concentration: Concentration(concentration),
+            ..NocConfig::mesh(x, y)
+        }
+    }
+
+    /// Total number of nodes the fabric connects
+    /// (`mesh_x * mesh_y * concentration`).
     pub fn num_nodes(&self) -> u32 {
-        self.mesh_x * self.mesh_y
+        self.mesh_x * self.mesh_y * self.concentration.get()
     }
 
     /// Validates the configuration.
@@ -288,12 +353,26 @@ impl NocConfig {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any dimension, message size or bandwidth
-    /// is zero.
+    /// is zero, or if a concentration above one is combined with a
+    /// non-concentrated fabric.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.mesh_x == 0 || self.mesh_y == 0 {
             return Err(ConfigError::new(
                 "noc.mesh",
                 "mesh dimensions must be non-zero",
+            ));
+        }
+        if self.concentration.get() == 0 {
+            return Err(ConfigError::new("noc.concentration", "must be non-zero"));
+        }
+        if self.concentration.get() > 1 && self.fabric != FabricKind::CMesh {
+            return Err(ConfigError::new(
+                "noc.concentration",
+                format!(
+                    "concentration {} requires the CMesh fabric, not {:?}",
+                    self.concentration.get(),
+                    self.fabric
+                ),
             ));
         }
         if self.flit_bytes == 0 {
@@ -400,6 +479,83 @@ impl Default for MissWindowConfig {
     }
 }
 
+/// The optional shared per-node LLC slice (NUCA): one set-associative array
+/// per node, shared by the node's cores, sitting on the miss path between a
+/// core's private L2 and the home directory.
+///
+/// The slice is inclusive of nothing — it caches clean `Shared` fills only,
+/// so a slice hit can never hand out writable or stale-dirty data. Scenario
+/// documents written before the LLC existed do not carry the stanza; the
+/// serde default is `enabled = false`, which is byte-identical to the
+/// pre-LLC simulator. A document that enables the LLC must spell out all
+/// four fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Whether each node has a shared LLC slice at all.
+    pub enabled: bool,
+    /// Capacity of one node's slice in bytes.
+    pub size_bytes: u64,
+    /// Associativity of the slice.
+    pub ways: u32,
+    /// Access latency of the slice SRAM, charged on every lookup a core's
+    /// read miss makes before (on a slice miss) continuing to the
+    /// directory.
+    pub access_latency: Nanos,
+}
+
+impl LlcConfig {
+    /// The disabled configuration (carries a valid default geometry so
+    /// `enabled = true` flipped on programmatically still validates).
+    pub fn disabled() -> Self {
+        LlcConfig {
+            enabled: false,
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            access_latency: Nanos::new(6),
+        }
+    }
+
+    /// An enabled slice of `size_bytes` with the given associativity and a
+    /// 6 ns access latency.
+    pub fn shared_slice(size_bytes: u64, ways: u32) -> Self {
+        LlcConfig {
+            enabled: true,
+            size_bytes,
+            ways,
+            access_latency: Nanos::new(6),
+        }
+    }
+
+    /// The slice geometry as a plain cache configuration (64-byte lines).
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            size_bytes: self.size_bytes,
+            ways: self.ways,
+            line_bytes: LINE_BYTES,
+            access_latency: self.access_latency,
+        }
+    }
+
+    /// Validates the geometry. A disabled slice is always valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the slice is enabled with a degenerate
+    /// geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        self.cache_config().validate("llc")
+    }
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        LlcConfig::disabled()
+    }
+}
+
 /// Full machine description: Table I of the paper as a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -429,6 +585,10 @@ pub struct MachineConfig {
     /// Defaults for documents that predate the knob.
     #[serde(default)]
     pub miss_window: MissWindowConfig,
+    /// Optional shared per-node LLC slice. Defaults to disabled for
+    /// documents that predate the level.
+    #[serde(default)]
+    pub llc: LlcConfig,
 }
 
 impl MachineConfig {
@@ -458,6 +618,7 @@ impl MachineConfig {
             dram: DramConfig::new(128 * 1024 * 1024, 60),
             noc: NocConfig::mesh(4, 4),
             miss_window: MissWindowConfig::default(),
+            llc: LlcConfig::default(),
         }
     }
 
@@ -485,6 +646,46 @@ impl MachineConfig {
         }
     }
 
+    /// The 256-core reference machine: 64 NUMA nodes of 4 cores on an 8×8
+    /// router grid, the Table I cache substrate, and the same 2× per-node
+    /// probe-filter coverage ratio as [`MachineConfig::scale64`] (nodes
+    /// still aggregate 4 × 256 kB of L2). The shared LLC slice stays
+    /// disabled here — scenarios opt in per document with
+    /// [`MachineConfig::with_llc`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use allarm_types::config::MachineConfig;
+    /// let m = MachineConfig::scale256();
+    /// assert_eq!(m.num_cores, 256);
+    /// assert_eq!(m.num_nodes(), 64);
+    /// m.validate().unwrap();
+    /// ```
+    pub fn scale256() -> Self {
+        MachineConfig {
+            num_cores: 256,
+            cores_per_node: CoresPerNode(4),
+            probe_filter: ProbeFilterConfig::new(2 * 1024 * 1024, 8),
+            noc: NocConfig::mesh(8, 8),
+            ..MachineConfig::date2014()
+        }
+    }
+
+    /// Returns a copy with a different shared-LLC configuration.
+    pub fn with_llc(mut self, llc: LlcConfig) -> Self {
+        self.llc = llc;
+        self
+    }
+
+    /// Returns a copy with a different network configuration. The fabric
+    /// must still provide one router slot per NUMA node
+    /// ([`MachineConfig::validate`] checks).
+    pub fn with_noc(mut self, noc: NocConfig) -> Self {
+        self.noc = noc;
+        self
+    }
+
     /// A scaled-down configuration useful for fast unit and integration
     /// tests: 4 cores in a 2x2 mesh with small caches.
     pub fn small_test() -> Self {
@@ -499,6 +700,7 @@ impl MachineConfig {
             dram: DramConfig::new(4 * 1024 * 1024, 60),
             noc: NocConfig::mesh(2, 2),
             miss_window: MissWindowConfig::default(),
+            llc: LlcConfig::default(),
         }
     }
 
@@ -554,11 +756,12 @@ impl MachineConfig {
         self.dram.validate()?;
         self.noc.validate()?;
         self.miss_window.validate()?;
+        self.llc.validate()?;
         if self.noc.num_nodes() != self.num_nodes() {
             return Err(ConfigError::new(
                 "noc.mesh",
                 format!(
-                    "mesh has {} routers but the machine has {} nodes \
+                    "fabric connects {} nodes but the machine has {} \
                      ({} cores / {} per node)",
                     self.noc.num_nodes(),
                     self.num_nodes(),
@@ -753,6 +956,88 @@ mod tests {
         n = NocConfig::mesh(4, 4);
         n.link_bandwidth_bytes_per_ns = 0;
         assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn zero_mesh_dimension_is_a_typed_error_not_a_panic() {
+        let err = NocConfig::mesh(0, 4).validate().unwrap_err();
+        assert_eq!(err.field(), "noc.mesh");
+        assert!(err.reason().contains("non-zero"));
+        let err = NocConfig::torus(4, 0).validate().unwrap_err();
+        assert_eq!(err.field(), "noc.mesh");
+        // The same zero dimension is caught at the machine level, so a
+        // scenario document loading a degenerate fabric gets the typed
+        // error instead of a panic.
+        let mut m = MachineConfig::date2014();
+        m.noc.mesh_x = 0;
+        assert_eq!(m.validate().unwrap_err().field(), "noc.mesh");
+    }
+
+    #[test]
+    fn fabric_defaults_and_constructors() {
+        let n = NocConfig::mesh(4, 4);
+        assert_eq!(n.fabric, FabricKind::Mesh);
+        assert_eq!(n.concentration.get(), 1);
+        assert_eq!(n.num_nodes(), 16);
+
+        let t = NocConfig::torus(8, 8);
+        assert_eq!(t.fabric, FabricKind::Torus);
+        assert_eq!(t.num_nodes(), 64);
+        t.validate().unwrap();
+
+        let c = NocConfig::cmesh(4, 4, 4);
+        assert_eq!(c.fabric, FabricKind::CMesh);
+        assert_eq!(c.num_nodes(), 64);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn concentration_requires_cmesh() {
+        let mut n = NocConfig::mesh(4, 4);
+        n.concentration = Concentration(4);
+        let err = n.validate().unwrap_err();
+        assert_eq!(err.field(), "noc.concentration");
+        n.fabric = FabricKind::CMesh;
+        n.validate().unwrap();
+        n.concentration = Concentration(0);
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn scale256_is_64_nodes_of_4_cores_on_an_8x8_grid() {
+        let m = MachineConfig::scale256();
+        m.validate().unwrap();
+        assert_eq!(m.num_cores, 256);
+        assert_eq!(m.cores_per_node.get(), 4);
+        assert_eq!(m.num_nodes(), 64);
+        assert_eq!((m.noc.mesh_x, m.noc.mesh_y), (8, 8));
+        // Same 2x coverage of the node's aggregate L2 as scale64.
+        assert_eq!(m.probe_filter.coverage_bytes, 2 * 4 * m.l2.size_bytes);
+        assert!(!m.llc.enabled);
+        // Non-mesh fabrics slot in per document.
+        let t = m.with_noc(NocConfig::torus(8, 8));
+        t.validate().unwrap();
+        let c = m.with_noc(NocConfig::cmesh(4, 4, 4));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn llc_defaults_disabled_and_validates_when_enabled() {
+        let m = MachineConfig::date2014();
+        assert!(!m.llc.enabled);
+        m.llc.validate().unwrap();
+
+        let m = m.with_llc(LlcConfig::shared_slice(1024 * 1024, 16));
+        assert!(m.llc.enabled);
+        m.validate().unwrap();
+        assert_eq!(m.llc.cache_config().num_sets(), 1024);
+
+        // A degenerate enabled geometry is rejected; the same geometry
+        // disabled is ignored.
+        let mut bad = LlcConfig::shared_slice(0, 16);
+        assert_eq!(bad.validate().unwrap_err().field(), "llc.size_bytes");
+        bad.enabled = false;
+        bad.validate().unwrap();
     }
 
     #[test]

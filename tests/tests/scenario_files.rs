@@ -3,8 +3,9 @@
 //! `cargo run -p allarm-bench --bin export_scenarios`).
 
 use allarm_bench::{
-    fig3_grid, fig3h_grid, fig4_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
-    tracefile_comparison_grid, tracefile_source_grid, TRACE_SAMPLE_THREADS,
+    fig3_grid, fig3h_grid, fig4_grid, scale256_grid, scale256_pf_sweep_grid, scale64_grid,
+    scale64_pf_sweep_grid, streamcluster_grid, tracefile_comparison_grid, tracefile_source_grid,
+    TRACE_SAMPLE_THREADS,
 };
 use allarm_core::{ExperimentConfig, ScenarioGrid};
 use std::path::{Path, PathBuf};
@@ -36,6 +37,12 @@ fn checked_in_grids_match_the_constructors() {
         load("scale64_pf_sweep.toml"),
         scale64_pf_sweep_grid(&scale64)
     );
+    let scale256 = ExperimentConfig::scale256();
+    assert_eq!(load("scale256_comparison.toml"), scale256_grid(&scale256));
+    assert_eq!(
+        load("scale256_pf_sweep.toml"),
+        scale256_pf_sweep_grid(&scale256)
+    );
     assert_eq!(load("tracefile_source.toml"), tracefile_source_grid());
     assert_eq!(
         load("tracefile_comparison.toml"),
@@ -59,6 +66,46 @@ fn pre_topology_documents_default_to_one_core_per_node() {
         .collect();
     let grid = ScenarioGrid::from_toml(&stripped).unwrap();
     assert_eq!(grid.base.machine.cores_per_node.get(), 1);
+    assert_eq!(grid, fig3_grid(&ExperimentConfig::paper()));
+}
+
+/// Scenario documents from before the NUCA/fabric work carry neither an
+/// `llc` stanza nor `fabric`/`concentration` fields; they must keep
+/// parsing as LLC-less meshes — absent is the same machine as an explicit
+/// `enabled = false` stanza, so every historical grid still runs
+/// byte-identically.
+#[test]
+fn pre_nuca_documents_default_to_no_llc_and_a_mesh_fabric() {
+    let text = std::fs::read_to_string(scenarios_dir().join("fig3_comparison.toml")).unwrap();
+    let mut stripped = String::new();
+    let mut in_llc = false;
+    for line in text.lines() {
+        if line.trim() == "[base.machine.llc]" {
+            in_llc = true;
+            continue;
+        }
+        if in_llc {
+            // Swallow the stanza body until the next table header.
+            if line.trim_start().starts_with('[') {
+                in_llc = false;
+            } else {
+                continue;
+            }
+        }
+        if line.starts_with("fabric") || line.starts_with("concentration") {
+            continue;
+        }
+        stripped.push_str(line);
+        stripped.push('\n');
+    }
+    assert!(!stripped.contains("llc") && !stripped.contains("fabric"));
+    let grid = ScenarioGrid::from_toml(&stripped).unwrap();
+    assert!(!grid.base.machine.llc.enabled);
+    assert_eq!(
+        grid.base.machine.noc.fabric,
+        allarm_types::config::FabricKind::Mesh
+    );
+    assert_eq!(grid.base.machine.noc.concentration.get(), 1);
     assert_eq!(grid, fig3_grid(&ExperimentConfig::paper()));
 }
 
@@ -94,6 +141,30 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
     assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
     assert_eq!(sweep.pf_coverages, allarm_core::SCALE64_COVERAGES.to_vec());
     sweep.validate().unwrap();
+
+    let scale256 = load("scale256_comparison.toml");
+    assert_eq!(scale256.len(), 6); // 3 benchmarks x 2 policies
+    assert_eq!(scale256.base.machine.num_cores, 256);
+    assert_eq!(scale256.base.machine.num_nodes(), 64);
+    assert_eq!(
+        scale256.base.machine.noc.fabric,
+        allarm_types::config::FabricKind::Torus
+    );
+    assert!(scale256.base.machine.llc.enabled);
+    scale256.validate().unwrap();
+
+    let sweep256 = load("scale256_pf_sweep.toml");
+    assert_eq!(sweep256.len(), 8); // 4 coverages x 2 policies
+    assert_eq!(
+        sweep256.base.machine.noc.fabric,
+        allarm_types::config::FabricKind::CMesh
+    );
+    assert_eq!(sweep256.base.machine.noc.concentration.get(), 4);
+    assert_eq!(
+        sweep256.pf_coverages,
+        allarm_core::SCALE256_COVERAGES.to_vec()
+    );
+    sweep256.validate().unwrap();
 
     let source = load("tracefile_source.toml");
     assert_eq!(source.len(), 2); // 1 workload x 2 policies

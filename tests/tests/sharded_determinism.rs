@@ -12,8 +12,8 @@
 //! --sim-threads 4` output on the *full* fig3 grid.
 
 use allarm_bench::{
-    fig3_grid, fig3h_grid, fig4_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
-    tracefile_comparison_grid,
+    fig3_grid, fig3h_grid, fig4_grid, scale256_grid, scale256_pf_sweep_grid, scale64_grid,
+    scale64_pf_sweep_grid, streamcluster_grid, tracefile_comparison_grid,
 };
 use allarm_core::{BatchRunner, ExperimentConfig, JsonlSink, Scenario};
 use std::path::Path;
@@ -45,6 +45,34 @@ fn scaled_grids() -> Vec<(&'static str, Vec<Scenario>)> {
                 .into_iter()
                 .step_by(3)
                 .collect(),
+        ),
+        (
+            // The 256-core NUCA machine (torus fabric, LLC slices on):
+            // stride 3 over the 3-benchmark × 2-policy grid keeps both
+            // policies while the short trace keeps the sweep fast.
+            "scale256_comparison",
+            {
+                let scale256 = ExperimentConfig::scale256().with_accesses_per_thread(150);
+                scale256_grid(&scale256)
+                    .expand()
+                    .into_iter()
+                    .step_by(3)
+                    .collect()
+            },
+        ),
+        (
+            // The concentrated-mesh sweep, subsampled the same way (stride
+            // 5 over 4 coverages × 2 policies covers both policies and two
+            // coverages).
+            "scale256_pf_sweep",
+            {
+                let scale256 = ExperimentConfig::scale256().with_accesses_per_thread(150);
+                scale256_pf_sweep_grid(&scale256)
+                    .expand()
+                    .into_iter()
+                    .step_by(5)
+                    .collect()
+            },
         ),
         (
             // The trace-replay grid: an externally-sourced reference

@@ -9,10 +9,11 @@
 //! typed error naming the section, and fork-from-warm resumption equals a
 //! cold run.
 
-use allarm_core::snapshot::read_header;
+use allarm_core::snapshot::{read_header, read_section_table};
 use allarm_core::{
     AllocationPolicy, MachineConfig, SimReport, SimSnapshot, SimulationBuilder, Simulator,
 };
+use allarm_types::config::LlcConfig;
 use allarm_types::MissWindowConfig;
 use allarm_workloads::{Benchmark, TraceGenerator, Workload};
 use std::path::PathBuf;
@@ -160,6 +161,80 @@ fn snapshot_files_round_trip_and_corruption_is_refused_with_the_section_named() 
         let bad = dir.join("cut.snap");
         std::fs::write(&bad, &bytes[..cut]).unwrap();
         assert!(SimSnapshot::read_from(&bad).is_err(), "cut at {cut} parsed");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Walks a snapshot's section frames and returns the byte offset of the
+/// *version* field of the section with `id`, or None.
+fn section_version_offset(bytes: &[u8], id: u16) -> Option<usize> {
+    let count = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    let mut pos = 12;
+    for _ in 0..count {
+        let sid = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        if sid == id {
+            return Some(pos + 2);
+        }
+        pos += 12 + len + 8;
+    }
+    None
+}
+
+#[test]
+fn llc_section_is_present_only_when_enabled_and_skew_is_refused_by_name() {
+    let workload = TraceGenerator::new(4, 800, 11).generate(Benchmark::OceanContiguous);
+    let mut machine = MachineConfig::small_test();
+    machine.cores_per_node = allarm_types::config::CoresPerNode(2);
+    machine.noc = allarm_types::config::NocConfig::mesh(1, 2);
+    let target = workload.total_accesses() as u64 / 2;
+
+    // LLC disabled: the snapshot has no "llc" section — the bytes are the
+    // exact pre-LLC format.
+    let plain = SimulationBuilder::new(machine)
+        .build()
+        .unwrap()
+        .run_until(&workload, target)
+        .to_bytes();
+    const SEC_LLC: u16 = 7;
+    assert!(section_version_offset(&plain, SEC_LLC).is_none());
+
+    // LLC enabled: the section is written, listed by the section-table
+    // reader as "llc" v1, and the file round-trips.
+    machine.llc = LlcConfig::shared_slice(256 * 1024, 16);
+    let snap = SimulationBuilder::new(machine)
+        .build()
+        .unwrap()
+        .run_until(&workload, target);
+    let dir = temp_dir("llc-snap");
+    let path = dir.join("llc.snap");
+    snap.write_to(&path).unwrap();
+    let table = read_section_table(&path).unwrap();
+    let llc_row = table
+        .iter()
+        .find(|s| s.id == SEC_LLC)
+        .expect("LLC-enabled snapshot carries the llc section");
+    assert_eq!(llc_row.name, "llc");
+    assert_eq!(llc_row.version, 1);
+    assert!(llc_row.len > 0);
+    assert!(SimSnapshot::read_from(&path).is_ok());
+
+    // A writer with a newer llc section (as a build without this PR would
+    // see one from the future) is refused with the section named, and the
+    // header-only read refuses identically — nothing downstream of the
+    // check can be touched.
+    let mut skewed = std::fs::read(&path).unwrap();
+    let at = section_version_offset(&skewed, SEC_LLC).unwrap();
+    skewed[at] = 2;
+    let bad = dir.join("llc-skewed.snap");
+    std::fs::write(&bad, &skewed).unwrap();
+    for err in [
+        SimSnapshot::read_from(&bad).unwrap_err(),
+        read_header(&bad).unwrap_err(),
+    ] {
+        assert_eq!(err.section(), Some("llc"), "{err}");
+        assert!(err.to_string().contains("unsupported section version 2"));
     }
 
     std::fs::remove_dir_all(&dir).ok();

@@ -113,13 +113,60 @@ fn node_set_matches_per_core_topology_projection() {
     });
 }
 
+/// The 256-core machine's substrate, pinned: sharer sets driven across the
+/// full 0..256 core range — so every sequence exercises the multi-word
+/// representation and the inline ↔ wide promotion boundary at 64 — agree
+/// with a `HashSet` model, and their level-1 projection at 4 cores per
+/// node agrees with a 64-entry node model built through the topology.
+#[test]
+fn wide_sharer_and_node_sets_model_the_256_core_machine() {
+    let topo = Topology::new(64, 4);
+    assert_eq!(topo.num_cores(), 256);
+    for_cases(96, |rng| {
+        let mut set = SharerSet::empty();
+        let mut model: HashSet<CoreId> = HashSet::new();
+        let ops = 1 + rng.below(399);
+        for _ in 0..ops {
+            let core = CoreId::new(rng.below(256) as u16);
+            if rng.chance(0.6) {
+                set.insert(core);
+                model.insert(core);
+            } else {
+                set.remove(core);
+                model.remove(&core);
+            }
+        }
+        assert_eq!(set.count() as usize, model.len());
+        for probe in (0..256u16).map(CoreId::new) {
+            assert_eq!(set.contains(probe), model.contains(&probe));
+        }
+        // The node projection: exactly the nodes hosting a member core.
+        let nodes = set.node_set(4);
+        let node_model: HashSet<NodeId> = model.iter().map(|&c| topo.node_of_core(c)).collect();
+        assert_eq!(nodes.count() as usize, node_model.len());
+        for node in (0..64u16).map(NodeId::new) {
+            assert_eq!(nodes.contains(node), node_model.contains(&node));
+        }
+        assert_eq!(
+            nodes.iter().collect::<Vec<_>>(),
+            {
+                let mut sorted: Vec<NodeId> = node_model.into_iter().collect();
+                sorted.sort();
+                sorted
+            },
+            "node iteration must be ascending and exact"
+        );
+    });
+}
+
 /// The blocked core → node mapping at `cores_per_node` ∈ {1, 2, 4}: every
 /// core maps into range, node blocks are contiguous, each node's core list
 /// round-trips, and the designated core is the block's first.
 #[test]
 fn core_to_node_mapping_is_a_contiguous_partition() {
     for cores_per_node in [1u32, 2, 4] {
-        for num_nodes in [1u32, 3, 16] {
+        // 64 nodes × 4 cores is the scale256 machine.
+        for num_nodes in [1u32, 3, 16, 64] {
             let topo = Topology::new(num_nodes, cores_per_node);
             let mut by_node: Vec<Vec<CoreId>> = vec![Vec::new(); num_nodes as usize];
             for i in 0..topo.num_cores() as u16 {
