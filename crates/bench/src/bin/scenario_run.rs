@@ -10,7 +10,8 @@
 //! rows — `--sim-threads` shards every run across worker threads
 //! (byte-identical results; see the README's parallelism section), and
 //! `--accesses` overrides the per-thread trace length (for smoke runs of
-//! checked-in grids; trace-file replays keep their recorded length).
+//! checked-in grids; binary-v2 trace replays truncate to a prefix, while
+//! v1 replays keep their recorded length and a loud warning says so).
 //!
 //! Checkpointing composes with the resume machinery: `--checkpoint-every
 //! <accesses>` drops a versioned snapshot (`<output>.snap`) of the
@@ -157,8 +158,22 @@ fn main() -> ExitCode {
         }
     }
     if let Some(n) = accesses {
+        // `with_accesses` truncates generated workloads and binary-v2 trace
+        // replays; v1 replays keep their recorded length. Say so out loud —
+        // a smoke run that silently replayed 50M accesses instead of the
+        // requested 10k used to be this flag's worst failure mode.
         for scenario in &mut scenarios {
-            scenario.workload = scenario.workload.with_accesses(n);
+            if scenario.workload.supports_length_override() {
+                scenario.workload = scenario.workload.with_accesses(n);
+            } else {
+                eprintln!(
+                    "[scenario_run] warning: --accesses {n} has no effect on `{}` — its \
+                     workload replays a v1 binary trace at full recorded length; convert \
+                     it with `trace_tool convert --format binary-v2` to make the trace \
+                     truncatable",
+                    scenario.name
+                );
+            }
         }
     }
     let mut runner = BatchRunner::new().with_verify_forks(verify_forks);

@@ -167,6 +167,68 @@ pub fn tracefile_comparison_grid() -> ScenarioGrid {
     grid
 }
 
+/// File name of the committed frame-chunked (`binary-v2`) sample trace,
+/// relative to `scenarios/`. Records the same workload as
+/// [`TRACE_SAMPLE_FILE`]; the frame directory makes it seekable and
+/// streamable.
+pub const TRACE_SAMPLE_V2_FILE: &str = "tracefile_sample_v2.btrace";
+
+/// The streaming-replay side: the same machine and policies as
+/// [`tracefile_source_grid`], but driven by the committed frame-chunked
+/// v2 sample through the pull-based [`allarm_workloads::TraceSource`]
+/// path — the simulator replays it frame by frame without materializing
+/// the workload. Also checked in as
+/// `scenarios/tracefile_v2_comparison.toml`; the CI round-trip gate
+/// diffs its JSONL output against both the source grid's and the v1
+/// replay's.
+pub fn tracefile_v2_comparison_grid() -> ScenarioGrid {
+    let mut grid = tracefile_source_grid();
+    grid.base.workload = WorkloadSpec::trace_file(TRACE_SAMPLE_V2_FILE, TraceFormat::BinaryV2);
+    grid
+}
+
+/// The serving-shaped comparison grid: the beyond-the-paper `kv-store`
+/// profile (skewed Zipfian GET/PUT traffic over a large shared value
+/// store, with a drifting hot set) under both allocation policies — the
+/// datacenter-workload counterpoint to the paper's HPC suite. Also
+/// checked in as `scenarios/kv_store_comparison.toml`.
+pub fn kv_store_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    ScenarioGrid::new(cfg.scenario(Benchmark::KvStore, AllocationPolicy::Baseline))
+        .policies(AllocationPolicy::ALL.to_vec())
+}
+
+/// Tenants packed into the consolidation grid: a dozen single-threaded
+/// processes on the 16-core paper machine — six times the process count
+/// of the paper's Fig. 4 experiment.
+pub const CONSOLIDATION_TENANTS: usize = 12;
+
+/// The benchmark mix consolidation tenants rotate through — a serving
+/// tenant between two HPC tenants, the heterogeneous node the north star
+/// implies.
+pub const CONSOLIDATION_MIX: [Benchmark; 3] = [
+    Benchmark::KvStore,
+    Benchmark::Barnes,
+    Benchmark::OceanContiguous,
+];
+
+/// The consolidation comparison grid: [`CONSOLIDATION_TENANTS`]
+/// single-threaded tenants rotating through [`CONSOLIDATION_MIX`], each
+/// in its own address space and homed on its own core by first-touch,
+/// under both policies. Generalizes Fig. 4's two-copy setup to a packed
+/// multi-tenant node where the baseline probe filter drowns in
+/// never-probed private entries. Also checked in as
+/// `scenarios/consolidation_comparison.toml`.
+pub fn consolidation_grid(cfg: &ExperimentConfig) -> ScenarioGrid {
+    let mut base = cfg.scenario(Benchmark::Barnes, AllocationPolicy::Baseline);
+    base.workload = WorkloadSpec::consolidation(
+        CONSOLIDATION_MIX.to_vec(),
+        CONSOLIDATION_TENANTS,
+        cfg.accesses_per_thread,
+    );
+    base.name = format!("consolidation-{CONSOLIDATION_TENANTS}t/baseline");
+    ScenarioGrid::new(base).policies(AllocationPolicy::ALL.to_vec())
+}
+
 /// The grid behind Fig. 4: the SPLASH2 subset as two-process workloads ×
 /// five probe-filter coverages × both policies. Also checked in as
 /// `scenarios/fig4_multiprocess.toml`.
@@ -229,7 +291,7 @@ mod tests {
         grid.validate().unwrap();
         assert_eq!(grid.base.machine.num_cores, 64);
         assert_eq!(grid.base.machine.cores_per_node.get(), 4);
-        assert_eq!(grid.base.workload.cores_required(), 64);
+        assert_eq!(grid.base.workload.cores_required().unwrap(), 64);
 
         let sweep = scale64_pf_sweep_grid(&cfg);
         assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
@@ -249,7 +311,7 @@ mod tests {
         assert_eq!(grid.base.machine.num_nodes(), 64);
         assert_eq!(grid.base.machine.noc.fabric, FabricKind::Torus);
         assert!(grid.base.machine.llc.enabled);
-        assert_eq!(grid.base.workload.cores_required(), 256);
+        assert_eq!(grid.base.workload.cores_required().unwrap(), 256);
 
         let sweep = scale256_pf_sweep_grid(&cfg);
         assert_eq!(sweep.len(), 8); // 4 coverages x 2 policies
@@ -296,12 +358,70 @@ mod tests {
     }
 
     #[test]
+    fn tracefile_v2_grid_streams_the_committed_sample() {
+        let source = tracefile_source_grid();
+        let replay = tracefile_v2_comparison_grid();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay.base.machine, source.base.machine);
+        assert_eq!(replay.base.seed, source.base.seed);
+        assert_eq!(
+            replay.base.workload,
+            WorkloadSpec::trace_file(TRACE_SAMPLE_V2_FILE, TraceFormat::BinaryV2)
+        );
+        // Unlike the v1 replay, the v2 file supports real prefix truncation.
+        assert!(replay.base.workload.supports_length_override());
+
+        // Resolved against the committed sample, the grid validates and
+        // opens as a streaming source carrying the exact reference stream
+        // the source grid's generator produces.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+        let mut grid = tracefile_v2_comparison_grid();
+        grid.base.workload = grid.base.workload.resolved_against(&dir);
+        grid.validate().unwrap();
+        let trace = grid.base.workload.streaming_source().unwrap().unwrap();
+        let recorded = source.base.workload.materialize(source.base.seed);
+        assert_eq!(
+            trace.checksum(),
+            recorded.checksum(),
+            "scenarios/{TRACE_SAMPLE_V2_FILE} has drifted from the generator — \
+             regenerate it with `trace_tool record --format binary-v2`"
+        );
+        assert_eq!(grid.base.workload.materialize(source.base.seed), recorded);
+    }
+
+    #[test]
+    fn serving_and_consolidation_grids_cover_the_new_profiles() {
+        let cfg = ExperimentConfig::quick_test();
+
+        let kv = kv_store_grid(&cfg);
+        assert_eq!(kv.len(), 2);
+        kv.validate().unwrap();
+        assert_eq!(kv.base.workload.benchmark(), Some(Benchmark::KvStore));
+
+        let grid = consolidation_grid(&cfg);
+        assert_eq!(grid.len(), 2);
+        grid.validate().unwrap();
+        assert_eq!(
+            grid.base.workload.cores_required().unwrap(),
+            CONSOLIDATION_TENANTS
+        );
+        // The tenant rotation mixes benchmarks, so the spec reports no
+        // single benchmark and a benchmark axis cannot be layered on top.
+        assert_eq!(grid.base.workload.benchmark(), None);
+        let swept = consolidation_grid(&cfg).benchmarks(vec![Benchmark::Barnes]);
+        assert!(swept.validate().is_err());
+    }
+
+    #[test]
     fn tracefile_comparison_grid_validates_against_the_committed_sample() {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
         let mut grid = tracefile_comparison_grid();
         grid.base.workload = grid.base.workload.resolved_against(&dir);
         grid.validate().unwrap();
-        assert_eq!(grid.base.workload.cores_required(), TRACE_SAMPLE_THREADS);
+        assert_eq!(
+            grid.base.workload.cores_required().unwrap(),
+            TRACE_SAMPLE_THREADS
+        );
         // The committed trace is exactly what the source grid's workload
         // generates, so the replayed stream checksums identically.
         let source = tracefile_source_grid();

@@ -32,11 +32,46 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use allarm_types::error::ConfigError;
-use allarm_workloads::Workload;
+use allarm_workloads::{AccessSource, TraceSource, Workload};
 
 use crate::metrics::{Comparison, SimReport};
 use crate::scenario::Scenario;
 use crate::snapshot::SimSnapshot;
+
+/// One scenario's ready-to-replay workload. Generated (and v1-replayed)
+/// workloads are materialized once per distinct `(spec, seed)` pair and
+/// shared across the batch; frame-chunked v2 trace replays hold only the
+/// trace's header and frame directory and stream the body straight off
+/// disk during the run — a batch over a multi-hundred-million-access
+/// trace never holds the decoded stream in memory.
+#[derive(Debug, Clone)]
+enum WorkloadHandle {
+    /// Every access in memory, shared between scenarios via [`Arc`].
+    Materialized(Arc<Workload>),
+    /// A bounded-memory streaming v2 trace source.
+    Streaming(Arc<TraceSource>),
+}
+
+impl WorkloadHandle {
+    /// The replay feed the simulator consumes — identical record streams
+    /// for both kinds.
+    fn source(&self) -> AccessSource<'_> {
+        match self {
+            WorkloadHandle::Materialized(w) => AccessSource::from(&**w),
+            WorkloadHandle::Streaming(t) => AccessSource::from(&**t),
+        }
+    }
+
+    /// The in-memory workload, when one exists. Fork-from-warm planning
+    /// requires one (prefix comparison reads the raw access vectors), so
+    /// streaming scenarios always run cold.
+    fn materialized(&self) -> Option<&Arc<Workload>> {
+        match self {
+            WorkloadHandle::Materialized(w) => Some(w),
+            WorkloadHandle::Streaming(_) => None,
+        }
+    }
+}
 
 /// One completed scenario: the descriptor and its report.
 #[derive(Debug, Clone, PartialEq)]
@@ -624,7 +659,10 @@ pub fn verify_resume_rows(scenarios: &[Scenario], rows: &[RecordedRow]) -> Resul
             None => {
                 // Trace replays answer from their header; generated specs
                 // materialize once per distinct (spec, seed).
-                let total = scenario.workload.total_accesses(scenario.seed);
+                let total = scenario
+                    .workload
+                    .total_accesses(scenario.seed)
+                    .map_err(|e| ConfigError::new("resume", e))?;
                 totals.push((row.index, total));
                 total
             }
@@ -972,12 +1010,13 @@ impl BatchRunner {
             }
         }
 
-        // Materialize each distinct (spec, seed) workload exactly once, in
-        // scenario order, and share it across the batch. Scenarios already
-        // completed by a resumed sweep never materialize (None) — unless a
-        // still-pending sibling shares the workload, in which case that
-        // sibling generates it.
-        let mut workloads: Vec<Option<Arc<Workload>>> = Vec::with_capacity(scenarios.len());
+        // Build each distinct (spec, seed) workload handle exactly once, in
+        // scenario order, and share it across the batch. Frame-chunked v2
+        // trace replays open a streaming source (header + frame directory
+        // only); everything else materializes. Scenarios already completed
+        // by a resumed sweep never build (None) — unless a still-pending
+        // sibling shares the workload, in which case that sibling does.
+        let mut workloads: Vec<Option<WorkloadHandle>> = Vec::with_capacity(scenarios.len());
         for (index, scenario) in scenarios.iter().enumerate() {
             if completed.contains(&index) {
                 workloads.push(None);
@@ -988,10 +1027,14 @@ impl BatchRunner {
                     && scenarios[i].workload == scenario.workload
                     && scenarios[i].seed == scenario.seed
             });
-            match existing {
-                Some(i) => workloads.push(workloads[i].clone()),
-                None => workloads.push(Some(Arc::new(scenario.workload()))),
-            }
+            let handle = match existing {
+                Some(i) => workloads[i].clone(),
+                None => Some(match scenario.streaming_source()? {
+                    Some(source) => WorkloadHandle::Streaming(Arc::new(source)),
+                    None => WorkloadHandle::Materialized(Arc::new(scenario.workload())),
+                }),
+            };
+            workloads.push(handle);
         }
 
         // Execute each warm-up group's shared prefix once and keep the
@@ -1124,18 +1167,22 @@ impl BatchRunner {
     fn plan_warm_images(
         &self,
         scenarios: &[Scenario],
-        workloads: &[Option<Arc<Workload>>],
+        workloads: &[Option<WorkloadHandle>],
     ) -> Vec<Option<Arc<SimSnapshot>>> {
+        // Streaming handles never join a warm group: fork admission
+        // compares raw access prefixes, which only materialized workloads
+        // carry. A streaming scenario simply runs cold.
+        let materialized = |j: usize| workloads[j].as_ref().and_then(WorkloadHandle::materialized);
         let mut warm: Vec<Option<Arc<SimSnapshot>>> = vec![None; scenarios.len()];
         let mut grouped = vec![false; scenarios.len()];
         for i in 0..scenarios.len() {
-            if grouped[i] || workloads[i].is_none() || scenarios[i].warmup_accesses == 0 {
+            if grouped[i] || materialized(i).is_none() || scenarios[i].warmup_accesses == 0 {
                 continue;
             }
             let members: Vec<usize> = (i..scenarios.len())
                 .filter(|&j| {
                     !grouped[j]
-                        && workloads[j].is_some()
+                        && materialized(j).is_some()
                         && same_warm_group(&scenarios[i], &scenarios[j])
                 })
                 .collect();
@@ -1144,14 +1191,9 @@ impl BatchRunner {
             }
             let &host = members
                 .iter()
-                .max_by_key(|&&j| {
-                    workloads[j]
-                        .as_ref()
-                        .expect("filtered above")
-                        .total_accesses()
-                })
+                .max_by_key(|&&j| materialized(j).expect("filtered above").total_accesses())
                 .expect("the group contains at least scenario i");
-            let host_workload = workloads[host].as_ref().expect("filtered above");
+            let host_workload = materialized(host).expect("filtered above");
             let warmup = scenarios[host].warmup_accesses;
             if warmup >= host_workload.total_accesses() as u64 {
                 continue; // the warm-up would finish even the longest member: all run cold
@@ -1165,7 +1207,7 @@ impl BatchRunner {
                 if forkable(
                     &snap,
                     host_workload,
-                    workloads[j].as_ref().expect("filtered above"),
+                    materialized(j).expect("filtered above"),
                 ) {
                     warm[j] = Some(snap.clone());
                 }
@@ -1186,15 +1228,18 @@ impl BatchRunner {
     fn run_one(
         &self,
         scenario: &Scenario,
-        workload: &Workload,
+        workload: &WorkloadHandle,
         warm: Option<&Arc<SimSnapshot>>,
     ) -> SimReport {
         let simulator = scenario.build().expect("validated above");
         match warm {
             Some(snap) => {
-                let forked = simulator.resume_forked(snap, workload);
+                let materialized = workload
+                    .materialized()
+                    .expect("warm images are only planned for materialized workloads");
+                let forked = simulator.resume_forked(snap, materialized);
                 if self.verify_forks {
-                    let cold = simulator.run(workload);
+                    let cold = simulator.run(materialized);
                     assert_eq!(
                         forked, cold,
                         "fork-from-warm diverged from the cold run for `{}`",
@@ -1203,7 +1248,7 @@ impl BatchRunner {
                 }
                 forked
             }
-            None => simulator.run(workload),
+            None => simulator.run_source(workload.source()),
         }
     }
 
@@ -1219,7 +1264,7 @@ impl BatchRunner {
         &self,
         index: usize,
         scenario: &Scenario,
-        workload: &Workload,
+        workload: &WorkloadHandle,
         warm: Option<&Arc<SimSnapshot>>,
         restored: Option<&Arc<SimSnapshot>>,
     ) -> Result<SimReport, ConfigError> {
@@ -1228,7 +1273,7 @@ impl BatchRunner {
                 Some(snap) => scenario
                     .build()
                     .expect("validated above")
-                    .resume(snap, workload),
+                    .resume_source(snap, workload.source()),
                 None => self.run_one(scenario, workload, warm),
             });
         };
@@ -1244,8 +1289,10 @@ impl BatchRunner {
             }
         };
         let report = match restored {
-            Some(snap) => simulator.resume_with_checkpoints(snap, workload, cfg.every, emit),
-            None => simulator.run_with_checkpoints(workload, cfg.every, emit),
+            Some(snap) => {
+                simulator.resume_source_with_checkpoints(snap, workload.source(), cfg.every, emit)
+            }
+            None => simulator.run_source_with_checkpoints(workload.source(), cfg.every, emit),
         };
         match write_error {
             Some(e) => Err(ConfigError::new(
@@ -1903,9 +1950,9 @@ mod tests {
         // Every grid point actually gets a warm image (the planner did
         // not silently fall back cold).
         let runner = BatchRunner::with_threads(1);
-        let workloads: Vec<Option<Arc<Workload>>> = scenarios
+        let workloads: Vec<Option<WorkloadHandle>> = scenarios
             .iter()
-            .map(|s| Some(Arc::new(s.workload())))
+            .map(|s| Some(WorkloadHandle::Materialized(Arc::new(s.workload()))))
             .collect();
         let warm = runner.plan_warm_images(&scenarios, &workloads);
         assert!(warm.iter().all(Option::is_some), "a member fell back cold");
@@ -1951,9 +1998,9 @@ mod tests {
             .map(|s| s.with_warmup_accesses(1_000_000))
             .collect();
         let runner = BatchRunner::with_threads(1);
-        let workloads: Vec<Option<Arc<Workload>>> = scenarios
+        let workloads: Vec<Option<WorkloadHandle>> = scenarios
             .iter()
-            .map(|s| Some(Arc::new(s.workload())))
+            .map(|s| Some(WorkloadHandle::Materialized(Arc::new(s.workload()))))
             .collect();
         let warm = runner.plan_warm_images(&scenarios, &workloads);
         assert!(warm.iter().all(Option::is_none));

@@ -378,11 +378,11 @@ mod tests {
         let cfg = tiny_cfg();
         let s = cfg.scenario(Benchmark::Dedup, AllocationPolicy::Allarm);
         assert_eq!(s.name, "dedup/allarm");
-        assert_eq!(s.workload.accesses(), 800);
+        assert_eq!(s.workload.accesses().unwrap(), 800);
         assert_eq!(s.seed, 7);
         s.validate().unwrap();
         let mp = cfg.multiprocess_scenario(Benchmark::Barnes, AllocationPolicy::Baseline);
-        assert_eq!(mp.workload.cores_required(), 9);
+        assert_eq!(mp.workload.cores_required().unwrap(), 9);
         mp.validate().unwrap();
     }
 

@@ -201,7 +201,10 @@ impl Scenario {
         self.workload
             .validate()
             .map_err(|e| ConfigError::new("workload", e))?;
-        let required = self.workload.cores_required();
+        let required = self
+            .workload
+            .cores_required()
+            .map_err(|e| ConfigError::new("workload", e))?;
         if required > self.machine.num_cores as usize {
             return Err(ConfigError::new(
                 "workload",
@@ -220,6 +223,22 @@ impl Scenario {
         self.workload.materialize(self.seed)
     }
 
+    /// Opens this scenario's workload as a bounded-memory streaming trace
+    /// source, when the spec is a frame-chunked `binary-v2` replay —
+    /// `Ok(None)` for every other spec (those must be materialized via
+    /// [`Scenario::workload`]). Streaming and materialized replays of the
+    /// same file produce byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a streamable trace cannot be opened
+    /// or fails its directory validation.
+    pub fn streaming_source(&self) -> Result<Option<allarm_workloads::TraceSource>, ConfigError> {
+        self.workload
+            .streaming_source()
+            .map_err(|e| ConfigError::new("workload", e))
+    }
+
     /// Builds the configured simulator for this scenario.
     ///
     /// # Errors
@@ -229,13 +248,19 @@ impl Scenario {
         SimulationBuilder::from_scenario(self)?.build()
     }
 
-    /// Validates, builds and runs the scenario.
+    /// Validates, builds and runs the scenario. Frame-chunked `binary-v2`
+    /// trace replays stream straight off disk (one decoded frame per
+    /// thread in memory); every other workload is materialized first. The
+    /// report is byte-identical either way.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if validation fails.
     pub fn run(&self) -> Result<SimReport, ConfigError> {
         let simulator = self.build()?;
+        if let Some(source) = self.streaming_source()? {
+            return Ok(simulator.run_source((&source).into()));
+        }
         Ok(simulator.run(&self.workload()))
     }
 
@@ -409,7 +434,17 @@ impl ScenarioGrid {
     /// axes, e.g. `"barnes/512kB/baseline"` or
     /// `"raytrace/1600acc/allarm"`.
     pub fn expand(&self) -> Vec<Scenario> {
-        let benchmarks: Vec<Option<Benchmark>> = axis(&self.benchmarks);
+        // A trace replay fixes the reference stream, so a benchmark axis
+        // over one would expand to byte-identical rows under N different
+        // labels ([`WorkloadSpec::with_benchmark`] cannot relabel a
+        // trace). `validate` refuses such grids loudly; `expand` called
+        // directly collapses the axis to the single honest point.
+        let benchmarks: Vec<Option<Benchmark>> =
+            if self.base.workload.benchmark().is_none() && !self.benchmarks.is_empty() {
+                axis(&[])
+            } else {
+                axis(&self.benchmarks)
+            };
         let coverages: Vec<Option<u64>> = axis(&self.pf_coverages);
         let numas: Vec<Option<NumaPolicy>> = axis(&self.numa_policies);
         let lengths: Vec<Option<usize>> = axis(&self.accesses);
@@ -466,11 +501,12 @@ impl ScenarioGrid {
                  trace file fixes the reference stream",
             ));
         }
-        if !self.accesses.is_empty() && self.base.workload.benchmark().is_none() {
+        if !self.accesses.is_empty() && !self.base.workload.supports_length_override() {
             return Err(ConfigError::new(
                 "accesses",
-                "cannot sweep the trace-length axis over a trace-replay workload — the \
-                 trace file fixes the reference stream",
+                "cannot sweep the trace-length axis over a v1 trace-replay workload — \
+                 the file fixes the reference stream (record the trace as binary-v2, \
+                 whose frame directory supports prefix truncation)",
             ));
         }
         for scenario in self.expand() {
@@ -561,7 +597,7 @@ mod tests {
             .named("custom");
         assert_eq!(s.policy, AllocationPolicy::Allarm);
         assert_eq!(s.machine.probe_filter.coverage_bytes, 128 * 1024);
-        assert_eq!(s.workload.accesses(), 500);
+        assert_eq!(s.workload.accesses().unwrap(), 500);
         assert_eq!(s.seed, 7);
         assert_eq!(s.name, "custom");
     }
@@ -683,8 +719,8 @@ mod tests {
         // The length axis varies just above the policy axis, so both
         // policies of one length are adjacent (paired comparisons) and
         // both lengths of one policy share a warm image group.
-        assert_eq!(scenarios[1].workload.accesses(), 400);
-        assert_eq!(scenarios[2].workload.accesses(), 800);
+        assert_eq!(scenarios[1].workload.accesses().unwrap(), 400);
+        assert_eq!(scenarios[2].workload.accesses().unwrap(), 800);
         for s in &scenarios {
             assert_eq!(s.warmup_accesses, 1_000);
         }
@@ -735,6 +771,27 @@ mod tests {
     }
 
     #[test]
+    fn accesses_axis_over_a_v2_trace_replay_is_accepted() {
+        use allarm_workloads::{tracefile, TraceFormat, TraceGenerator};
+        let dir = std::env::temp_dir().join(format!("allarm-grid-v2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capture.btrace");
+        let recorded = TraceGenerator::new(2, 100, 3).generate(Benchmark::Barnes);
+        tracefile::write_trace_file_framed(&path, &recorded, TraceFormat::BinaryV2, 32).unwrap();
+
+        let mut base = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
+        base.workload = WorkloadSpec::trace_file(path.to_string_lossy(), TraceFormat::BinaryV2);
+        let grid = ScenarioGrid::new(base).accesses(vec![50, 100]);
+        // v2 frames support real prefix truncation, so the axis is allowed…
+        grid.validate().unwrap();
+        let points = grid.expand();
+        // …and actually shortens each point's replay.
+        assert_eq!(points[0].workload.accesses().unwrap(), 50);
+        assert_eq!(points[1].workload.accesses().unwrap(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn benchmark_axis_over_a_trace_replay_is_rejected() {
         let mut base = Scenario::quick_test(Benchmark::Barnes, AllocationPolicy::Baseline);
         base.workload =
@@ -743,6 +800,10 @@ mod tests {
         let err = grid.validate().unwrap_err();
         assert_eq!(err.field(), "benchmarks");
         assert!(err.reason().contains("trace"), "{err}");
+        // Direct `expand` callers (who skipped `validate`) must not get N
+        // byte-identical rows under N labels: the axis collapses to the
+        // one honest point.
+        assert_eq!(grid.expand().len(), 1);
     }
 
     #[test]

@@ -81,7 +81,7 @@ use allarm_types::config::MachineConfig;
 use allarm_types::ids::{CoreId, NodeId};
 use allarm_types::topology::Topology;
 use allarm_types::Nanos;
-use allarm_workloads::Workload;
+use allarm_workloads::{AccessSource, ThreadFeed};
 
 use crate::system::{shared_caches, shared_llc, ShardSystem};
 
@@ -151,11 +151,15 @@ pub(crate) struct Pending {
 /// One workload slot (a software thread pinned to a core) as a shard sees
 /// it.
 #[derive(Debug)]
-struct Slot {
-    /// Index into `workload.threads`.
+struct Slot<'a> {
+    /// Index into the source's thread list.
     thread: usize,
     core: CoreId,
     node: NodeId,
+    /// This thread's record cursor into `feed`: a direct slice on the
+    /// materialized path, a frame-at-a-time streaming decode on the v2
+    /// trace path. Identical streams either way.
+    feed: ThreadFeed<'a>,
     cursor: usize,
     /// Monotone event counter; the final tie-breaker of this core's
     /// [`MergeKey`]s.
@@ -167,7 +171,7 @@ struct Slot {
     faulted: bool,
 }
 
-impl Slot {
+impl Slot<'_> {
     fn next_key(&mut self, time: Nanos) -> MergeKey {
         let key = MergeKey::new(time, u32::from(self.core.raw()), self.seq);
         self.seq += 1;
@@ -377,9 +381,11 @@ pub(crate) struct KernelRun {
     pub(crate) stopped: Option<KernelState>,
 }
 
-/// Runs `workload` on the machine with `num_shards` worker threads and
+/// Replays `source` on the machine with `num_shards` worker threads and
 /// returns the merged state. The output is byte-identical for every
-/// `num_shards` value.
+/// `num_shards` value — and, because both [`AccessSource`] kinds deliver
+/// identical per-thread record streams, identical whether the source is a
+/// materialized workload or a streaming v2 trace.
 ///
 /// This is the general kernel entry: it optionally restores a mid-run state, emits a
 /// checkpoint through `emit` whenever the access total crosses a multiple
@@ -397,7 +403,7 @@ pub(crate) fn run_kernel(
     config: &MachineConfig,
     policy: AllocationPolicy,
     numa_policy: NumaPolicy,
-    workload: &Workload,
+    source: AccessSource<'_>,
     num_shards: usize,
     restore: Option<&KernelState>,
     every: u64,
@@ -412,12 +418,12 @@ pub(crate) fn run_kernel(
     let caches = shared_caches(config);
     let llc = shared_llc(config);
     let mut numa = NumaAllocator::new(num_nodes, config.dram, numa_policy);
-    let mut live = workload.threads.len();
+    let mut live = source.num_threads();
     let mut base = ResumeBase::default();
     if let Some(state) = restore {
         assert_eq!(
             state.threads.len(),
-            workload.threads.len(),
+            source.num_threads(),
             "snapshot thread count does not match the workload"
         );
         assert_eq!(
@@ -481,7 +487,7 @@ pub(crate) fn run_kernel(
                 &plan,
                 config,
                 policy,
-                workload,
+                source,
                 &caches,
                 &llc,
                 &allocator,
@@ -580,12 +586,11 @@ struct ShardWorker<'a> {
     /// Node index -> owning shard, for per-destination event routing.
     shard_of_node: Vec<usize>,
     scheduler: CoreScheduler,
-    slots: Vec<Slot>,
+    slots: Vec<Slot<'a>>,
     /// Global core index -> local slot index, for reply delivery.
     slot_of_core: Vec<Option<usize>>,
     dir: DirectoryShard,
     sys: ShardSystem<'a>,
-    workload: &'a Workload,
     caches: &'a [Mutex<CoreCaches>],
     /// Per-node shared LLC slices (empty when disabled). The core phase
     /// only ever locks this shard's own nodes' slices; remote shards reach
@@ -637,7 +642,7 @@ impl<'a> ShardWorker<'a> {
         plan: &ShardPlan,
         config: &MachineConfig,
         policy: AllocationPolicy,
-        workload: &'a Workload,
+        source: AccessSource<'a>,
         caches: &'a [Mutex<CoreCaches>],
         llc: &'a [Mutex<LlcSlice>],
         allocator: &'a RwLock<NumaAllocator>,
@@ -651,9 +656,11 @@ impl<'a> ShardWorker<'a> {
         let nodes = plan.nodes_of_shard(shard_id);
         // A slot belongs to the shard owning the node its core is pinned
         // to; with several cores per node, a node's whole core block moves
-        // together, so the determinism argument is untouched.
-        let mut slots: Vec<Slot> = workload
-            .threads
+        // together, so the determinism argument is untouched. Feeds open
+        // after the restore block below, so a streaming source seeks
+        // straight to each restored cursor's frame instead of frame 0.
+        let mut slots: Vec<Slot> = source
+            .threads()
             .iter()
             .enumerate()
             .filter(|(_, t)| nodes.contains(&topology.node_of_core(t.core).index()))
@@ -661,6 +668,7 @@ impl<'a> ShardWorker<'a> {
                 thread,
                 core: t.core,
                 node: topology.node_of_core(t.core),
+                feed: ThreadFeed::Slice(&[]),
                 cursor: 0,
                 seq: 0,
                 window: Vec::new(),
@@ -719,6 +727,17 @@ impl<'a> ShardWorker<'a> {
             }
             round_horizon = state.round_horizon;
         }
+        for slot in &mut slots {
+            slot.feed = source
+                .open_thread(slot.thread, slot.cursor as u64)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "cannot open thread {} of `{}`: {e}",
+                        slot.thread,
+                        source.name()
+                    )
+                });
+        }
         ShardWorker {
             shard_id,
             topology,
@@ -728,7 +747,6 @@ impl<'a> ShardWorker<'a> {
             slot_of_core,
             dir,
             sys: ShardSystem::new(caches, llc, config),
-            workload,
             caches,
             llc,
             allocator,
@@ -1116,7 +1134,6 @@ impl<'a> ShardWorker<'a> {
             slot.window.is_empty(),
             "every reply for a window arrives the round after it is issued"
         );
-        let trace = &self.workload.threads[slot.thread];
         let mut caches = self.caches[slot.core.index()]
             .lock()
             .expect("cache lock poisoned");
@@ -1128,7 +1145,7 @@ impl<'a> ShardWorker<'a> {
         let base = self.scheduler.time_of(local);
         let mut elapsed = Nanos::ZERO;
         loop {
-            let Some(access) = trace.accesses.get(slot.cursor) else {
+            let Some(access) = slot.feed.get(slot.cursor) else {
                 if slot.window.is_empty() {
                     self.scheduler.finish(local);
                     self.scheduler.advance(local, elapsed);

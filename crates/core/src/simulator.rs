@@ -8,7 +8,7 @@ use allarm_energy::EnergyModel;
 use allarm_mem::NumaPolicy;
 use allarm_types::config::MachineConfig;
 use allarm_types::Nanos;
-use allarm_workloads::Workload;
+use allarm_workloads::{AccessSource, Workload};
 
 /// A configured simulator, ready to replay one workload.
 ///
@@ -114,8 +114,21 @@ impl Simulator {
     /// Panics if the workload needs more cores than the machine has, or if
     /// the machine configuration is invalid.
     pub fn run(&self, workload: &Workload) -> SimReport {
-        let run = self.run_inner(workload, None, 0, u64::MAX, &mut |_| {});
-        self.build_report(workload, run.output)
+        self.run_source(workload.into())
+    }
+
+    /// Replays any [`AccessSource`] — a materialized workload or a
+    /// streaming v2 trace — and returns the full metric report. Both
+    /// source kinds deliver identical record streams, so a streaming
+    /// replay's report is byte-identical to the materialized run's.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`], plus if a streaming source's trace file
+    /// cannot be re-read or fails frame verification mid-replay.
+    pub fn run_source(&self, source: AccessSource<'_>) -> SimReport {
+        let run = self.run_inner(source, None, 0, u64::MAX, &mut |_| {});
+        self.build_report(source, run.output)
     }
 
     /// Replays `workload` like [`Simulator::run`], additionally emitting a
@@ -131,12 +144,29 @@ impl Simulator {
         &self,
         workload: &Workload,
         every: u64,
+        emit: impl FnMut(SimSnapshot),
+    ) -> SimReport {
+        self.run_source_with_checkpoints(workload.into(), every, emit)
+    }
+
+    /// As [`Simulator::run_with_checkpoints`] for any [`AccessSource`].
+    /// A streaming replay checkpoints exactly like a materialized one —
+    /// the snapshot's per-thread cursors are plain record indices, which
+    /// the v2 frame directory can seek straight back to on resume.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run_source`], plus if `every` is zero.
+    pub fn run_source_with_checkpoints(
+        &self,
+        source: AccessSource<'_>,
+        every: u64,
         mut emit: impl FnMut(SimSnapshot),
     ) -> SimReport {
         assert!(every > 0, "checkpoint interval must be positive");
-        let mut wrap = |state: KernelState| emit(self.wrap_snapshot(workload, state));
-        let run = self.run_inner(workload, None, every, u64::MAX, &mut wrap);
-        self.build_report(workload, run.output)
+        let mut wrap = |state: KernelState| emit(self.wrap_snapshot(source, state));
+        let run = self.run_inner(source, None, every, u64::MAX, &mut wrap);
+        self.build_report(source, run.output)
     }
 
     /// Replays `workload` until the access total reaches `accesses`, then
@@ -150,14 +180,25 @@ impl Simulator {
     /// `accesses` references were replayed (callers bound `accesses` by
     /// the workload's length), or if `accesses` is zero.
     pub fn run_until(&self, workload: &Workload, accesses: u64) -> SimSnapshot {
-        self.try_run_until(workload, accesses).unwrap_or_else(|| {
-            panic!(
-                "workload '{}' finished ({} accesses) before the run_until target of {}",
-                workload.name,
-                workload.total_accesses(),
-                accesses
-            )
-        })
+        self.run_source_until(workload.into(), accesses)
+    }
+
+    /// As [`Simulator::run_until`] for any [`AccessSource`] — the warm-up
+    /// primitive, reachable without ever materializing a streamed trace.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run_until`].
+    pub fn run_source_until(&self, source: AccessSource<'_>, accesses: u64) -> SimSnapshot {
+        self.try_run_source_until(source, accesses)
+            .unwrap_or_else(|| {
+                panic!(
+                    "workload '{}' finished ({} accesses) before the run_until target of {}",
+                    source.name(),
+                    source.total_accesses(),
+                    accesses
+                )
+            })
     }
 
     /// Like [`Simulator::run_until`], but answers `None` instead of
@@ -166,9 +207,17 @@ impl Simulator {
     /// crossing round is also the finishing one). The batch runner's
     /// fork-from-warm planner treats `None` as "run this group cold".
     pub(crate) fn try_run_until(&self, workload: &Workload, accesses: u64) -> Option<SimSnapshot> {
+        self.try_run_source_until(workload.into(), accesses)
+    }
+
+    pub(crate) fn try_run_source_until(
+        &self,
+        source: AccessSource<'_>,
+        accesses: u64,
+    ) -> Option<SimSnapshot> {
         assert!(accesses > 0, "run_until needs a positive access target");
-        let run = self.run_inner(workload, None, 0, accesses, &mut |_| {});
-        run.stopped.map(|state| self.wrap_snapshot(workload, state))
+        let run = self.run_inner(source, None, 0, accesses, &mut |_| {});
+        run.stopped.map(|state| self.wrap_snapshot(source, state))
     }
 
     /// Resumes a snapshot of `workload` and runs it to completion,
@@ -181,15 +230,26 @@ impl Simulator {
     /// exact machine/policy configuration or this exact workload (the
     /// header's fingerprint and workload checksum are both verified).
     pub fn resume(&self, snapshot: &SimSnapshot, workload: &Workload) -> SimReport {
+        self.resume_source(snapshot, workload.into())
+    }
+
+    /// As [`Simulator::resume`] for any [`AccessSource`]. On a streaming
+    /// source each worker seeks its threads' frames straight to the
+    /// snapshot cursors — no prefix is decoded.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::resume`].
+    pub fn resume_source(&self, snapshot: &SimSnapshot, source: AccessSource<'_>) -> SimReport {
         self.check_fingerprint(snapshot);
         assert_eq!(
             snapshot.header().workload_checksum,
-            workload.checksum(),
+            source.checksum(),
             "snapshot was taken from a different workload \
              (checksum mismatch; use resume_forked for a prefix-compatible workload)"
         );
-        let run = self.run_inner(workload, Some(snapshot), 0, u64::MAX, &mut |_| {});
-        self.build_report(workload, run.output)
+        let run = self.run_inner(source, Some(snapshot), 0, u64::MAX, &mut |_| {});
+        self.build_report(source, run.output)
     }
 
     /// As [`Simulator::resume`] with periodic checkpoint emission (see
@@ -205,18 +265,33 @@ impl Simulator {
         snapshot: &SimSnapshot,
         workload: &Workload,
         every: u64,
+        emit: impl FnMut(SimSnapshot),
+    ) -> SimReport {
+        self.resume_source_with_checkpoints(snapshot, workload.into(), every, emit)
+    }
+
+    /// As [`Simulator::resume_with_checkpoints`] for any [`AccessSource`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::resume_with_checkpoints`].
+    pub fn resume_source_with_checkpoints(
+        &self,
+        snapshot: &SimSnapshot,
+        source: AccessSource<'_>,
+        every: u64,
         mut emit: impl FnMut(SimSnapshot),
     ) -> SimReport {
         assert!(every > 0, "checkpoint interval must be positive");
         self.check_fingerprint(snapshot);
         assert_eq!(
             snapshot.header().workload_checksum,
-            workload.checksum(),
+            source.checksum(),
             "snapshot was taken from a different workload"
         );
-        let mut wrap = |state: KernelState| emit(self.wrap_snapshot(workload, state));
-        let run = self.run_inner(workload, Some(snapshot), every, u64::MAX, &mut wrap);
-        self.build_report(workload, run.output)
+        let mut wrap = |state: KernelState| emit(self.wrap_snapshot(source, state));
+        let run = self.run_inner(source, Some(snapshot), every, u64::MAX, &mut wrap);
+        self.build_report(source, run.output)
     }
 
     /// Resumes a snapshot onto a *different* workload that shares the
@@ -255,8 +330,8 @@ impl Simulator {
                 trace.accesses.len()
             );
         }
-        let run = self.run_inner(workload, Some(snapshot), 0, u64::MAX, &mut |_| {});
-        self.build_report(workload, run.output)
+        let run = self.run_inner(workload.into(), Some(snapshot), 0, u64::MAX, &mut |_| {});
+        self.build_report(workload.into(), run.output)
     }
 
     fn check_fingerprint(&self, snapshot: &SimSnapshot) {
@@ -267,15 +342,15 @@ impl Simulator {
         );
     }
 
-    fn wrap_snapshot(&self, workload: &Workload, state: KernelState) -> SimSnapshot {
+    fn wrap_snapshot(&self, source: AccessSource<'_>, state: KernelState) -> SimSnapshot {
         let header = SnapHeader {
             config_fingerprint: config_fingerprint(&self.config, self.policy, self.numa_policy),
             num_cores: self.config.num_cores,
             num_nodes: self.config.num_nodes(),
             policy: self.policy.name().to_string(),
-            workload_name: workload.name.clone(),
-            workload_checksum: workload.checksum(),
-            workload_total: workload.total_accesses() as u64,
+            workload_name: source.name().to_string(),
+            workload_checksum: source.checksum(),
+            workload_total: source.total_accesses(),
             accesses_done: state.accesses,
             row_index: u64::MAX,
             scenario: String::new(),
@@ -285,16 +360,16 @@ impl Simulator {
 
     fn run_inner(
         &self,
-        workload: &Workload,
+        source: AccessSource<'_>,
         restore: Option<&SimSnapshot>,
         every: u64,
         stop_at: u64,
         emit: &mut dyn FnMut(KernelState),
     ) -> KernelRun {
         assert!(
-            workload.cores_required() <= self.config.num_cores as usize,
+            source.cores_required() <= self.config.num_cores as usize,
             "workload needs {} cores but the machine has {}",
-            workload.cores_required(),
+            source.cores_required(),
             self.config.num_cores
         );
         self.config
@@ -306,7 +381,7 @@ impl Simulator {
             &self.config,
             self.policy,
             self.numa_policy,
-            workload,
+            source,
             shards,
             restore.map(|s| s.state()),
             every,
@@ -315,7 +390,7 @@ impl Simulator {
         )
     }
 
-    fn build_report(&self, workload: &Workload, output: KernelOutput) -> SimReport {
+    fn build_report(&self, source: AccessSource<'_>, output: KernelOutput) -> SimReport {
         let mut dir_stats = DirectoryStats::default();
         let mut pf_stats = PfStats::default();
         for dir in &output.controllers {
@@ -355,7 +430,7 @@ impl Simulator {
                 .dynamic_energy_with_llc(&output.noc, &pf_stats, llc_accesses);
 
         SimReport {
-            workload: workload.name.clone(),
+            workload: source.name().to_string(),
             policy: self.policy.name().to_string(),
             pf_coverage_bytes: self.config.probe_filter.coverage_bytes,
             runtime: if output.makespan == Nanos::ZERO {
@@ -390,7 +465,7 @@ impl Simulator {
             rounds_executed: output.rounds_executed,
             events_merged: output.events_merged,
             max_window_depth: output.max_window_depth,
-            workload_checksum: workload.checksum(),
+            workload_checksum: source.checksum(),
         }
     }
 }

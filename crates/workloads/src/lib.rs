@@ -37,12 +37,14 @@
 
 pub mod multiprocess;
 pub mod profile;
+pub mod source;
 pub mod spec;
 pub mod trace;
 pub mod tracefile;
 
-pub use multiprocess::multiprocess_workload;
+pub use multiprocess::{consolidation_workload, multiprocess_workload};
 pub use profile::{Benchmark, BenchmarkProfile};
+pub use source::{AccessSource, SourceThread, ThreadFeed};
 pub use spec::WorkloadSpec;
-pub use trace::{MemAccess, ThreadTrace, TraceGenerator, Workload};
-pub use tracefile::{TraceFormat, TraceHeader};
+pub use trace::{ChecksumStream, MemAccess, ThreadTrace, TraceGenerator, Workload};
+pub use tracefile::{FrameFeed, FrameMeta, TraceFormat, TraceHeader, TraceSource};

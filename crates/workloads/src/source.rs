@@ -1,0 +1,230 @@
+//! The pull-based workload feed the simulator replays.
+//!
+//! Historically the sharded kernel indexed straight into a materialized
+//! [`Workload`]'s access vectors. [`AccessSource`] abstracts that feed
+//! point so the same kernel can replay either
+//!
+//! * a **materialized** workload (generated in-process or decoded from a
+//!   v1 trace file) — the reference path, or
+//! * a **streaming** frame-chunked v2 trace ([`TraceSource`]) — one
+//!   decoded frame per thread in memory, so multi-hundred-million-access
+//!   traces replay without ever materializing.
+//!
+//! Both paths expose identical metadata (name, checksum, per-thread
+//! shapes) and identical per-record streams, which is what lets a
+//! streaming replay's simulation report be byte-identical to the
+//! materialized run's.
+//!
+//! # Examples
+//!
+//! ```
+//! use allarm_workloads::{AccessSource, Benchmark, TraceGenerator};
+//!
+//! let workload = TraceGenerator::new(2, 50, 7).generate(Benchmark::Barnes);
+//! let source = AccessSource::from(&workload);
+//! assert_eq!(source.checksum(), workload.checksum());
+//! let mut feed = source.open_thread(0, 0).unwrap();
+//! assert_eq!(feed.get(0), Some(workload.threads[0].accesses[0]));
+//! ```
+
+use crate::trace::{MemAccess, Workload};
+use crate::tracefile::{FrameFeed, TraceError, TraceSource, TraceThread};
+use allarm_types::ids::{CoreId, ThreadId};
+
+/// One thread's replay metadata, identical across both feed kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceThread {
+    /// The software thread's identity.
+    pub thread: ThreadId,
+    /// The core the thread is pinned to.
+    pub core: CoreId,
+    /// Records this thread replays (after any truncation limit).
+    pub accesses: u64,
+}
+
+/// A replayable reference stream: either a borrowed materialized
+/// [`Workload`] or a streaming [`TraceSource`] over a v2 trace file.
+#[derive(Debug, Clone, Copy)]
+pub enum AccessSource<'a> {
+    /// Every access already in memory (the reference path).
+    Workload(&'a Workload),
+    /// Frames decoded on demand from a v2 trace file.
+    Trace(&'a TraceSource),
+}
+
+impl<'a> From<&'a Workload> for AccessSource<'a> {
+    fn from(workload: &'a Workload) -> Self {
+        AccessSource::Workload(workload)
+    }
+}
+
+impl<'a> From<&'a TraceSource> for AccessSource<'a> {
+    fn from(source: &'a TraceSource) -> Self {
+        AccessSource::Trace(source)
+    }
+}
+
+impl<'a> AccessSource<'a> {
+    /// The workload's human-readable name.
+    pub fn name(&self) -> &'a str {
+        match self {
+            AccessSource::Workload(w) => &w.name,
+            AccessSource::Trace(t) => t.name(),
+        }
+    }
+
+    /// The effective [`Workload::checksum`] of the replayed stream.
+    pub fn checksum(&self) -> u64 {
+        match self {
+            AccessSource::Workload(w) => w.checksum(),
+            AccessSource::Trace(t) => t.checksum(),
+        }
+    }
+
+    /// Per-thread replay metadata, in stream order.
+    pub fn threads(&self) -> Vec<SourceThread> {
+        match self {
+            AccessSource::Workload(w) => w
+                .threads
+                .iter()
+                .map(|t| SourceThread {
+                    thread: t.thread,
+                    core: t.core,
+                    accesses: t.accesses.len() as u64,
+                })
+                .collect(),
+            AccessSource::Trace(t) => t
+                .threads()
+                .iter()
+                .map(|t: &TraceThread| SourceThread {
+                    thread: t.thread,
+                    core: t.core,
+                    accesses: t.accesses,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of threads in the stream.
+    pub fn num_threads(&self) -> usize {
+        match self {
+            AccessSource::Workload(w) => w.threads.len(),
+            AccessSource::Trace(t) => t.header().threads.len(),
+        }
+    }
+
+    /// Total records replayed across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        match self {
+            AccessSource::Workload(w) => w.total_accesses() as u64,
+            AccessSource::Trace(t) => t.total_accesses(),
+        }
+    }
+
+    /// Minimum machine size able to replay this stream.
+    pub fn cores_required(&self) -> usize {
+        match self {
+            AccessSource::Workload(w) => w.cores_required(),
+            AccessSource::Trace(t) => t.cores_required(),
+        }
+    }
+
+    /// Opens a per-thread cursor positioned at record `start` (0 for a
+    /// fresh run; a snapshot cursor on restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] when a streaming source cannot reopen its
+    /// file or the primed frame fails verification. The materialized path
+    /// is infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn open_thread(&self, thread: usize, start: u64) -> Result<ThreadFeed<'a>, TraceError> {
+        match self {
+            AccessSource::Workload(w) => Ok(ThreadFeed::Slice(&w.threads[thread].accesses)),
+            AccessSource::Trace(t) => Ok(ThreadFeed::Frames(t.open_thread(thread, start)?)),
+        }
+    }
+}
+
+/// A per-thread record cursor: the kernel's single feed point.
+#[derive(Debug)]
+pub enum ThreadFeed<'a> {
+    /// Direct indexing into a materialized access vector.
+    Slice(&'a [MemAccess]),
+    /// Frame-at-a-time streaming decode.
+    Frames(FrameFeed<'a>),
+}
+
+impl ThreadFeed<'_> {
+    /// The record at `idx`, or `None` past the end of the stream —
+    /// exactly `accesses.get(idx).copied()` on the materialized path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a streaming frame fails verification mid-replay (see
+    /// [`FrameFeed::get`]).
+    pub fn get(&mut self, idx: usize) -> Option<MemAccess> {
+        match self {
+            ThreadFeed::Slice(accesses) => accesses.get(idx).copied(),
+            ThreadFeed::Frames(feed) => feed.get(idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+    use crate::trace::TraceGenerator;
+    use crate::tracefile::{self, TraceFormat};
+
+    #[test]
+    fn materialized_source_mirrors_the_workload() {
+        let workload = TraceGenerator::new(3, 120, 9).generate(Benchmark::Cholesky);
+        let source = AccessSource::from(&workload);
+        assert_eq!(source.name(), workload.name);
+        assert_eq!(source.checksum(), workload.checksum());
+        assert_eq!(source.total_accesses(), workload.total_accesses() as u64);
+        assert_eq!(source.cores_required(), workload.cores_required());
+        let threads = source.threads();
+        assert_eq!(threads.len(), workload.threads.len());
+        for (meta, t) in threads.iter().zip(&workload.threads) {
+            assert_eq!(meta.thread, t.thread);
+            assert_eq!(meta.core, t.core);
+            assert_eq!(meta.accesses, t.accesses.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_and_materialized_feeds_agree_record_for_record() {
+        let workload = TraceGenerator::new(2, 300, 4).generate(Benchmark::Barnes);
+        let dir = std::env::temp_dir().join(format!("allarm-source-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.btrace");
+        // A tiny frame length forces many frames even on a small trace.
+        tracefile::write_trace_file_framed(&path, &workload, TraceFormat::BinaryV2, 64).unwrap();
+        let trace = TraceSource::open(&path).unwrap();
+        let streaming = AccessSource::from(&trace);
+        let materialized = AccessSource::from(&workload);
+        assert_eq!(streaming.checksum(), materialized.checksum());
+        assert_eq!(streaming.threads(), materialized.threads());
+        for thread in 0..workload.threads.len() {
+            let mut a = materialized.open_thread(thread, 0).unwrap();
+            let mut b = streaming.open_thread(thread, 0).unwrap();
+            let mut idx = 0;
+            loop {
+                let (x, y) = (a.get(idx), b.get(idx));
+                assert_eq!(x, y, "thread {thread} record {idx}");
+                if x.is_none() {
+                    break;
+                }
+                idx += 1;
+            }
+            assert_eq!(idx, workload.threads[thread].accesses.len());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,10 +8,10 @@
 //! pure function of `(spec, seed)` — the foundation of the batch runner's
 //! determinism guarantee.
 
-use crate::multiprocess::multiprocess_workload;
+use crate::multiprocess::{consolidation_workload, multiprocess_workload};
 use crate::profile::Benchmark;
 use crate::trace::{TraceGenerator, Workload};
-use crate::tracefile::{self, TraceFormat};
+use crate::tracefile::{self, TraceFormat, TraceSource};
 use allarm_types::ids::CoreId;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -54,6 +54,20 @@ pub enum WorkloadSpec {
         /// Main-phase memory references per process.
         accesses_per_process: usize,
     },
+    /// Dozens of independent single-threaded tenant processes packed onto
+    /// cores `0..tenants`, cycling through `benchmarks` round-robin — the
+    /// datacenter-consolidation generalization of Fig. 4's two-copy setup
+    /// (see [`crate::consolidation_workload`]). Tenants share nothing;
+    /// their address spaces are disjoint by construction.
+    Consolidation {
+        /// The benchmark rotation; tenant `i` runs `benchmarks[i % len]`.
+        /// May mix batch and serving profiles (e.g. barnes + kv-store).
+        benchmarks: Vec<Benchmark>,
+        /// Number of single-threaded tenant processes.
+        tenants: usize,
+        /// Main-phase memory references per tenant.
+        accesses_per_tenant: usize,
+    },
     /// A captured (or hand-written) address stream replayed from a trace
     /// file on disk — see [`crate::tracefile`] for the format. The seed is
     /// unused; materialization is a pure function of the file contents,
@@ -68,6 +82,13 @@ pub enum WorkloadSpec {
         /// The encoding the file is declared to use; validation fails if
         /// the file's magic disagrees.
         format: TraceFormat,
+        /// Per-thread replay limit in records; `0` (the default) replays
+        /// the full trace. Only frame-chunked `binary-v2` traces support
+        /// truncation (their frame directory makes the prefix seekable and
+        /// its checksum recomputable); validation rejects a non-zero limit
+        /// on any other format.
+        #[serde(default)]
+        limit: u64,
     },
 }
 
@@ -94,11 +115,25 @@ impl WorkloadSpec {
         }
     }
 
+    /// Convenience constructor for the consolidation form.
+    pub fn consolidation(
+        benchmarks: Vec<Benchmark>,
+        tenants: usize,
+        accesses_per_tenant: usize,
+    ) -> Self {
+        WorkloadSpec::Consolidation {
+            benchmarks,
+            tenants,
+            accesses_per_tenant,
+        }
+    }
+
     /// Convenience constructor for the trace-replay form.
     pub fn trace_file(path: impl Into<String>, format: TraceFormat) -> Self {
         WorkloadSpec::TraceFile {
             path: path.into(),
             format,
+            limit: 0,
         }
     }
 
@@ -109,6 +144,13 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Threads { benchmark, .. }
             | WorkloadSpec::Multiprocess { benchmark, .. } => Some(*benchmark),
+            // A single-entry rotation is one benchmark in all but name; a
+            // mixed rotation has no single identity (so e.g. a grid
+            // benchmark axis over it collapses rather than mislabeling).
+            WorkloadSpec::Consolidation { benchmarks, .. } => match benchmarks.as_slice() {
+                [only] => Some(*only),
+                _ => None,
+            },
             WorkloadSpec::TraceFile { .. } => None,
         }
     }
@@ -121,7 +163,8 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Threads { benchmark, .. }
             | WorkloadSpec::Multiprocess { benchmark, .. } => benchmark.name().to_string(),
-            WorkloadSpec::TraceFile { path, .. } => match tracefile::read_header(path) {
+            WorkloadSpec::Consolidation { tenants, .. } => format!("consolidation-{tenants}t"),
+            WorkloadSpec::TraceFile { path, .. } => match tracefile::read_header_cached(path) {
                 Ok(header) => header.name,
                 Err(_) => Path::new(path)
                     .file_stem()
@@ -139,15 +182,21 @@ impl WorkloadSpec {
         match &mut spec {
             WorkloadSpec::Threads { benchmark: b, .. }
             | WorkloadSpec::Multiprocess { benchmark: b, .. } => *b = benchmark,
+            // Every tenant switches to the named benchmark (the rotation
+            // collapses — a homogeneous consolidation of it).
+            WorkloadSpec::Consolidation { benchmarks, .. } => *benchmarks = vec![benchmark],
             WorkloadSpec::TraceFile { .. } => {}
         }
         spec
     }
 
     /// Returns a copy with a different per-thread / per-process trace
-    /// length. A no-op for trace replays, whose length is fixed by the
-    /// file (callers shortening sweeps for smoke runs leave replays at
-    /// full length).
+    /// length. For frame-chunked `binary-v2` replays this sets a real
+    /// per-thread truncation limit (the frame directory makes the prefix
+    /// seekable and its checksum recomputable); for v1 replays the length
+    /// is fixed by the file and the spec is returned **unchanged** — check
+    /// [`WorkloadSpec::supports_length_override`] first and warn the user,
+    /// or a requested smoke run silently becomes a full replay.
     pub fn with_accesses(&self, accesses: usize) -> Self {
         let mut spec = self.clone();
         match &mut spec {
@@ -159,9 +208,30 @@ impl WorkloadSpec {
                 accesses_per_process,
                 ..
             } => *accesses_per_process = accesses,
-            WorkloadSpec::TraceFile { .. } => {}
+            WorkloadSpec::Consolidation {
+                accesses_per_tenant,
+                ..
+            } => *accesses_per_tenant = accesses,
+            WorkloadSpec::TraceFile { format, limit, .. } => {
+                if *format == TraceFormat::BinaryV2 {
+                    *limit = accesses as u64;
+                }
+            }
         }
         spec
+    }
+
+    /// True if [`WorkloadSpec::with_accesses`] actually changes what this
+    /// spec replays. False only for v1 trace replays, whose length is
+    /// fixed by the file; callers owe the user a loud warning (or a
+    /// refusal) before dropping a length override on one.
+    pub fn supports_length_override(&self) -> bool {
+        match self {
+            WorkloadSpec::Threads { .. }
+            | WorkloadSpec::Multiprocess { .. }
+            | WorkloadSpec::Consolidation { .. } => true,
+            WorkloadSpec::TraceFile { format, .. } => *format == TraceFormat::BinaryV2,
+        }
     }
 
     /// Returns a copy with a relative trace path joined onto `base` (specs
@@ -170,65 +240,127 @@ impl WorkloadSpec {
     /// checked-in document can name its trace relative to itself.
     pub fn resolved_against(&self, base: &Path) -> Self {
         match self {
-            WorkloadSpec::TraceFile { path, format } if Path::new(path).is_relative() => {
-                WorkloadSpec::TraceFile {
-                    path: base.join(path).to_string_lossy().into_owned(),
-                    format: *format,
-                }
-            }
+            WorkloadSpec::TraceFile {
+                path,
+                format,
+                limit,
+            } if Path::new(path).is_relative() => WorkloadSpec::TraceFile {
+                path: base.join(path).to_string_lossy().into_owned(),
+                format: *format,
+                limit: *limit,
+            },
             other => other.clone(),
         }
     }
 
     /// The per-thread / per-process trace length (for replays: the longest
-    /// single thread's stream, `0` when the file is unreadable).
-    pub fn accesses(&self) -> usize {
+    /// single thread's replayed stream, after any truncation limit). Trace
+    /// headers are parsed once and cached process-wide, so repeated calls
+    /// cost a metadata stat, not a re-parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O or format error when a trace file's
+    /// header cannot be read — an unreadable trace is an error, not an
+    /// empty workload.
+    pub fn accesses(&self) -> Result<usize, String> {
         match self {
             WorkloadSpec::Threads {
                 accesses_per_thread,
                 ..
-            } => *accesses_per_thread,
+            } => Ok(*accesses_per_thread),
             WorkloadSpec::Multiprocess {
                 accesses_per_process,
                 ..
-            } => *accesses_per_process,
-            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header(path)
-                .map(|h| usize::try_from(h.max_thread_accesses()).unwrap_or(usize::MAX))
-                .unwrap_or(0),
+            } => Ok(*accesses_per_process),
+            WorkloadSpec::Consolidation {
+                accesses_per_tenant,
+                ..
+            } => Ok(*accesses_per_tenant),
+            WorkloadSpec::TraceFile { path, limit, .. } => {
+                let header = tracefile::read_header_cached(path)
+                    .map_err(|e| format!("workload.path: {path}: {e}"))?;
+                let mut longest = header.max_thread_accesses();
+                if *limit > 0 {
+                    longest = longest.min(*limit);
+                }
+                Ok(usize::try_from(longest).unwrap_or(usize::MAX))
+            }
         }
     }
 
     /// Total references across all threads this spec materializes to.
     /// Generated specs build the trace (the init phases depend on the
-    /// profile); trace replays answer from the header alone, so verifying
-    /// a multi-million-access trace's volume never decodes its body.
+    /// profile); trace replays answer from the (cached) header alone, so
+    /// verifying a multi-million-access trace's volume never decodes its
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadSpec::accesses`].
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails [`WorkloadSpec::validate`] (generated
-    /// specs only; an unreadable trace answers `0`, and validation
-    /// reports the real error).
-    pub fn total_accesses(&self, seed: u64) -> u64 {
+    /// Panics if a generated spec fails [`WorkloadSpec::validate`].
+    pub fn total_accesses(&self, seed: u64) -> Result<u64, String> {
         match self {
-            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header(path)
-                .map(|h| h.total_accesses())
-                .unwrap_or(0),
-            _ => self.materialize(seed).total_accesses() as u64,
+            WorkloadSpec::TraceFile { path, limit, .. } => {
+                let header = tracefile::read_header_cached(path)
+                    .map_err(|e| format!("workload.path: {path}: {e}"))?;
+                Ok(header
+                    .threads
+                    .iter()
+                    .map(|t| {
+                        if *limit > 0 {
+                            t.accesses.min(*limit)
+                        } else {
+                            t.accesses
+                        }
+                    })
+                    .sum())
+            }
+            _ => Ok(self.materialize(seed).total_accesses() as u64),
         }
     }
 
     /// The minimum number of cores a machine needs to run this workload
-    /// (for replays: from the trace header, `0` when the file is
-    /// unreadable — [`WorkloadSpec::validate`] reports the real error).
-    pub fn cores_required(&self) -> usize {
+    /// (for replays: from the cached trace header).
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadSpec::accesses`].
+    pub fn cores_required(&self) -> Result<usize, String> {
         match self {
-            WorkloadSpec::Threads { threads, .. } => *threads,
+            WorkloadSpec::Threads { threads, .. } => Ok(*threads),
             WorkloadSpec::Multiprocess { cores, .. } => {
-                cores.iter().map(|c| c.index() + 1).max().unwrap_or(0)
+                Ok(cores.iter().map(|c| c.index() + 1).max().unwrap_or(0))
             }
-            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header(path)
+            WorkloadSpec::Consolidation { tenants, .. } => Ok(*tenants),
+            WorkloadSpec::TraceFile { path, .. } => tracefile::read_header_cached(path)
                 .map(|h| h.cores_required())
-                .unwrap_or(0),
+                .map_err(|e| format!("workload.path: {path}: {e}")),
+        }
+    }
+
+    /// Opens this spec's trace file as a bounded-memory streaming
+    /// [`TraceSource`], honoring any truncation limit — `Ok(None)` when
+    /// the spec is not a streamable (`binary-v2`) replay and must be
+    /// materialized instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the open/validation error for a streamable trace that
+    /// cannot be opened (missing file, corrupt directory, bad checksums).
+    pub fn streaming_source(&self) -> Result<Option<TraceSource>, String> {
+        match self {
+            WorkloadSpec::TraceFile {
+                path,
+                format: TraceFormat::BinaryV2,
+                limit,
+            } => TraceSource::open_with_limit(path, *limit)
+                .map(Some)
+                .map_err(|e| format!("workload.path: {path}: {e}")),
+            _ => Ok(None),
         }
     }
 
@@ -261,8 +393,31 @@ impl WorkloadSpec {
                     return Err("workload.cores: process cores must be distinct".to_string());
                 }
             }
-            WorkloadSpec::TraceFile { path, format } => {
-                let header = tracefile::read_header(path)
+            WorkloadSpec::Consolidation {
+                benchmarks,
+                tenants,
+                ..
+            } => {
+                if benchmarks.is_empty() {
+                    return Err("workload.benchmarks: must name at least one benchmark".to_string());
+                }
+                if *tenants == 0 {
+                    return Err("workload.tenants: must be non-zero".to_string());
+                }
+            }
+            WorkloadSpec::TraceFile {
+                path,
+                format,
+                limit,
+            } => {
+                if *limit > 0 && *format != TraceFormat::BinaryV2 {
+                    return Err(format!(
+                        "workload.limit: truncation needs a frame-chunked binary-v2 \
+                         trace, but the spec declares {}",
+                        format.name()
+                    ));
+                }
+                let header = tracefile::read_header_cached(path)
                     .map_err(|e| format!("workload.path: {path}: {e}"))?;
                 if header.format != *format {
                     return Err(format!(
@@ -300,9 +455,20 @@ impl WorkloadSpec {
                 cores,
                 accesses_per_process,
             } => multiprocess_workload(*benchmark, *accesses_per_process, seed, cores),
-            WorkloadSpec::TraceFile { path, .. } => {
-                let (_, workload) = tracefile::read_workload(path)
+            WorkloadSpec::Consolidation {
+                benchmarks,
+                tenants,
+                accesses_per_tenant,
+            } => consolidation_workload(benchmarks, *tenants, *accesses_per_tenant, seed),
+            WorkloadSpec::TraceFile { path, limit, .. } => {
+                let (_, mut workload) = tracefile::read_workload(path)
                     .unwrap_or_else(|e| panic!("unreadable trace {path}: {e}"));
+                if *limit > 0 {
+                    let limit = usize::try_from(*limit).unwrap_or(usize::MAX);
+                    for thread in &mut workload.threads {
+                        thread.accesses.truncate(limit);
+                    }
+                }
                 workload
             }
         }
@@ -318,13 +484,43 @@ mod tests {
         let spec = WorkloadSpec::threads(Benchmark::Cholesky, 4, 500);
         assert_eq!(spec.benchmark(), Some(Benchmark::Cholesky));
         assert_eq!(spec.label(), "cholesky");
-        assert_eq!(spec.cores_required(), 4);
-        assert_eq!(spec.accesses(), 500);
+        assert_eq!(spec.cores_required().unwrap(), 4);
+        assert_eq!(spec.accesses().unwrap(), 500);
         let a = spec.materialize(9);
         let b = spec.materialize(9);
         assert_eq!(a, b);
         assert_eq!(a.name, "cholesky");
         assert_ne!(a, spec.materialize(10));
+    }
+
+    #[test]
+    fn consolidation_spec_round_trips_and_materializes() {
+        let spec = WorkloadSpec::consolidation(vec![Benchmark::Barnes, Benchmark::KvStore], 6, 400);
+        spec.validate().unwrap();
+        // A mixed rotation has no single benchmark identity; a collapsed
+        // one does.
+        assert_eq!(spec.benchmark(), None);
+        assert_eq!(
+            spec.with_benchmark(Benchmark::X264).benchmark(),
+            Some(Benchmark::X264)
+        );
+        assert_eq!(spec.label(), "consolidation-6t");
+        assert_eq!(spec.cores_required().unwrap(), 6);
+        assert_eq!(spec.accesses().unwrap(), 400);
+        assert!(spec.supports_length_override());
+        assert_eq!(spec.with_accesses(100).accesses().unwrap(), 100);
+        let w = spec.materialize(3);
+        assert_eq!(w.threads.len(), 6);
+        assert_eq!(w, spec.materialize(3));
+        assert_eq!(spec.total_accesses(3).unwrap(), w.total_accesses() as u64);
+        // Serde round-trip through TOML, as scenario documents require.
+        let text = toml::to_string(&spec).unwrap();
+        assert_eq!(toml::from_str::<WorkloadSpec>(&text).unwrap(), spec);
+
+        let empty = WorkloadSpec::consolidation(vec![], 2, 10);
+        assert!(empty.validate().unwrap_err().contains("benchmark"));
+        let none = WorkloadSpec::consolidation(vec![Benchmark::Barnes], 0, 10);
+        assert!(none.validate().unwrap_err().contains("tenants"));
     }
 
     #[test]
@@ -334,7 +530,7 @@ mod tests {
             vec![CoreId::new(0), CoreId::new(8)],
             300,
         );
-        assert_eq!(spec.cores_required(), 9);
+        assert_eq!(spec.cores_required().unwrap(), 9);
         let w = spec.materialize(7);
         assert_eq!(w.threads.len(), 2);
         assert_eq!(w.threads[1].core, CoreId::new(8));
@@ -346,8 +542,8 @@ mod tests {
         let spec = WorkloadSpec::threads(Benchmark::Barnes, 16, 1_000);
         let other = spec.with_benchmark(Benchmark::X264).with_accesses(50);
         assert_eq!(other.benchmark(), Some(Benchmark::X264));
-        assert_eq!(other.accesses(), 50);
-        assert_eq!(other.cores_required(), 16);
+        assert_eq!(other.accesses().unwrap(), 50);
+        assert_eq!(other.cores_required().unwrap(), 16);
         // The original is untouched.
         assert_eq!(spec.benchmark(), Some(Benchmark::Barnes));
     }
@@ -398,8 +594,8 @@ mod tests {
         spec.validate().unwrap();
         assert_eq!(spec.benchmark(), None);
         assert_eq!(spec.label(), "dedup");
-        assert_eq!(spec.cores_required(), 3);
-        assert_eq!(spec.accesses(), recorded.threads[0].accesses.len());
+        assert_eq!(spec.cores_required().unwrap(), 3);
+        assert_eq!(spec.accesses().unwrap(), recorded.threads[0].accesses.len());
         // The seed is irrelevant: replay is a pure function of the file.
         assert_eq!(spec.materialize(1), recorded);
         assert_eq!(spec.materialize(99), recorded);
@@ -414,7 +610,10 @@ mod tests {
         let missing = WorkloadSpec::trace_file("/nonexistent/trace.bin", TraceFormat::Binary);
         let err = missing.validate().unwrap_err();
         assert!(err.contains("workload.path"), "{err}");
-        assert_eq!(missing.cores_required(), 0);
+        // An unreadable trace is an error, not an empty workload.
+        assert!(missing.cores_required().is_err());
+        assert!(missing.accesses().is_err());
+        assert!(missing.total_accesses(0).is_err());
 
         let dir = std::env::temp_dir().join(format!("allarm-spec-mismatch-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -424,6 +623,48 @@ mod tests {
         let wrong = WorkloadSpec::trace_file(path.to_string_lossy(), TraceFormat::Binary);
         let err = wrong.validate().unwrap_err();
         assert!(err.contains("text trace"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_replays_support_real_truncation_and_streaming() {
+        let dir = std::env::temp_dir().join(format!("allarm-spec-v2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.btrace");
+        let recorded = WorkloadSpec::threads(Benchmark::Dedup, 2, 200).materialize(5);
+        tracefile::write_trace_file_framed(&path, &recorded, TraceFormat::BinaryV2, 64).unwrap();
+
+        let spec = WorkloadSpec::trace_file(path.to_string_lossy(), TraceFormat::BinaryV2);
+        spec.validate().unwrap();
+        assert!(spec.supports_length_override());
+        // with_accesses is a *real* truncation on v2, not a silent no-op.
+        let short = spec.with_accesses(40);
+        assert_ne!(short, spec);
+        short.validate().unwrap();
+        assert_eq!(short.accesses().unwrap(), 40);
+        assert_eq!(short.total_accesses(0).unwrap(), 80);
+        let materialized = short.materialize(0);
+        assert!(materialized.threads.iter().all(|t| t.accesses.len() == 40));
+        // The streaming source replays the identical truncated stream.
+        let source = short.streaming_source().unwrap().unwrap();
+        assert_eq!(source.checksum(), materialized.checksum());
+        assert_eq!(source.total_accesses(), 80);
+
+        // v1 replays cannot stream, do not support overrides, and reject
+        // a hand-written limit outright.
+        let v1_path = dir.join("sample.trace");
+        tracefile::write_trace_file(&v1_path, &recorded, TraceFormat::Text).unwrap();
+        let v1 = WorkloadSpec::trace_file(v1_path.to_string_lossy(), TraceFormat::Text);
+        assert!(!v1.supports_length_override());
+        assert_eq!(v1.with_accesses(40), v1);
+        assert!(v1.streaming_source().unwrap().is_none());
+        let bad = WorkloadSpec::TraceFile {
+            path: v1_path.to_string_lossy().into_owned(),
+            format: TraceFormat::Text,
+            limit: 5,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("binary-v2"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -95,25 +95,14 @@ impl Workload {
     /// ([`crate::tracefile`]) and surfaced as `workload_checksum` in
     /// simulation reports, so a replayed trace is verifiable end to end.
     pub fn checksum(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(FNV_PRIME);
-            }
-        };
+        let mut stream = ChecksumStream::new();
         for t in &self.threads {
-            eat(&t.thread.raw().to_le_bytes());
-            eat(&t.core.raw().to_le_bytes());
-            eat(&(t.accesses.len() as u64).to_le_bytes());
+            stream.begin_thread(t.thread, t.core, t.accesses.len() as u64);
             for a in &t.accesses {
-                eat(&a.vaddr.raw().to_le_bytes());
-                eat(&[u8::from(a.write)]);
+                stream.access(*a);
             }
         }
-        hash
+        stream.finish()
     }
 
     /// The highest core index used by the workload plus one (the minimum
@@ -124,6 +113,60 @@ impl Workload {
             .map(|t| t.core.index() + 1)
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Incremental form of [`Workload::checksum`], for callers that stream a
+/// reference trace without ever materializing it (the frame-chunked trace
+/// container computes truncated-prefix checksums this way). Feeding a
+/// workload thread-by-thread, access-by-access produces exactly the value
+/// `Workload::checksum` returns.
+#[derive(Debug, Clone)]
+pub struct ChecksumStream {
+    hash: u64,
+}
+
+impl ChecksumStream {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh checksum (no threads hashed yet).
+    pub fn new() -> Self {
+        ChecksumStream {
+            hash: Self::FNV_OFFSET,
+        }
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    /// Hashes the next thread's identity, pinning and access count; must be
+    /// followed by exactly `accesses` calls to [`ChecksumStream::access`].
+    pub fn begin_thread(&mut self, thread: ThreadId, core: CoreId, accesses: u64) {
+        self.eat(&thread.raw().to_le_bytes());
+        self.eat(&core.raw().to_le_bytes());
+        self.eat(&accesses.to_le_bytes());
+    }
+
+    /// Hashes one reference of the current thread.
+    pub fn access(&mut self, a: MemAccess) {
+        self.eat(&a.vaddr.raw().to_le_bytes());
+        self.eat(&[u8::from(a.write)]);
+    }
+
+    /// Returns the finished checksum.
+    pub fn finish(self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for ChecksumStream {
+    fn default() -> Self {
+        ChecksumStream::new()
     }
 }
 
@@ -173,8 +216,14 @@ impl TraceGenerator {
         self.accesses_per_thread
     }
 
-    /// Generates the workload for a named benchmark.
+    /// Generates the workload for a named benchmark. Serving-family
+    /// benchmarks ([`Benchmark::SERVING`]) route to the dedicated
+    /// key-value generator; everything else walks the hot/stream regions
+    /// of its profile.
     pub fn generate(&self, benchmark: Benchmark) -> Workload {
+        if benchmark == Benchmark::KvStore {
+            return self.generate_kv(benchmark.name(), &benchmark.profile());
+        }
         self.generate_profile(benchmark.name(), &benchmark.profile())
     }
 
@@ -231,12 +280,39 @@ impl TraceGenerator {
         }
     }
 
-    fn generate_thread(&self, thread: usize, profile: &BenchmarkProfile) -> ThreadTrace {
-        let mut rng = StdRng::seed_from_u64(
+    /// Private initialisation pass: one load per cache line of the
+    /// touch-once region (each thread scanning its slice of the input
+    /// data set, building its private structures). Under first-touch
+    /// these lines are homed locally; in the baseline each one allocates
+    /// a probe-filter entry that sits stale after the clean line is
+    /// silently dropped from the cache — exactly the thread-local waste
+    /// ALLARM eliminates.
+    fn private_init_pass(
+        &self,
+        thread: usize,
+        profile: &BenchmarkProfile,
+        accesses: &mut Vec<MemAccess>,
+    ) {
+        let init_lines = (profile.private_init_kb * 1024) / allarm_types::addr::LINE_BYTES;
+        let private_init_base = private_base(thread) + PRIVATE_INIT_OFFSET;
+        for line in 0..init_lines {
+            accesses.push(MemAccess::load(
+                private_init_base + line * allarm_types::addr::LINE_BYTES,
+            ));
+        }
+    }
+
+    /// Seeds thread `t`'s generator (shared by both generation paths).
+    fn thread_rng(&self, thread: usize) -> StdRng {
+        StdRng::seed_from_u64(
             self.seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(thread as u64),
-        );
+        )
+    }
+
+    fn generate_thread(&self, thread: usize, profile: &BenchmarkProfile) -> ThreadTrace {
+        let mut rng = self.thread_rng(thread);
 
         let priv_hot_bytes = profile.private_hot_kb * 1024;
         let priv_stream_bytes = profile.private_stream_kb * 1024;
@@ -259,22 +335,7 @@ impl TraceGenerator {
         };
 
         let mut accesses = self.init_phase(thread, profile);
-
-        // Private initialisation pass: one load per cache line of the
-        // touch-once region (each thread scanning its slice of the input
-        // data set, building its private structures). Under first-touch
-        // these lines are homed locally; in the baseline each one allocates
-        // a probe-filter entry that sits stale after the clean line is
-        // silently dropped from the cache — exactly the thread-local waste
-        // ALLARM eliminates.
-        let init_lines = (profile.private_init_kb * 1024) / allarm_types::addr::LINE_BYTES;
-        let private_init_base = priv_base + PRIVATE_INIT_OFFSET;
-        for line in 0..init_lines {
-            accesses.push(MemAccess::load(
-                private_init_base + line * allarm_types::addr::LINE_BYTES,
-            ));
-        }
-
+        self.private_init_pass(thread, profile, &mut accesses);
         accesses.reserve(self.accesses_per_thread);
 
         for _ in 0..self.accesses_per_thread {
@@ -317,6 +378,131 @@ impl TraceGenerator {
             accesses,
         }
     }
+
+    /// Generates a serving-shaped key-value workload: every worker thread
+    /// answers a stream of GET/PUT operations against one shared store.
+    /// An operation probes the uniformly-hashed index (the profile's
+    /// shared hot region) or touches a value record (the shared stream
+    /// region); record keys are drawn Zipf-like, concentrated in a hot
+    /// set that drifts through the keyspace as the trace progresses —
+    /// popularity churn no region-walk profile can express, and the
+    /// access pattern that keeps a directory's sharer sets both wide
+    /// (everyone reads the hot keys) and unstable (the hot keys change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn generate_kv(&self, name: &str, profile: &BenchmarkProfile) -> Workload {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile for {name}: {e}"));
+        let threads = (0..self.num_threads)
+            .map(|t| self.generate_kv_thread(t, profile))
+            .collect();
+        Workload {
+            name: name.to_string(),
+            threads,
+        }
+    }
+
+    fn generate_kv_thread(&self, thread: usize, profile: &BenchmarkProfile) -> ThreadTrace {
+        let mut rng = self.thread_rng(thread);
+
+        let index_bytes = profile.shared_hot_kb * 1024;
+        let store_bytes = profile.shared_stream_kb * 1024;
+        let priv_hot_bytes = profile.private_hot_kb * 1024;
+        let priv_stream_bytes = profile.private_stream_kb * 1024;
+        // The hot set covers a fixed slice of the keyspace; its *position*
+        // advances every KV_DRIFT_PERIOD operations. All threads follow
+        // the same drift schedule — popularity is a property of the data,
+        // not of the client — so the sharer set of a hot line is every
+        // node right up until the line falls out of fashion.
+        let hot_span = (store_bytes / 32).max(LINE_BYTES);
+
+        let priv_base = private_base(thread);
+        let priv_stream_base = priv_base + PRIVATE_STREAM_OFFSET;
+        let index_base = SHARED_BASE;
+        let store_base = SHARED_BASE + SHARED_STREAM_OFFSET;
+
+        // First-touch homing works exactly as for the batch profiles: the
+        // store's pages are spread across the threads (a pre-warmed cache
+        // whose slabs were faulted in round-robin), and each worker builds
+        // its private connection state.
+        let mut accesses = self.init_phase(thread, profile);
+        self.private_init_pass(thread, profile, &mut accesses);
+        accesses.reserve(self.accesses_per_thread);
+
+        let mut priv_stream_pos: u64 = 0;
+        for op in 0..self.accesses_per_thread {
+            let epoch = (op / KV_DRIFT_PERIOD) as u64;
+            let hot_base = (epoch * KV_DRIFT_STRIDE) % store_bytes;
+            let access = if rng.gen_bool(profile.shared_fraction) {
+                let put = rng.gen_bool(profile.shared_write_fraction);
+                let vaddr = if rng.gen_bool(profile.shared_stream_fraction) {
+                    // A value record: Zipf-weighted key, usually inside
+                    // the drifting hot set, wrapping at the store's end.
+                    let key = if rng.gen_bool(KV_HOT_FRACTION) {
+                        (hot_base + zipf_offset(&mut rng, hot_span)) % store_bytes
+                    } else {
+                        zipf_offset(&mut rng, store_bytes)
+                    };
+                    store_base + line_align(key)
+                } else {
+                    // An index probe: bucket hashes scatter uniformly.
+                    index_base + line_align(rng.gen_range(0..index_bytes))
+                };
+                MemAccess {
+                    vaddr: VirtAddr::new(vaddr),
+                    write: put,
+                }
+            } else if priv_stream_bytes > 0 && rng.gen_bool(profile.private_stream_fraction) {
+                // Request/response buffer fill, written as it streams.
+                let addr = priv_stream_base + priv_stream_pos;
+                priv_stream_pos = (priv_stream_pos + STREAM_STRIDE_BYTES) % priv_stream_bytes;
+                MemAccess::store(addr)
+            } else {
+                // Connection scratch (parse state, per-request bookkeeping).
+                MemAccess {
+                    vaddr: VirtAddr::new(priv_base + align_down(rng.gen_range(0..priv_hot_bytes))),
+                    write: rng.gen_bool(profile.write_fraction),
+                }
+            };
+            accesses.push(access);
+        }
+
+        ThreadTrace {
+            thread: ThreadId::new(thread as u16),
+            core: CoreId::new(thread as u16),
+            accesses,
+        }
+    }
+}
+
+/// Traffic share of the drifting hot key set in the kv generator; the
+/// remainder Zipf-scans the whole keyspace (cold keys and crawlers).
+const KV_HOT_FRACTION: f64 = 0.75;
+
+/// Operations between hot-set advances in the kv generator.
+const KV_DRIFT_PERIOD: usize = 4096;
+
+/// Bytes the kv hot set advances per drift epoch.
+const KV_DRIFT_STRIDE: u64 = 64 * 1024;
+
+/// Cache-line size, re-exported locally for record alignment.
+const LINE_BYTES: u64 = allarm_types::addr::LINE_BYTES;
+
+/// A Zipf-like (log-uniform, exponent ≈ 1) byte offset in `[0, span)`:
+/// offset `r` is drawn with probability ∝ 1/r, so a handful of keys at
+/// the start of the span absorb most of the traffic.
+fn zipf_offset(rng: &mut StdRng, span: u64) -> u64 {
+    let r = (span as f64).powf(rng.gen::<f64>());
+    (r as u64).clamp(1, span) - 1
+}
+
+/// Aligns a record offset down to its cache line (a GET reads the whole
+/// line the record starts in).
+fn line_align(offset: u64) -> u64 {
+    offset / LINE_BYTES * LINE_BYTES
 }
 
 fn align_down(addr: u64) -> u64 {
@@ -481,6 +667,97 @@ mod tests {
                 assert!(addr < stream_base + stream_bytes);
             }
         }
+    }
+
+    #[test]
+    fn kv_store_traffic_is_skewed_shared_and_line_aligned() {
+        let bench = Benchmark::KvStore;
+        let profile = bench.profile();
+        let w = TraceGenerator::new(4, 20_000, 17).generate(bench);
+        assert_eq!(w.name, "kv-store");
+        let store_base = SHARED_BASE + SHARED_STREAM_OFFSET;
+        let store_bytes = profile.shared_stream_kb * 1024;
+        let index_bytes = profile.shared_hot_kb * 1024;
+        let t = &w.threads[1]; // thread 0 carries no extra init in spread mode
+        let init_len = t.accesses.len() - 20_000;
+        let main = &t.accesses[init_len..];
+
+        // Shared fraction holds, and every shared access stays in its
+        // region, aligned to a cache line (records) as advertised.
+        let mut shared = 0usize;
+        let mut line_counts = std::collections::HashMap::<u64, u32>::new();
+        for a in main {
+            let addr = a.vaddr.raw();
+            if addr >= SHARED_BASE {
+                shared += 1;
+                if addr >= store_base {
+                    assert!(addr < store_base + store_bytes);
+                    assert_eq!(addr % 64, 0);
+                    *line_counts.entry(addr).or_default() += 1;
+                } else {
+                    assert!(addr < SHARED_BASE + index_bytes);
+                }
+            }
+        }
+        let frac = shared as f64 / main.len() as f64;
+        assert!((frac - profile.shared_fraction).abs() < 0.02, "{frac}");
+
+        // Zipf skew: the busiest 1% of touched value lines absorb far
+        // more than 1% of the record traffic.
+        let mut counts: Vec<u32> = line_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u32 = counts.iter().sum();
+        let top: u32 = counts[..counts.len().div_ceil(100)].iter().sum();
+        assert!(
+            f64::from(top) > 0.1 * f64::from(total),
+            "top 1% of lines got {top} of {total} record accesses — not skewed"
+        );
+    }
+
+    #[test]
+    fn kv_hot_set_drifts_between_epochs() {
+        // The hot window's span exceeds the per-epoch drift stride, so
+        // neighbouring epochs overlap by design (popularity churns, it
+        // does not teleport). Compare epochs far enough apart that their
+        // windows cannot overlap at all.
+        let bench = Benchmark::KvStore;
+        let profile = bench.profile();
+        let store_bytes = profile.shared_stream_kb * 1024;
+        let hot_span = (store_bytes / 32).max(64);
+        let distinct_epochs = 2 + (hot_span / (64 * 1024)) as usize; // far enough to clear the span
+        let ops = 4096 * (distinct_epochs + 1);
+        let w = TraceGenerator::new(1, ops, 23).generate(bench);
+        let t = &w.threads[0];
+        let main = &t.accesses[t.accesses.len() - ops..];
+        let store_base = SHARED_BASE + SHARED_STREAM_OFFSET;
+        let record_lines = |range: std::ops::Range<usize>| -> std::collections::HashSet<u64> {
+            main[range]
+                .iter()
+                .filter(|a| a.vaddr.raw() >= store_base)
+                .map(|a| a.vaddr.raw())
+                .collect()
+        };
+        let early = record_lines(0..4096);
+        let late = record_lines(4096 * distinct_epochs..ops);
+        // The hot sets moved: most heavily-hit lines of the first epoch
+        // are no longer being hit in the late epoch.
+        let overlap = early.intersection(&late).count();
+        assert!(
+            (overlap as f64) < 0.5 * early.len() as f64,
+            "hot set did not drift: {overlap} of {} early lines still hot",
+            early.len()
+        );
+    }
+
+    #[test]
+    fn kv_generation_is_deterministic_and_seed_sensitive() {
+        let a = TraceGenerator::new(2, 2_000, 5).generate(Benchmark::KvStore);
+        let b = TraceGenerator::new(2, 2_000, 5).generate(Benchmark::KvStore);
+        let c = TraceGenerator::new(2, 2_000, 6).generate(Benchmark::KvStore);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.threads.len(), 2);
+        assert_eq!(a.cores_required(), 2);
     }
 
     #[test]

@@ -20,10 +20,28 @@
 //!   bit, so sequential scans cost ~2 bytes per reference. The checksum is
 //!   mandatory.
 //!
-//! Both headers carry the thread count, per-thread core pinning and access
+//! A third encoding, **binary v2** (same magic, version 2), keeps the v1
+//! record encoding but chunks each thread's stream into fixed-count
+//! **frames** and appends a seekable frame directory:
+//!
+//! ```text
+//! front header (v1 fields + frame_len varint)
+//! thread 0 frame 0 | thread 0 frame 1 | … | thread N frame M   (body)
+//! directory: per thread, per frame {byte_len, records, first_vaddr, fnv64}
+//! trailer: directory offset (u64 LE) + directory fnv64 (u64 LE) + "ALLARMIX"
+//! ```
+//!
+//! Each frame restarts its delta chain from address zero, so any frame can
+//! be decoded knowing only its bytes — which is what lets [`TraceSource`] /
+//! [`FrameFeed`] replay a multi-hundred-million-access trace with one
+//! frame of memory per thread, `trace_tool seek` jump mid-trace, and
+//! snapshot restore reopen a trace at an arbitrary cursor.
+//!
+//! All headers carry the thread count, per-thread core pinning and access
 //! counts, and (binary always, text optionally) a checksum of the decoded
 //! stream — so [`read_header`] answers "how many cores does this trace
-//! need, and is it the file I recorded?" without decoding the body.
+//! need, and is it the file I recorded?" without decoding the body (for v2,
+//! without even touching the frame directory).
 //!
 //! The checksum is [`Workload::checksum`]: identical whether the workload
 //! was generated in-process or round-tripped through either file format,
@@ -44,19 +62,33 @@
 //! assert_eq!(header.checksum, Some(workload.checksum()));
 //! ```
 
-use crate::trace::{MemAccess, ThreadTrace, Workload};
+use crate::trace::{ChecksumStream, MemAccess, ThreadTrace, Workload};
 use allarm_types::ids::{CoreId, ThreadId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
-/// The trace-file format version this build reads and writes.
+/// The unframed trace-file format version (text and v1 binary).
 pub const TRACE_VERSION: u16 = 1;
+
+/// The frame-chunked binary container version.
+pub const TRACE_VERSION_V2: u16 = 2;
+
+/// Records per frame a v2 writer uses unless told otherwise (~128 KiB of
+/// encoded stream at the typical ~2 bytes/record).
+pub const DEFAULT_FRAME_LEN: u64 = 1 << 16;
 
 /// Magic bytes opening a binary trace file.
 const BINARY_MAGIC: &[u8; 8] = b"ALLARMTR";
+
+/// Magic bytes closing a v2 file (the fixed-size trailer ends with them,
+/// so a truncated file is detectable before the directory is trusted).
+const V2_TAIL_MAGIC: &[u8; 8] = b"ALLARMIX";
+
+/// Size of the v2 trailer: directory offset + directory checksum + magic.
+const V2_TRAILER_BYTES: u64 = 24;
 
 /// Magic line opening a text trace file (its first 8 bytes are the sniff
 /// key, so it must stay the very first line).
@@ -74,6 +106,9 @@ pub enum TraceFormat {
     Text,
     /// Delta/varint-packed per-thread streams.
     Binary,
+    /// Frame-chunked delta/varint streams with a seekable directory; the
+    /// only format [`TraceSource`] can stream-replay with bounded memory.
+    BinaryV2,
 }
 
 impl TraceFormat {
@@ -82,16 +117,25 @@ impl TraceFormat {
         match self {
             TraceFormat::Text => "text",
             TraceFormat::Binary => "binary",
+            TraceFormat::BinaryV2 => "binary-v2",
         }
     }
 
-    /// Parses a CLI-style name (`"text"` / `"binary"`, case-insensitive).
+    /// Parses a CLI-style name (`"text"` / `"binary"` / `"binary-v2"`,
+    /// case-insensitive; `"v2"` is accepted as shorthand).
     pub fn from_cli_name(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "text" => Some(TraceFormat::Text),
             "binary" => Some(TraceFormat::Binary),
+            "binary-v2" | "binaryv2" | "v2" => Some(TraceFormat::BinaryV2),
             _ => None,
         }
+    }
+
+    /// True for the frame-chunked container, the one format that supports
+    /// streaming replay, mid-trace seeks and prefix truncation.
+    pub fn is_streamable(self) -> bool {
+        self == TraceFormat::BinaryV2
     }
 }
 
@@ -123,6 +167,8 @@ pub struct TraceHeader {
     /// [`Workload::checksum`] of the decoded stream. Always present in
     /// binary files; optional in (hand-written) text files.
     pub checksum: Option<u64>,
+    /// Records per frame for the v2 container; `0` for unframed formats.
+    pub frame_len: u64,
 }
 
 impl TraceHeader {
@@ -163,6 +209,9 @@ impl TraceHeader {
         ids.sort_unstable();
         if ids.windows(2).any(|w| w[0] == w[1]) {
             return Err(TraceError::new("header declares a thread id twice"));
+        }
+        if self.format == TraceFormat::BinaryV2 && self.frame_len == 0 {
+            return Err(TraceError::new("v2 header declares a zero frame length"));
         }
         Ok(())
     }
@@ -286,10 +335,16 @@ fn parse_inner(
         got += n;
     }
     if got == prefix.len() && &prefix == BINARY_MAGIC {
-        let mut reader = BufReader::new(reader);
+        // Absolute offsets (for verifying the v2 frame directory) count
+        // from the start of the file, magic included.
+        let mut reader = CountingReader::with_offset(BufReader::new(reader), prefix.len() as u64);
         let header = read_binary_header(&mut reader)?;
         let workload = if decode_body {
-            Some(read_binary_body(&mut reader, &header)?)
+            Some(if header.format == TraceFormat::BinaryV2 {
+                read_binary_body_v2(&mut reader, &header)?
+            } else {
+                read_binary_body(&mut reader, &header)?
+            })
         } else {
             None
         };
@@ -418,6 +473,7 @@ fn read_text_header(
         name: name.ok_or_else(|| TraceError::new("header is missing the `name` directive"))?,
         threads,
         checksum,
+        frame_len: 0,
     };
     header.validate()?;
     Ok((header, first_record))
@@ -503,12 +559,14 @@ fn read_text_body(
 
 // -- binary ----------------------------------------------------------------
 
-/// Parses the binary header (the magic is already consumed by the sniff).
+/// Parses the binary header, v1 or v2 (the magic is already consumed by
+/// the sniff).
 fn read_binary_header(reader: &mut impl Read) -> Result<TraceHeader, TraceError> {
     let version = u16::from_le_bytes(read_array(reader, "version")?);
-    if version != TRACE_VERSION {
+    if version != TRACE_VERSION && version != TRACE_VERSION_V2 {
         return Err(TraceError::new(format!(
-            "unsupported trace version {version} (this build reads v{TRACE_VERSION})"
+            "unsupported trace version {version} (this build reads v{TRACE_VERSION} \
+             and v{TRACE_VERSION_V2})"
         )));
     }
     let name_len = read_varint(reader, "name length")?;
@@ -547,15 +605,38 @@ fn read_binary_header(reader: &mut impl Read) -> Result<TraceHeader, TraceError>
         });
     }
     let checksum = u64::from_le_bytes(read_array(reader, "checksum")?);
+    let frame_len = if version == TRACE_VERSION_V2 {
+        read_varint(reader, "frame length")?
+    } else {
+        0
+    };
     let header = TraceHeader {
-        format: TraceFormat::Binary,
+        format: if version == TRACE_VERSION_V2 {
+            TraceFormat::BinaryV2
+        } else {
+            TraceFormat::Binary
+        },
         version,
         name,
         threads,
         checksum: Some(checksum),
+        frame_len,
     };
     header.validate()?;
     Ok(header)
+}
+
+/// Decodes one delta/varint record, advancing the delta chain in `addr`.
+fn decode_record(reader: &mut impl Read, addr: &mut u64) -> Result<MemAccess, TraceError> {
+    let packed = read_varint_wide(reader, "trace record")?;
+    let write = (packed & 1) == 1;
+    let zigzagged = (packed >> 1) as u64;
+    let delta = ((zigzagged >> 1) as i64) ^ -((zigzagged & 1) as i64);
+    *addr = addr.wrapping_add(delta as u64);
+    Ok(MemAccess {
+        vaddr: allarm_types::addr::VirtAddr::new(*addr),
+        write,
+    })
 }
 
 /// Decodes the per-thread delta/varint streams declared by `header`.
@@ -566,15 +647,7 @@ fn read_binary_body(reader: &mut impl Read, header: &TraceHeader) -> Result<Work
             Vec::with_capacity(usize::try_from(declared.accesses).unwrap_or(0).min(1 << 20));
         let mut addr: u64 = 0;
         for _ in 0..declared.accesses {
-            let packed = read_varint_wide(reader, "trace record")?;
-            let write = (packed & 1) == 1;
-            let zigzagged = (packed >> 1) as u64;
-            let delta = ((zigzagged >> 1) as i64) ^ -((zigzagged & 1) as i64);
-            addr = addr.wrapping_add(delta as u64);
-            accesses.push(MemAccess {
-                vaddr: allarm_types::addr::VirtAddr::new(addr),
-                write,
-            });
+            accesses.push(decode_record(reader, &mut addr)?);
         }
         traces.push(ThreadTrace {
             thread: declared.thread,
@@ -592,6 +665,186 @@ fn read_binary_body(reader: &mut impl Read, header: &TraceHeader) -> Result<Work
         name: header.name.clone(),
         threads: traces,
     })
+}
+
+/// Decodes a whole v2 body sequentially, then cross-checks every frame
+/// against the directory and the trailer. This is the materialized
+/// *reference* path; [`TraceSource`] is the bounded-memory one.
+fn read_binary_body_v2<R: Read>(
+    reader: &mut CountingReader<R>,
+    header: &TraceHeader,
+) -> Result<Workload, TraceError> {
+    let frame_len = header.frame_len;
+    let mut observed: Vec<Vec<FrameMeta>> = Vec::with_capacity(header.threads.len());
+    let mut traces = Vec::with_capacity(header.threads.len());
+    for declared in &header.threads {
+        let mut accesses =
+            Vec::with_capacity(usize::try_from(declared.accesses).unwrap_or(0).min(1 << 20));
+        let mut entries = Vec::new();
+        let mut remaining = declared.accesses;
+        while remaining > 0 {
+            let records = remaining.min(frame_len);
+            let offset = reader.count();
+            let mut hashing = HashingReader::new(reader);
+            let mut addr: u64 = 0;
+            let mut first_vaddr = 0u64;
+            for i in 0..records {
+                let a = decode_record(&mut hashing, &mut addr)?;
+                if i == 0 {
+                    first_vaddr = a.vaddr.raw();
+                }
+                accesses.push(a);
+            }
+            let (bytes, checksum) = hashing.finish();
+            entries.push(FrameMeta {
+                offset,
+                bytes,
+                records,
+                first_vaddr,
+                checksum,
+            });
+            remaining -= records;
+        }
+        observed.push(entries);
+        traces.push(ThreadTrace {
+            thread: declared.thread,
+            core: declared.core,
+            accesses,
+        });
+    }
+
+    let dir_offset = reader.count();
+    let mut hashing = HashingReader::new(reader);
+    for (declared, entries) in header.threads.iter().zip(&observed) {
+        let frames = read_varint(&mut hashing, "frame count")?;
+        if frames != entries.len() as u64 {
+            return Err(TraceError::new(format!(
+                "directory declares {frames} frame(s) for thread {} but the body holds {}",
+                declared.thread.raw(),
+                entries.len()
+            )));
+        }
+        for e in entries {
+            let bytes = read_varint(&mut hashing, "frame byte length")?;
+            let records = read_varint(&mut hashing, "frame record count")?;
+            let first_vaddr = read_varint(&mut hashing, "frame first address")?;
+            let checksum = u64::from_le_bytes(read_array(&mut hashing, "frame checksum")?);
+            if bytes != e.bytes
+                || records != e.records
+                || first_vaddr != e.first_vaddr
+                || checksum != e.checksum
+            {
+                return Err(TraceError::new(format!(
+                    "frame directory disagrees with the body for thread {} — corrupt trace",
+                    declared.thread.raw()
+                )));
+            }
+        }
+    }
+    let (_, dir_checksum) = hashing.finish();
+    let declared_offset = u64::from_le_bytes(read_array(reader, "directory offset")?);
+    let declared_checksum = u64::from_le_bytes(read_array(reader, "directory checksum")?);
+    let tail: [u8; 8] = read_array(reader, "tail magic")?;
+    if &tail != V2_TAIL_MAGIC {
+        return Err(TraceError::new(
+            "missing the v2 tail magic — truncated or corrupt trace",
+        ));
+    }
+    if declared_offset != dir_offset {
+        return Err(TraceError::new(format!(
+            "trailer points the directory at byte {declared_offset} but it starts at \
+             {dir_offset} — corrupt trace"
+        )));
+    }
+    if declared_checksum != dir_checksum {
+        return Err(TraceError::new(
+            "frame directory checksum mismatch — corrupt trace",
+        ));
+    }
+    let mut trailing = [0u8; 1];
+    if reader.read(&mut trailing)? != 0 {
+        return Err(TraceError::new(
+            "trailing bytes after the v2 trailer — header/body mismatch",
+        ));
+    }
+    Ok(Workload {
+        name: header.name.clone(),
+        threads: traces,
+    })
+}
+
+/// 64-bit FNV-1a over a byte slice (frame and directory checksums).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A reader tracking its absolute position, so sequential v2 parsing can
+/// verify the directory's byte offsets without seeking.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn with_offset(inner: R, offset: u64) -> Self {
+        CountingReader {
+            inner,
+            count: offset,
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+/// A reader that FNV-1a-hashes and counts everything read through it —
+/// one frame's (or the directory's) bytes at a time.
+struct HashingReader<'a, R> {
+    inner: &'a mut R,
+    bytes: u64,
+    hash: u64,
+}
+
+impl<'a, R: Read> HashingReader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        HashingReader {
+            inner,
+            bytes: 0,
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn finish(self) -> (u64, u64) {
+        (self.bytes, self.hash)
+    }
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.bytes += n as u64;
+        Ok(n)
+    }
 }
 
 fn read_array<const N: usize>(reader: &mut impl Read, what: &str) -> Result<[u8; N], TraceError> {
@@ -630,6 +883,470 @@ fn read_varint_wide(reader: &mut impl Read, what: &str) -> Result<u128, TraceErr
 }
 
 // ---------------------------------------------------------------------------
+// Streaming (v2)
+// ---------------------------------------------------------------------------
+
+/// One frame's directory entry: where it lives, what it holds, and the
+/// FNV-1a checksum of its encoded bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Absolute byte offset of the frame in the file.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub bytes: u64,
+    /// Records the frame decodes to (`frame_len`, short for the last frame
+    /// of a thread).
+    pub records: u64,
+    /// The first decoded address — directory metadata for `trace_tool
+    /// seek`/`info`, verified against the decode on every frame load.
+    pub first_vaddr: u64,
+    /// FNV-1a of the encoded frame bytes.
+    pub checksum: u64,
+}
+
+/// An opened v2 trace file: the front header plus the verified frame
+/// directory, with the body left on disk. [`TraceSource::open_thread`]
+/// hands out [`FrameFeed`]s that decode one frame at a time, so a
+/// multi-hundred-million-access trace replays in bounded memory.
+///
+/// An optional per-thread record `limit` (the `--accesses` override /
+/// [`crate::WorkloadSpec::TraceFile`] `limit` field) truncates every
+/// thread's stream to a prefix; the effective [`TraceSource::checksum`] is
+/// then recomputed over the prefix — frame by frame, never materializing —
+/// so a truncated replay still reports a verifiable checksum.
+#[derive(Debug)]
+pub struct TraceSource {
+    path: PathBuf,
+    header: TraceHeader,
+    frames: Vec<Vec<FrameMeta>>,
+    limits: Vec<u64>,
+    checksum: u64,
+}
+
+impl TraceSource {
+    /// Opens a v2 trace for streaming replay: parses the front header,
+    /// verifies the trailer and frame directory (offsets, counts,
+    /// checksum), and leaves the body untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] for unreadable files, non-v2 formats, and
+    /// any structural or checksum inconsistency in the directory.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::open_with_limit(path, 0)
+    }
+
+    /// [`TraceSource::open`] with a per-thread record cap (`0` = no cap).
+    /// Every thread's stream is truncated to its first `limit` records and
+    /// the effective checksum is recomputed over the prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceSource::open`].
+    pub fn open_with_limit(path: impl AsRef<Path>, limit: u64) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = BufReader::new(std::fs::File::open(&path)?);
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)
+            .map_err(|_| TraceError::new("truncated trace: magic cut short"))?;
+        if &magic != BINARY_MAGIC {
+            return Err(TraceError::new(format!(
+                "`{}` is not a binary ALLARM trace — streaming replay needs the \
+                 frame-chunked v2 container",
+                path.display()
+            )));
+        }
+        let mut counting = CountingReader::with_offset(&mut file, magic.len() as u64);
+        let header = read_binary_header(&mut counting)?;
+        if header.format != TraceFormat::BinaryV2 {
+            return Err(TraceError::new(format!(
+                "`{}` is a v1 binary trace; streaming replay needs the frame-chunked v2 \
+                 container (re-record with `--format binary-v2` or run `trace_tool convert`)",
+                path.display()
+            )));
+        }
+        let body_start = counting.count();
+
+        let file_len = file.get_ref().metadata()?.len();
+        if file_len < body_start + V2_TRAILER_BYTES {
+            return Err(TraceError::new(
+                "truncated trace: no room for the v2 trailer",
+            ));
+        }
+        file.seek(SeekFrom::End(-(V2_TRAILER_BYTES as i64)))?;
+        let mut trailer = [0u8; V2_TRAILER_BYTES as usize];
+        file.read_exact(&mut trailer)
+            .map_err(|_| TraceError::new("truncated trace: trailer cut short"))?;
+        let dir_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
+        let dir_checksum = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+        if &trailer[16..24] != V2_TAIL_MAGIC {
+            return Err(TraceError::new(
+                "missing the v2 tail magic — truncated or corrupt trace",
+            ));
+        }
+        if dir_offset < body_start || dir_offset > file_len - V2_TRAILER_BYTES {
+            return Err(TraceError::new(format!(
+                "trailer points the frame directory at byte {dir_offset}, outside the \
+                 body — corrupt trace"
+            )));
+        }
+
+        file.seek(SeekFrom::Start(dir_offset))?;
+        let mut dirbuf = vec![0u8; (file_len - V2_TRAILER_BYTES - dir_offset) as usize];
+        file.read_exact(&mut dirbuf)
+            .map_err(|_| TraceError::new("truncated trace: frame directory cut short"))?;
+        if fnv1a(&dirbuf) != dir_checksum {
+            return Err(TraceError::new(
+                "frame directory checksum mismatch — corrupt trace",
+            ));
+        }
+
+        let mut cursor: &[u8] = &dirbuf;
+        let mut offset = body_start;
+        let mut frames = Vec::with_capacity(header.threads.len());
+        for declared in &header.threads {
+            let count = read_varint(&mut cursor, "frame count")?;
+            let expected = declared.accesses.div_ceil(header.frame_len);
+            if count != expected {
+                return Err(TraceError::new(format!(
+                    "directory declares {count} frame(s) for thread {} but the header's \
+                     {} accesses need {expected}",
+                    declared.thread.raw(),
+                    declared.accesses
+                )));
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            let mut remaining = declared.accesses;
+            for index in 0..count {
+                let bytes = read_varint(&mut cursor, "frame byte length")?;
+                let records = read_varint(&mut cursor, "frame record count")?;
+                let first_vaddr = read_varint(&mut cursor, "frame first address")?;
+                let checksum = u64::from_le_bytes(read_array(&mut cursor, "frame checksum")?);
+                let expected_records = remaining.min(header.frame_len);
+                if records != expected_records {
+                    return Err(TraceError::new(format!(
+                        "frame {index} of thread {} declares {records} record(s), \
+                         expected {expected_records}",
+                        declared.thread.raw()
+                    )));
+                }
+                // A record encodes to at most 10 varint bytes, so this cap
+                // rejects absurd lengths before any frame is loaded.
+                if bytes == 0 || bytes > records.saturating_mul(10) {
+                    return Err(TraceError::new(format!(
+                        "frame {index} of thread {} declares an impossible byte length \
+                         {bytes} for {records} record(s)",
+                        declared.thread.raw()
+                    )));
+                }
+                entries.push(FrameMeta {
+                    offset,
+                    bytes,
+                    records,
+                    first_vaddr,
+                    checksum,
+                });
+                offset += bytes;
+                remaining -= records;
+            }
+            frames.push(entries);
+        }
+        if !cursor.is_empty() {
+            return Err(TraceError::new(
+                "trailing bytes in the frame directory — corrupt trace",
+            ));
+        }
+        if offset != dir_offset {
+            return Err(TraceError::new(format!(
+                "frame byte lengths end at {offset} but the directory starts at \
+                 {dir_offset} — corrupt trace"
+            )));
+        }
+
+        let limits: Vec<u64> = header
+            .threads
+            .iter()
+            .map(|t| {
+                if limit == 0 {
+                    t.accesses
+                } else {
+                    t.accesses.min(limit)
+                }
+            })
+            .collect();
+        let truncated = limits
+            .iter()
+            .zip(&header.threads)
+            .any(|(l, t)| *l < t.accesses);
+        let mut source = TraceSource {
+            path,
+            header,
+            frames,
+            limits,
+            checksum: 0,
+        };
+        source.checksum = if truncated {
+            source.prefix_checksum()?
+        } else {
+            source
+                .header
+                .checksum
+                .expect("binary headers always carry a checksum")
+        };
+        Ok(source)
+    }
+
+    /// The file this source streams from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The parsed front header (full recorded counts, not the truncated
+    /// effective ones — see [`TraceSource::threads`]).
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Records per frame.
+    pub fn frame_len(&self) -> u64 {
+        self.header.frame_len
+    }
+
+    /// The recorded workload name.
+    pub fn name(&self) -> &str {
+        &self.header.name
+    }
+
+    /// The effective [`Workload::checksum`]: the header's for a full
+    /// replay, recomputed over the prefix when a limit truncates it.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// The effective thread set: recorded identity and pinning with the
+    /// per-thread limit applied to the access counts.
+    pub fn threads(&self) -> Vec<TraceThread> {
+        self.header
+            .threads
+            .iter()
+            .zip(&self.limits)
+            .map(|(t, &accesses)| TraceThread {
+                thread: t.thread,
+                core: t.core,
+                accesses,
+            })
+            .collect()
+    }
+
+    /// Total effective references across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        self.limits.iter().sum()
+    }
+
+    /// Minimum machine size able to replay this trace.
+    pub fn cores_required(&self) -> usize {
+        self.header.cores_required()
+    }
+
+    /// True when a record limit truncates at least one thread's stream.
+    pub fn is_truncated(&self) -> bool {
+        self.limits
+            .iter()
+            .zip(&self.header.threads)
+            .any(|(l, t)| *l < t.accesses)
+    }
+
+    /// The verified frame directory of one thread (by header index).
+    pub fn frames(&self, thread: usize) -> &[FrameMeta] {
+        &self.frames[thread]
+    }
+
+    /// Opens an independent streaming cursor over one thread (by header
+    /// index), primed at record `start` — each feed owns its own file
+    /// handle, so per-shard feeds never contend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the file cannot be reopened, `start`
+    /// lies beyond the (limited) stream, or the primed frame fails its
+    /// checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn open_thread(&self, thread: usize, start: u64) -> Result<FrameFeed<'_>, TraceError> {
+        assert!(
+            thread < self.header.threads.len(),
+            "thread index {thread} out of range"
+        );
+        let limit = self.limits[thread];
+        if start > limit {
+            return Err(TraceError::new(format!(
+                "cannot open thread {thread} at record {start}: only {limit} record(s) \
+                 are replayed"
+            )));
+        }
+        let file = BufReader::new(std::fs::File::open(&self.path)?);
+        let mut feed = FrameFeed {
+            source: self,
+            thread,
+            file,
+            limit,
+            base: 0,
+            buf: Vec::new(),
+        };
+        if start < limit {
+            feed.load_frame(start / self.header.frame_len)?;
+        }
+        Ok(feed)
+    }
+
+    /// The truncated-prefix checksum, computed one frame at a time.
+    fn prefix_checksum(&self) -> Result<u64, TraceError> {
+        let mut stream = ChecksumStream::new();
+        for (index, declared) in self.header.threads.iter().enumerate() {
+            stream.begin_thread(declared.thread, declared.core, self.limits[index]);
+            let mut feed = self.open_thread(index, 0)?;
+            for record in 0..self.limits[index] {
+                let access = feed
+                    .try_get(record as usize)?
+                    .expect("record below the limit");
+                stream.access(access);
+            }
+        }
+        Ok(stream.finish())
+    }
+}
+
+/// A streaming cursor over one thread of a [`TraceSource`]: holds exactly
+/// one decoded frame, loading (and checksum-verifying) frames on demand as
+/// the caller indexes through the stream. Indexing is random-access —
+/// frame loads seek — but the simulator only ever walks forward.
+#[derive(Debug)]
+pub struct FrameFeed<'a> {
+    source: &'a TraceSource,
+    thread: usize,
+    file: BufReader<std::fs::File>,
+    limit: u64,
+    base: usize,
+    buf: Vec<MemAccess>,
+}
+
+impl FrameFeed<'_> {
+    /// The record at `idx`, or `None` past the (limited) end of the
+    /// stream. Mirrors `accesses.get(idx).copied()` on a materialized
+    /// thread trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame fails verification mid-replay (the file was
+    /// validated at open, so this means on-disk corruption raced the run).
+    pub fn get(&mut self, idx: usize) -> Option<MemAccess> {
+        match self.try_get(idx) {
+            Ok(access) => access,
+            Err(e) => panic!(
+                "trace `{}` thread {}: {e}",
+                self.source.path.display(),
+                self.thread
+            ),
+        }
+    }
+
+    /// [`FrameFeed::get`] surfacing frame errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] when the frame holding `idx` cannot be
+    /// read, fails its checksum, or decodes inconsistently.
+    pub fn try_get(&mut self, idx: usize) -> Result<Option<MemAccess>, TraceError> {
+        if idx as u64 >= self.limit {
+            return Ok(None);
+        }
+        if idx < self.base || idx >= self.base + self.buf.len() {
+            self.load_frame(idx as u64 / self.source.header.frame_len)?;
+        }
+        Ok(Some(self.buf[idx - self.base]))
+    }
+
+    /// Loads and verifies one frame into the buffer.
+    fn load_frame(&mut self, frame: u64) -> Result<(), TraceError> {
+        let meta = *self.source.frames[self.thread]
+            .get(frame as usize)
+            .ok_or_else(|| TraceError::new(format!("frame {frame} out of range")))?;
+        self.file.seek(SeekFrom::Start(meta.offset))?;
+        let mut bytes = vec![0u8; meta.bytes as usize];
+        self.file
+            .read_exact(&mut bytes)
+            .map_err(|_| TraceError::new(format!("frame {frame} cut short")))?;
+        if fnv1a(&bytes) != meta.checksum {
+            return Err(TraceError::new(format!(
+                "frame {frame} failed its checksum — corrupt trace body"
+            )));
+        }
+        let mut cursor: &[u8] = &bytes;
+        let mut addr: u64 = 0;
+        self.buf.clear();
+        self.buf.reserve(meta.records as usize);
+        for record in 0..meta.records {
+            let access = decode_record(&mut cursor, &mut addr)?;
+            if record == 0 && access.vaddr.raw() != meta.first_vaddr {
+                return Err(TraceError::new(format!(
+                    "frame {frame} decodes to first address {:#x} but the directory \
+                     records {:#x}",
+                    access.vaddr.raw(),
+                    meta.first_vaddr
+                )));
+            }
+            self.buf.push(access);
+        }
+        if !cursor.is_empty() {
+            return Err(TraceError::new(format!(
+                "frame {frame} holds trailing bytes past its {} record(s)",
+                meta.records
+            )));
+        }
+        self.base =
+            usize::try_from(frame * self.source.header.frame_len).expect("record index fits usize");
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header cache
+// ---------------------------------------------------------------------------
+
+/// [`read_header`] through a process-wide memo keyed by `(path, mtime,
+/// len)`, so spec accessors asked repeatedly about the same trace (grid
+/// expansion, validation, labelling) parse its header once. A rewritten
+/// file changes its key and is re-read; errors are never cached.
+///
+/// # Errors
+///
+/// Same conditions as [`read_header`].
+pub fn read_header_cached(path: impl AsRef<Path>) -> Result<TraceHeader, TraceError> {
+    use std::sync::{Mutex, OnceLock};
+    use std::time::SystemTime;
+    type Key = (PathBuf, SystemTime, u64);
+    static CACHE: OnceLock<Mutex<HashMap<Key, TraceHeader>>> = OnceLock::new();
+
+    let path = path.as_ref();
+    let meta = std::fs::metadata(path)?;
+    let modified = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+    let key = (path.to_path_buf(), modified, meta.len());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(header) = cache.lock().expect("header cache poisoned").get(&key) {
+        return Ok(header.clone());
+    }
+    let header = read_header(path)?;
+    let mut map = cache.lock().expect("header cache poisoned");
+    if map.len() >= 256 {
+        map.clear();
+    }
+    map.insert(key, header.clone());
+    Ok(header)
+}
+
+// ---------------------------------------------------------------------------
 // Writing
 // ---------------------------------------------------------------------------
 
@@ -648,9 +1365,34 @@ pub fn write_trace(
     workload: &Workload,
     format: TraceFormat,
 ) -> std::io::Result<()> {
+    let frame_len = match format {
+        TraceFormat::BinaryV2 => DEFAULT_FRAME_LEN,
+        _ => 0,
+    };
+    write_trace_framed(out, workload, format, frame_len)
+}
+
+/// [`write_trace`] with an explicit frame length for the v2 container
+/// (ignored — and zero — for unframed formats). Exposed so tests and
+/// `trace_tool convert --frame-len` can exercise multi-frame layouts on
+/// small workloads.
+///
+/// # Errors
+///
+/// Same conditions as [`write_trace`], plus `InvalidInput` for a zero
+/// frame length with [`TraceFormat::BinaryV2`].
+pub fn write_trace_framed(
+    out: &mut impl Write,
+    workload: &Workload,
+    format: TraceFormat,
+    frame_len: u64,
+) -> std::io::Result<()> {
     let header = TraceHeader {
         format,
-        version: TRACE_VERSION,
+        version: match format {
+            TraceFormat::BinaryV2 => TRACE_VERSION_V2,
+            _ => TRACE_VERSION,
+        },
         name: workload.name.clone(),
         threads: workload
             .threads
@@ -662,6 +1404,7 @@ pub fn write_trace(
             })
             .collect(),
         checksum: Some(workload.checksum()),
+        frame_len,
     };
     header.validate().map_err(|e| {
         std::io::Error::new(
@@ -672,6 +1415,7 @@ pub fn write_trace(
     match format {
         TraceFormat::Text => write_text(out, workload, &header),
         TraceFormat::Binary => write_binary(out, workload, &header),
+        TraceFormat::BinaryV2 => write_binary_v2(out, workload, &header),
     }
 }
 
@@ -687,6 +1431,22 @@ pub fn write_trace_file(
 ) -> std::io::Result<()> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     write_trace(&mut out, workload, format)?;
+    out.flush()
+}
+
+/// [`write_trace_framed`] to a (created or truncated) file.
+///
+/// # Errors
+///
+/// Same conditions as [`write_trace_framed`], plus the create itself.
+pub fn write_trace_file_framed(
+    path: impl AsRef<Path>,
+    workload: &Workload,
+    format: TraceFormat,
+    frame_len: u64,
+) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_trace_framed(&mut out, workload, format, frame_len)?;
     out.flush()
 }
 
@@ -749,13 +1509,89 @@ fn write_binary(
     for t in &workload.threads {
         let mut prev: u64 = 0;
         for a in &t.accesses {
-            let delta = a.vaddr.raw().wrapping_sub(prev) as i64;
-            prev = a.vaddr.raw();
-            let zigzagged = ((delta << 1) ^ (delta >> 63)) as u64;
-            let packed = (u128::from(zigzagged) << 1) | u128::from(a.write);
-            write_varint(out, packed)?;
+            encode_record(out, *a, &mut prev)?;
         }
     }
+    Ok(())
+}
+
+/// Encodes one delta/varint record against the running previous address.
+fn encode_record(out: &mut impl Write, a: MemAccess, prev: &mut u64) -> std::io::Result<()> {
+    let delta = a.vaddr.raw().wrapping_sub(*prev) as i64;
+    *prev = a.vaddr.raw();
+    let zigzagged = ((delta << 1) ^ (delta >> 63)) as u64;
+    let packed = (u128::from(zigzagged) << 1) | u128::from(a.write);
+    write_varint(out, packed)
+}
+
+/// Writes the frame-chunked v2 container: front header, per-thread frames
+/// (each restarting the delta chain), the frame directory, and the fixed
+/// trailer. Offsets are tracked by counting, so any `Write` works.
+fn write_binary_v2(
+    out: &mut impl Write,
+    workload: &Workload,
+    header: &TraceHeader,
+) -> std::io::Result<()> {
+    let mut head: Vec<u8> = Vec::new();
+    head.extend_from_slice(BINARY_MAGIC);
+    head.extend_from_slice(&TRACE_VERSION_V2.to_le_bytes());
+    write_varint(&mut head, header.name.len() as u128)?;
+    head.extend_from_slice(header.name.as_bytes());
+    write_varint(&mut head, header.threads.len() as u128)?;
+    for t in &header.threads {
+        write_varint(&mut head, u128::from(t.thread.raw()))?;
+        write_varint(&mut head, u128::from(t.core.raw()))?;
+        write_varint(&mut head, u128::from(t.accesses))?;
+    }
+    head.extend_from_slice(
+        &header
+            .checksum
+            .expect("writer always sets it")
+            .to_le_bytes(),
+    );
+    write_varint(&mut head, u128::from(header.frame_len))?;
+    out.write_all(&head)?;
+    let mut offset = head.len() as u64;
+
+    // Body: one buffered frame at a time, collecting the directory.
+    let frame_records = usize::try_from(header.frame_len).expect("frame length fits usize");
+    let mut directory: Vec<Vec<FrameMeta>> = Vec::with_capacity(workload.threads.len());
+    let mut frame: Vec<u8> = Vec::new();
+    for t in &workload.threads {
+        let mut entries = Vec::new();
+        for chunk in t.accesses.chunks(frame_records) {
+            frame.clear();
+            let mut prev: u64 = 0;
+            for a in chunk {
+                encode_record(&mut frame, *a, &mut prev)?;
+            }
+            entries.push(FrameMeta {
+                offset,
+                bytes: frame.len() as u64,
+                records: chunk.len() as u64,
+                first_vaddr: chunk[0].vaddr.raw(),
+                checksum: fnv1a(&frame),
+            });
+            out.write_all(&frame)?;
+            offset += frame.len() as u64;
+        }
+        directory.push(entries);
+    }
+
+    let mut dirbuf: Vec<u8> = Vec::new();
+    for entries in &directory {
+        write_varint(&mut dirbuf, entries.len() as u128)?;
+        for e in entries {
+            write_varint(&mut dirbuf, u128::from(e.bytes))?;
+            write_varint(&mut dirbuf, u128::from(e.records))?;
+            write_varint(&mut dirbuf, u128::from(e.first_vaddr))?;
+            dirbuf.extend_from_slice(&e.checksum.to_le_bytes());
+        }
+    }
+    out.write_all(&dirbuf)?;
+    out.write_all(&offset.to_le_bytes())?;
+    out.write_all(&fnv1a(&dirbuf).to_le_bytes())?;
+    out.write_all(V2_TAIL_MAGIC)?;
     Ok(())
 }
 
@@ -789,7 +1625,11 @@ mod tests {
     #[test]
     fn both_formats_round_trip_exactly() {
         let workload = sample();
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in [
+            TraceFormat::Text,
+            TraceFormat::Binary,
+            TraceFormat::BinaryV2,
+        ] {
             let buf = encode(&workload, format);
             let (header, decoded) = parse_trace(&buf[..]).unwrap();
             assert_eq!(decoded, workload, "{}", format.name());
@@ -936,7 +1776,11 @@ thread 0 core 0 accesses 1
         let workload = sample();
         let dir = std::env::temp_dir().join(format!("allarm-tracefile-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in [
+            TraceFormat::Text,
+            TraceFormat::Binary,
+            TraceFormat::BinaryV2,
+        ] {
             let path = dir.join(format!("h.{}", format.name()));
             write_trace_file(&path, &workload, format).unwrap();
             let header = read_header(&path).unwrap();
@@ -951,12 +1795,20 @@ thread 0 core 0 accesses 1
 
     #[test]
     fn format_names_round_trip() {
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in [
+            TraceFormat::Text,
+            TraceFormat::Binary,
+            TraceFormat::BinaryV2,
+        ] {
             assert_eq!(TraceFormat::from_cli_name(format.name()), Some(format));
         }
         assert_eq!(
             TraceFormat::from_cli_name("BINARY"),
             Some(TraceFormat::Binary)
+        );
+        assert_eq!(
+            TraceFormat::from_cli_name("v2"),
+            Some(TraceFormat::BinaryV2)
         );
         assert_eq!(TraceFormat::from_cli_name("gzip"), None);
     }
@@ -980,7 +1832,11 @@ thread 0 core 0 accesses 1
     #[test]
     fn short_reading_inputs_parse_identically() {
         let workload = sample();
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in [
+            TraceFormat::Text,
+            TraceFormat::Binary,
+            TraceFormat::BinaryV2,
+        ] {
             let buf = encode(&workload, format);
             let (header, decoded) = parse_trace(OneByte(&buf)).unwrap();
             assert_eq!(decoded, workload, "{}", format.name());
@@ -1003,8 +1859,166 @@ thread 0 core 0 accesses 1
                 ],
             }],
         };
-        let buf = encode(&workload, TraceFormat::Binary);
-        let (_, decoded) = parse_trace(&buf[..]).unwrap();
+        for format in [TraceFormat::Binary, TraceFormat::BinaryV2] {
+            let buf = encode(&workload, format);
+            let (_, decoded) = parse_trace(&buf[..]).unwrap();
+            assert_eq!(decoded, workload, "{}", format.name());
+        }
+    }
+
+    /// Writes `workload` as a multi-frame v2 file in a fresh temp dir and
+    /// returns `(dir, path)`; callers remove `dir` when done.
+    fn v2_file(workload: &Workload, frame_len: u64, tag: &str) -> (std::path::PathBuf, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("allarm-tracefile-v2-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.btrace");
+        write_trace_file_framed(&path, workload, TraceFormat::BinaryV2, frame_len).unwrap();
+        (dir.clone(), path)
+    }
+
+    #[test]
+    fn v2_multi_frame_layout_round_trips_and_carries_its_directory() {
+        let workload = sample();
+        let (dir, path) = v2_file(&workload, 64, "layout");
+        let (header, decoded) = read_workload(&path).unwrap();
         assert_eq!(decoded, workload);
+        assert_eq!(header.frame_len, 64);
+
+        let source = TraceSource::open(&path).unwrap();
+        assert_eq!(source.name(), workload.name);
+        assert_eq!(source.checksum(), workload.checksum());
+        assert_eq!(source.total_accesses(), workload.total_accesses() as u64);
+        for (i, t) in workload.threads.iter().enumerate() {
+            let frames = source.frames(i);
+            assert_eq!(frames.len(), t.accesses.len().div_ceil(64));
+            assert_eq!(
+                frames.iter().map(|f| f.records).sum::<u64>(),
+                t.accesses.len() as u64
+            );
+            assert_eq!(frames[0].first_vaddr, t.accesses[0].vaddr.raw());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_feed_seeks_into_the_middle_of_any_thread() {
+        let workload = sample();
+        let (dir, path) = v2_file(&workload, 32, "seek");
+        let source = TraceSource::open(&path).unwrap();
+        for (i, t) in workload.threads.iter().enumerate() {
+            // Seek straight to a mid-trace record without decoding the
+            // prefix, then walk across a frame boundary.
+            let start = (t.accesses.len() / 2) as u64;
+            let mut feed = source.open_thread(i, start).unwrap();
+            for idx in start as usize..t.accesses.len() {
+                assert_eq!(feed.get(idx), Some(t.accesses[idx]), "thread {i} idx {idx}");
+            }
+            assert_eq!(feed.get(t.accesses.len()), None);
+            // Backward seeks work too (the feed reloads the earlier frame).
+            assert_eq!(feed.get(0), Some(t.accesses[0]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_limit_truncates_and_recomputes_the_checksum() {
+        let workload = sample();
+        let (dir, path) = v2_file(&workload, 64, "limit");
+        let limit = 100u64;
+        let source = TraceSource::open_with_limit(&path, limit).unwrap();
+        assert!(source.is_truncated());
+
+        let mut truncated = workload.clone();
+        for t in &mut truncated.threads {
+            t.accesses.truncate(limit as usize);
+        }
+        assert_eq!(source.checksum(), truncated.checksum());
+        assert_eq!(source.total_accesses(), truncated.total_accesses() as u64);
+        let mut feed = source.open_thread(0, 0).unwrap();
+        assert_eq!(
+            feed.get(limit as usize - 1),
+            Some(workload.threads[0].accesses[99])
+        );
+        assert_eq!(feed.get(limit as usize), None);
+
+        // A limit at or above every thread's length is a no-op.
+        let full = TraceSource::open_with_limit(&path, 1 << 20).unwrap();
+        assert!(!full.is_truncated());
+        assert_eq!(full.checksum(), workload.checksum());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_corrupt_frame_is_caught_by_both_paths() {
+        let workload = sample();
+        let (dir, path) = v2_file(&workload, 64, "corrupt");
+        let source = TraceSource::open(&path).unwrap();
+        // Flip a byte in the middle of thread 1's second frame.
+        let victim = source.frames(1)[1];
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[(victim.offset + victim.bytes / 2) as usize] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The sequential reference decode notices the directory mismatch.
+        let err = read_workload(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("directory disagrees") || err.to_string().contains("record"),
+            "{err}"
+        );
+        // The streaming path opens fine (the directory is intact) but the
+        // poisoned frame fails verification on load.
+        let source = TraceSource::open(&path).unwrap();
+        let mut feed = source.open_thread(1, 0).unwrap();
+        assert!(feed.try_get(0).unwrap().is_some(), "frame 0 is untouched");
+        let err = feed.try_get(64).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_truncated_file_is_rejected() {
+        let workload = sample();
+        let (dir, path) = v2_file(&workload, 64, "trunc");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(read_workload(&path).is_err());
+        let err = TraceSource::open(&path).unwrap_err();
+        assert!(err.to_string().contains("tail magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_files_refuse_streaming_with_a_helpful_error() {
+        let workload = sample();
+        let dir = std::env::temp_dir().join(format!("allarm-tracefile-v1s-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        write_trace_file(&path, &workload, TraceFormat::Binary).unwrap();
+        let err = TraceSource::open(&path).unwrap_err();
+        assert!(err.to_string().contains("v1 binary trace"), "{err}");
+        assert!(err.to_string().contains("convert"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_header_reads_match_and_track_rewrites() {
+        let workload = sample();
+        let dir =
+            std::env::temp_dir().join(format!("allarm-tracefile-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.btrace");
+        write_trace_file(&path, &workload, TraceFormat::Binary).unwrap();
+        let first = read_header_cached(&path).unwrap();
+        assert_eq!(first, read_header(&path).unwrap());
+        assert_eq!(first, read_header_cached(&path).unwrap());
+        // Errors are not cached: a missing file stays an error, and a
+        // rewritten file (different length) is re-read.
+        assert!(read_header_cached(dir.join("missing.trace")).is_err());
+        let mut renamed = workload.clone();
+        renamed.name = "renamed-longer-name".into();
+        write_trace_file(&path, &renamed, TraceFormat::Binary).unwrap();
+        assert_eq!(read_header_cached(&path).unwrap().name, renamed.name);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,9 +3,10 @@
 //! `cargo run -p allarm-bench --bin export_scenarios`).
 
 use allarm_bench::{
-    fig3_grid, fig3h_grid, fig4_grid, scale256_grid, scale256_pf_sweep_grid, scale64_grid,
-    scale64_pf_sweep_grid, streamcluster_grid, tracefile_comparison_grid, tracefile_source_grid,
-    TRACE_SAMPLE_THREADS,
+    consolidation_grid, fig3_grid, fig3h_grid, fig4_grid, kv_store_grid, scale256_grid,
+    scale256_pf_sweep_grid, scale64_grid, scale64_pf_sweep_grid, streamcluster_grid,
+    tracefile_comparison_grid, tracefile_source_grid, tracefile_v2_comparison_grid,
+    CONSOLIDATION_TENANTS, TRACE_SAMPLE_THREADS,
 };
 use allarm_core::{ExperimentConfig, ScenarioGrid};
 use std::path::{Path, PathBuf};
@@ -47,6 +48,15 @@ fn checked_in_grids_match_the_constructors() {
     assert_eq!(
         load("tracefile_comparison.toml"),
         tracefile_comparison_grid()
+    );
+    assert_eq!(
+        load("tracefile_v2_comparison.toml"),
+        tracefile_v2_comparison_grid()
+    );
+    assert_eq!(load("kv_store_comparison.toml"), kv_store_grid(&cfg));
+    assert_eq!(
+        load("consolidation_comparison.toml"),
+        consolidation_grid(&cfg)
     );
 }
 
@@ -122,7 +132,7 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
 
     let fig4 = load("fig4_multiprocess.toml");
     assert_eq!(fig4.len(), 40); // 4 benchmarks x 5 coverages x 2 policies
-    assert_eq!(fig4.base.workload.cores_required(), 9);
+    assert_eq!(fig4.base.workload.cores_required().unwrap(), 9);
     fig4.validate().unwrap();
 
     let streamcluster = load("streamcluster_comparison.toml");
@@ -179,7 +189,42 @@ fn checked_in_grids_are_valid_and_sized_as_documented() {
     assert_eq!(replay.len(), 2);
     replay.validate().unwrap();
     assert_eq!(replay.base.workload.label(), "blackscholes");
-    assert_eq!(replay.base.workload.cores_required(), TRACE_SAMPLE_THREADS);
+    assert_eq!(
+        replay.base.workload.cores_required().unwrap(),
+        TRACE_SAMPLE_THREADS
+    );
+
+    // The v2 replay resolves the same way; unlike the v1 grid it opens as
+    // a true streaming source, and its frame directory supports prefix
+    // truncation (so an `accesses` axis over it is legal).
+    let mut replay_v2 = load("tracefile_v2_comparison.toml");
+    replay_v2.base.workload = replay_v2.base.workload.resolved_against(&scenarios_dir());
+    assert_eq!(replay_v2.len(), 2);
+    replay_v2.validate().unwrap();
+    assert!(replay_v2.base.workload.supports_length_override());
+    assert!(replay_v2
+        .base
+        .workload
+        .streaming_source()
+        .unwrap()
+        .is_some());
+    assert_eq!(
+        replay_v2.base.workload.cores_required().unwrap(),
+        TRACE_SAMPLE_THREADS
+    );
+
+    let kv = load("kv_store_comparison.toml");
+    assert_eq!(kv.len(), 2); // 1 benchmark x 2 policies
+    assert_eq!(kv.base.workload.label(), "kv-store");
+    kv.validate().unwrap();
+
+    let consolidation = load("consolidation_comparison.toml");
+    assert_eq!(consolidation.len(), 2); // 1 workload x 2 policies
+    assert_eq!(
+        consolidation.base.workload.cores_required().unwrap(),
+        CONSOLIDATION_TENANTS
+    );
+    consolidation.validate().unwrap();
 }
 
 /// The committed sample trace must be exactly what `trace_tool record`
@@ -201,4 +246,18 @@ fn committed_sample_trace_matches_the_source_grid() {
          scenarios/tracefile_source.toml`"
     );
     assert_eq!(replayed.checksum(), recorded.checksum());
+
+    // The frame-chunked v2 sample carries the same reference stream — both
+    // via full materialization and via the header-level stream checksum.
+    let mut v2 = load("tracefile_v2_comparison.toml");
+    v2.base.workload = v2.base.workload.resolved_against(&scenarios_dir());
+    let streamed = v2.base.workload.streaming_source().unwrap().unwrap();
+    assert_eq!(
+        streamed.checksum(),
+        recorded.checksum(),
+        "scenarios/tracefile_sample_v2.btrace drifted from the generator — regenerate \
+         with `trace_tool record --format binary-v2 --out \
+         scenarios/tracefile_sample_v2.btrace scenarios/tracefile_source.toml`"
+    );
+    assert_eq!(v2.base.workload.materialize(v2.base.seed), recorded);
 }

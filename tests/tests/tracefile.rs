@@ -187,6 +187,60 @@ fn trace_replay_reports_are_byte_identical_to_direct_runs() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The streaming guarantee of the frame-chunked v2 container: replaying a
+/// recording through the pull-based [`allarm_workloads::TraceSource`] path
+/// (the simulator decodes frames on demand, never materializing the
+/// workload) produces a report byte-identical to the direct run at every
+/// shard count, and carries the recorded stream checksum as provenance.
+#[test]
+fn v2_streaming_replay_is_byte_identical_to_the_materialized_run() {
+    let dir = temp_dir("stream");
+    let direct = Scenario::quick_test(Benchmark::OceanContiguous, AllocationPolicy::Baseline)
+        .with_accesses(900);
+    let workload = direct.workload();
+    let path = dir.join("stream.btrace");
+    // A short frame length so the replay crosses many frame boundaries.
+    tracefile::write_trace_file_framed(&path, &workload, TraceFormat::BinaryV2, 256).unwrap();
+
+    let mut replay = direct.clone();
+    replay.workload = WorkloadSpec::trace_file(path.to_string_lossy(), TraceFormat::BinaryV2);
+    replay.validate().unwrap();
+    assert!(replay.workload.streaming_source().unwrap().is_some());
+
+    for sim_threads in [1usize, 2, 4] {
+        let pair = vec![
+            direct.clone().with_sim_threads(sim_threads),
+            replay.clone().with_sim_threads(sim_threads),
+        ];
+        let results = BatchRunner::with_threads(1).run(&pair).unwrap();
+        assert_eq!(
+            results.entries[0].report, results.entries[1].report,
+            "streaming replay diverged at sim_threads={sim_threads}"
+        );
+        assert_eq!(
+            results.entries[1].report.workload_checksum,
+            workload.checksum()
+        );
+    }
+
+    // `--accesses` over a v2 replay is a *real* per-thread prefix
+    // truncation (satellite of the silent-no-op sweep): the report covers
+    // exactly the truncated stream, whose checksum is recomputed from the
+    // frames actually replayed.
+    let mut truncated = replay.clone();
+    truncated.workload = truncated.workload.with_accesses(300);
+    truncated.validate().unwrap();
+    let report = truncated.run().unwrap();
+    let expected: usize = workload
+        .threads
+        .iter()
+        .map(|t| t.accesses.len().min(300))
+        .sum();
+    assert_eq!(report.total_accesses as usize, expected);
+    assert_ne!(report.workload_checksum, workload.checksum());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A hand-written (adversarial) text trace drives the simulator: two cores
 /// ping-ponging writes on one line — behaviour no generated profile
 /// produces deliberately.
